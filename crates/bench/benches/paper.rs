@@ -1,0 +1,132 @@
+//! Criterion benchmarks for the machinery behind every paper artifact,
+//! prefaced by a full regeneration of the artifact data so that
+//! `cargo bench` output contains the reproduced tables and figures.
+//!
+//! Groups map to DESIGN.md's experiment index:
+//! * `profile`   — S1 layer-profile construction (Tables I/II/A2 path)
+//! * `placement` — best-placement evaluation (Figs. 1–3 path)
+//! * `search`    — full S3 optimization (Figs. 4, 5, A3–A6 path)
+//! * `netsim`    — collective DES (Fig. A1 path)
+//! * `trainsim`  — 1F1B schedule simulation (§IV validation path)
+
+use criterion::{criterion_group, Criterion};
+use perfmodel::partition::build_profile;
+use perfmodel::{best_placement_eval, optimize, ParallelConfig, Placement, SearchOptions, TpStrategy};
+use std::time::Duration;
+use systems::{perlmutter, system, GpuGeneration, NvsSize};
+use txmodel::{gpt3_1t, gpt3_175b, vit_64k};
+
+fn bench_profile(c: &mut Criterion) {
+    let gpu = GpuGeneration::B200.gpu();
+    let gpt = gpt3_1t().config;
+    let vit = vit_64k().config;
+    let mut g = c.benchmark_group("profile");
+    g.bench_function("gpt_1d_nt8", |b| {
+        b.iter(|| build_profile(&gpt, TpStrategy::OneD, 8, 1, 1, 1, &gpu))
+    });
+    g.bench_function("vit_2d_4x4", |b| {
+        b.iter(|| build_profile(&vit, TpStrategy::TwoD, 4, 4, 1, 1, &gpu))
+    });
+    g.bench_function("gpt_summa_8x4_nb4", |b| {
+        b.iter(|| build_profile(&gpt, TpStrategy::Summa, 8, 4, 1, 4, &gpu))
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let gpt = gpt3_1t().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+    let mut g = c.benchmark_group("placement");
+    g.bench_function("fig1_config_d", |b| {
+        b.iter(|| best_placement_eval(&gpt, &cfg, 4096, &sys))
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let gpt = gpt3_1t().config;
+    let vit = vit_64k().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    g.bench_function("gpt_1d_n1024", |b| {
+        b.iter(|| optimize(&gpt, &sys, &SearchOptions::new(1024, 4096, TpStrategy::OneD)))
+    });
+    g.bench_function("gpt_1d_n16384", |b| {
+        b.iter(|| optimize(&gpt, &sys, &SearchOptions::new(16384, 4096, TpStrategy::OneD)))
+    });
+    g.bench_function("gpt_summa_n16384", |b| {
+        b.iter(|| optimize(&gpt, &sys, &SearchOptions::new(16384, 4096, TpStrategy::Summa)))
+    });
+    g.bench_function("vit_2d_n16384", |b| {
+        b.iter(|| optimize(&vit, &sys, &SearchOptions::new(16384, 4096, TpStrategy::TwoD)))
+    });
+    g.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    use collectives::{Collective, CommGroup};
+    use netsim::{simulate_collective, SimOptions};
+    let sys = perlmutter(4);
+    let group = CommGroup::new(32, 4);
+    let opts = SimOptions::default();
+    let mut g = c.benchmark_group("netsim");
+    g.bench_function("allgather_1gb_32gpu", |b| {
+        b.iter(|| simulate_collective(Collective::AllGather, 1e9, group, &sys, &opts))
+    });
+    g.bench_function("allreduce_1gb_32gpu", |b| {
+        b.iter(|| simulate_collective(Collective::AllReduce, 1e9, group, &sys, &opts))
+    });
+    g.finish();
+}
+
+fn bench_trainsim(c: &mut Criterion) {
+    use trainsim::{simulate_iteration, SimParams};
+    let model = gpt3_175b().config;
+    let sys = perlmutter(4);
+    let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
+    let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+    let mut g = c.benchmark_group("trainsim");
+    g.bench_function("gpt175b_512gpu_iteration", |b| {
+        b.iter(|| simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_profile,
+    bench_placement,
+    bench_search,
+    bench_netsim,
+    bench_trainsim
+);
+
+fn main() {
+    // Regenerate every paper artifact first so `cargo bench` output is a
+    // complete reproduction record (written to the workspace-level out/
+    // as JSON + CSV; cargo runs benches with the package as cwd).
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../out");
+    for id in paperbench::ALL_IDS {
+        let t0 = std::time::Instant::now();
+        for art in paperbench::generate(id) {
+            println!("{}", art.render());
+            if let Err(e) = art.write(&out) {
+                eprintln!("warning: could not write {}: {e}", art.id);
+            }
+        }
+        println!("[{id}] regenerated in {:.2?}\n", t0.elapsed());
+    }
+
+    let mut c = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .configure_from_args();
+    bench_profile(&mut c);
+    bench_placement(&mut c);
+    bench_search(&mut c);
+    bench_netsim(&mut c);
+    bench_trainsim(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,50 @@
+//! Regenerates paper artifacts: `figures [all | <id>...] [--out DIR]`.
+//!
+//! Renders each artifact to stdout and writes `<id>.json` + `<id>.csv`
+//! into the output directory (default `out/`).
+
+use paperbench::{generate, ALL_IDS};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("out");
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        if pos < args.len() {
+            out_dir = PathBuf::from(args.remove(pos));
+        } else {
+            eprintln!("--out requires a directory argument");
+            std::process::exit(2);
+        }
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures [all | <id>...] [--out DIR]");
+        eprintln!("known ids: {}", ALL_IDS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        for art in generate(id) {
+            println!("{}", art.render());
+            if let Some(hm) = paperbench::common::grid_heatmap(&art) {
+                println!("{hm}");
+            }
+            match art.write(&out_dir) {
+                Ok((json, csv)) => {
+                    eprintln!("wrote {} and {}", json.display(), csv.display())
+                }
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", art.id);
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("[{id}] regenerated in {:.2?}\n", t0.elapsed());
+    }
+}

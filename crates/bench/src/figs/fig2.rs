@@ -1,0 +1,99 @@
+//! Fig. 2: GPT3-1T with 1D TP on 16384 B200, TP fixed at nt = 8,
+//! sweeping PP/DP on NVS domain sizes 8 and 64. Shows the dual-bandwidth
+//! non-convexity in DP communication and the optimum shifting from high
+//! PP (NVS8) to low PP (NVS64).
+
+use crate::common::{config_label, eval_row, EVAL_COLUMNS};
+use perfmodel::{best_placement_eval, ParallelConfig, TpStrategy};
+use report::Artifact;
+use systems::{system, GpuGeneration, NvsSize};
+use txmodel::gpt3_1t;
+
+/// np sweep used for both panels (configs A–H, high DP → high PP).
+const NP_SWEEP: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+fn panel(nvs: NvsSize, suffix: &str) -> Artifact {
+    let model = gpt3_1t().config;
+    let sys = system(GpuGeneration::B200, nvs);
+    let mut art = Artifact::new(
+        format!("fig2{suffix}"),
+        format!("Fig 2({suffix}): vary PP/DP at nt=8, bm=1, GPT3-1T 1D TP, 16384×{}", sys.name),
+        EVAL_COLUMNS,
+    );
+    for (i, np) in NP_SWEEP.into_iter().enumerate() {
+        if model.depth % np != 0 {
+            continue;
+        }
+        let nd = 16384 / 8 / np;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, np, nd, 1);
+        if cfg.validate(&model, 4096).is_err() {
+            continue;
+        }
+        let e = best_placement_eval(&model, &cfg, 4096, &sys);
+        art.push(eval_row(&config_label(i), &e));
+    }
+    art
+}
+
+/// Generates both panels: (a) NVS8, (b) NVS64.
+pub fn generate() -> Vec<Artifact> {
+    vec![panel(NvsSize::Nvs8, "a"), panel(NvsSize::Nvs64, "b")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feasible_min_np(art: &Artifact) -> u64 {
+        art.rows
+            .iter()
+            .filter(|r| r[8].as_bool().unwrap())
+            .min_by(|a, b| a[9].as_f64().unwrap().total_cmp(&b[9].as_f64().unwrap()))
+            .unwrap()[3]
+            .as_u64()
+            .unwrap()
+    }
+
+    #[test]
+    fn nvs8_optimum_is_high_pp() {
+        // Paper: local minimum at np = 64 on NVS8.
+        let arts = generate();
+        let np = feasible_min_np(&arts[0]);
+        assert!((32..=128).contains(&np), "NVS8 best np = {np}");
+    }
+
+    #[test]
+    fn nvs64_optimum_shifts_to_low_pp() {
+        // Paper: with NVS64 the minimum shifts to small np (DP-heavy).
+        let arts = generate();
+        let np8 = feasible_min_np(&arts[0]);
+        let np64 = feasible_min_np(&arts[1]);
+        assert!(np64 < np8, "NVS64 best np {np64} should be below NVS8 best {np8}");
+        assert!(np64 <= 16, "NVS64 best np = {np64}");
+    }
+
+    #[test]
+    fn lowest_pp_is_fastest_but_infeasible_on_nvs64() {
+        // Paper: "while np = 1 is fastest, it is infeasible on a B200
+        // due to high HBM capacity required".
+        let arts = generate();
+        let low_pp: Vec<_> =
+            arts[1].rows.iter().filter(|r| r[3].as_u64().unwrap() <= 2).collect();
+        assert!(low_pp.iter().all(|r| !r[8].as_bool().unwrap()), "np≤2 should overflow HBM");
+        let t_low = low_pp.iter().map(|r| r[9].as_f64().unwrap()).fold(f64::MAX, f64::min);
+        let t_rest = arts[1]
+            .rows
+            .iter()
+            .filter(|r| r[3].as_u64().unwrap() > 2)
+            .map(|r| r[9].as_f64().unwrap())
+            .fold(f64::MAX, f64::min);
+        assert!(t_low < t_rest, "low PP should be fastest ignoring memory");
+    }
+
+    #[test]
+    fn both_panels_have_eight_configs() {
+        for a in generate() {
+            assert_eq!(a.rows.len(), 8, "{}", a.id);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig. 3: GPT3-1T with 2D TP SUMMA on 16384 B200, sweeping the n1/n2
+//! split in a high-DP regime ((nt, np) = (32, 1), bm = 8) and a high-PP
+//! regime ((nt, np) = (8, 128), bm = 1), on NVS 8 and 64.
+//!
+//! Paper finding: on NVS8 the fastest feasible configuration is pure-1D
+//! (n2 = 1) with high PP; on NVS64 the high-DP configurations win.
+
+use crate::common::{config_label, eval_row, EVAL_COLUMNS};
+use perfmodel::{best_placement_eval, Evaluation, ParallelConfig, TpStrategy};
+use report::Artifact;
+use systems::{system, GpuGeneration, NvsSize, SystemSpec};
+use txmodel::gpt3_1t;
+
+/// High-DP split candidates for nt = 32.
+const HIGH_DP_GRIDS: [(u64, u64); 5] = [(32, 1), (16, 2), (8, 4), (4, 8), (2, 16)];
+/// High-PP split candidates for nt = 8.
+const HIGH_PP_GRIDS: [(u64, u64); 4] = [(8, 1), (4, 2), (2, 4), (1, 8)];
+
+/// Evaluates a SUMMA config at its best panel count.
+fn best_nb_eval(
+    model: &txmodel::TransformerConfig,
+    sys: &SystemSpec,
+    n1: u64,
+    n2: u64,
+    np: u64,
+    nd: u64,
+    bm: u64,
+) -> Option<Evaluation> {
+    [1u64, 2, 4, 8, 16]
+        .into_iter()
+        .filter_map(|nb| {
+            let mut cfg = ParallelConfig::new(TpStrategy::Summa, n1, n2, np, nd, bm);
+            cfg.summa_panels = nb;
+            cfg.validate(model, 4096).ok()?;
+            Some(best_placement_eval(model, &cfg, 4096, sys))
+        })
+        .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
+}
+
+fn panel(nvs: NvsSize, suffix: &str) -> Artifact {
+    let model = gpt3_1t().config;
+    let sys = system(GpuGeneration::B200, nvs);
+    let mut art = Artifact::new(
+        format!("fig3{suffix}"),
+        format!("Fig 3({suffix}): SUMMA n1/n2 sweep, GPT3-1T, 16384×{}", sys.name),
+        EVAL_COLUMNS,
+    );
+    let mut i = 0;
+    for (n1, n2) in HIGH_DP_GRIDS {
+        if let Some(e) = best_nb_eval(&model, &sys, n1, n2, 1, 512, 8) {
+            art.push(eval_row(&config_label(i), &e));
+        }
+        i += 1;
+    }
+    for (n1, n2) in HIGH_PP_GRIDS {
+        if let Some(e) = best_nb_eval(&model, &sys, n1, n2, 128, 16, 1) {
+            art.push(eval_row(&config_label(i), &e));
+        }
+        i += 1;
+    }
+    art
+}
+
+/// Generates both panels: (a) NVS8, (b) NVS64.
+pub fn generate() -> Vec<Artifact> {
+    vec![panel(NvsSize::Nvs8, "a"), panel(NvsSize::Nvs64, "b")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn best_feasible(art: &Artifact) -> &Vec<serde_json::Value> {
+        art.rows
+            .iter()
+            .filter(|r| r[8].as_bool().unwrap())
+            .min_by(|a, b| a[9].as_f64().unwrap().total_cmp(&b[9].as_f64().unwrap()))
+            .expect("some feasible config")
+    }
+
+    #[test]
+    fn nvs8_prefers_pure_1d_high_pp() {
+        // Paper Fig 3a: (n1, n2, np) = (8, 1, 128) fastest.
+        let arts = generate();
+        let best = best_feasible(&arts[0]);
+        assert_eq!(best[2].as_u64().unwrap(), 1, "n2 should be 1 on NVS8");
+        assert_eq!(best[3].as_u64().unwrap(), 128, "np should be 128 on NVS8");
+    }
+
+    #[test]
+    fn nvs64_prefers_high_dp_modulo_memory() {
+        // Paper Fig 3b: on NVS64 the fastest configuration is the high-DP
+        // (8, 4, np=1) split. Our stricter activation accounting marks
+        // that point HBM-infeasible (documented in EXPERIMENTS.md), so we
+        // assert the paper's *time* ordering: ignoring feasibility, an
+        // np = 1, n2 > 1 split is fastest, and the NVS64 domain improves
+        // the high-DP side far more than the high-PP side.
+        let arts = generate();
+        let raw_best = arts[1]
+            .rows
+            .iter()
+            .min_by(|a, b| a[9].as_f64().unwrap().total_cmp(&b[9].as_f64().unwrap()))
+            .unwrap();
+        assert_eq!(raw_best[3].as_u64().unwrap(), 1, "np should be 1");
+        assert!(raw_best[2].as_u64().unwrap() > 1, "n2 should be > 1");
+        let t = |art: &Artifact, label: &str| {
+            art.rows
+                .iter()
+                .find(|r| r[0].as_str() == Some(label))
+                .unwrap()[9]
+                .as_f64()
+                .unwrap()
+        };
+        // Config C = (8, 4, np=1): NVS64 speeds it up substantially.
+        let c_gain = t(&arts[0], "C") / t(&arts[1], "C");
+        let f_gain = t(&arts[0], "F") / t(&arts[1], "F");
+        assert!(c_gain > f_gain, "high-DP gain {c_gain:.2} vs high-PP gain {f_gain:.2}");
+    }
+
+    #[test]
+    fn high_dp_rows_have_single_microbatch() {
+        let arts = generate();
+        for r in arts[0].rows.iter().filter(|r| r[3].as_u64().unwrap() == 1) {
+            assert_eq!(r[6].as_u64().unwrap(), 1); // m = 1
+            assert_eq!(r[5].as_u64().unwrap(), 8); // bm = 8
+        }
+    }
+}

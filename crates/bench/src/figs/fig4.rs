@@ -1,0 +1,122 @@
+//! Fig. 4: optimal configuration and time breakdown vs GPU count on
+//! B200-NVS8: (a) GPT3-1T with 1D TP, (b) the 64K ViT with 2D TP.
+//! Each scale runs the full S3 search independently.
+
+use crate::common::{eval_row, pow2_range, EVAL_COLUMNS};
+use perfmodel::{optimize, SearchOptions, TpStrategy};
+use report::Artifact;
+use serde_json::json;
+use systems::{system, GpuGeneration, NvsSize};
+use txmodel::{gpt3_1t, vit_64k, TransformerConfig};
+
+fn scaling(
+    id: &str,
+    title: &str,
+    model: &TransformerConfig,
+    strategy: TpStrategy,
+    scales: &[u64],
+) -> Artifact {
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let mut art = Artifact::new(id, title, EVAL_COLUMNS);
+    for &n in scales {
+        match optimize(model, &sys, &SearchOptions::new(n, 4096, strategy)) {
+            Some(e) => art.push(eval_row(&n.to_string(), &e)),
+            None => {
+                let mut row = vec![json!(n.to_string())];
+                row.extend(std::iter::repeat(serde_json::Value::Null).take(EVAL_COLUMNS.len() - 1));
+                art.push(row);
+            }
+        }
+    }
+    art
+}
+
+/// Fig. 4a: GPT3-1T, 1D TP, n ∈ 128…16384.
+pub fn generate_4a() -> Artifact {
+    scaling(
+        "fig4a",
+        "Fig 4a: optimal 1D TP config vs #GPUs, GPT3-1T, B200 NVS8",
+        &gpt3_1t().config,
+        TpStrategy::OneD,
+        &pow2_range(128, 16384),
+    )
+}
+
+/// Fig. 4b: ViT-64K, 2D TP, n ∈ 32…16384.
+pub fn generate_4b() -> Artifact {
+    scaling(
+        "fig4b",
+        "Fig 4b: optimal 2D TP config vs #GPUs, ViT-64K, B200 NVS8",
+        &vit_64k().config,
+        TpStrategy::TwoD,
+        &pow2_range(32, 16384),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_strong_scaling_is_monotone() {
+        let art = generate_4a();
+        let times: Vec<f64> =
+            art.rows.iter().filter_map(|r| r[9].as_f64()).collect();
+        assert!(times.len() >= 7, "most scales should be feasible");
+        for w in times.windows(2) {
+            assert!(w[1] < w[0], "{times:?}");
+        }
+    }
+
+    #[test]
+    fn gpt_compute_share_falls_at_scale() {
+        // Paper: bubbles and communication slowly get exposed at scale.
+        let art = generate_4a();
+        let shares: Vec<f64> =
+            art.rows.iter().filter_map(|r| r[10].as_f64()).collect();
+        let mid = shares[shares.len() / 2];
+        let last = *shares.last().unwrap();
+        assert!(last < mid, "compute share should fall at 16K: {shares:?}");
+    }
+
+    #[test]
+    fn gpt_memory_drops_at_scale() {
+        // Paper Q2(iii): HBM utilization is high only at small-to-
+        // moderate scales.
+        let art = generate_4a();
+        let mem: Vec<f64> = art.rows.iter().filter_map(|r| r[7].as_f64()).collect();
+        assert!(mem.first().unwrap() > &100.0);
+        assert!(mem.last().unwrap() < &100.0);
+    }
+
+    #[test]
+    fn vit_always_uses_both_tp_dimensions() {
+        // Paper Q2(iv): 2D TP with n1·n2 ≥ 16 dominates at every scale.
+        let art = generate_4b();
+        for r in art.rows.iter().filter(|r| !r[1].is_null()) {
+            let n1 = r[1].as_u64().unwrap();
+            let n2 = r[2].as_u64().unwrap();
+            assert!(n1 >= 2 && n2 >= 2, "n1={n1} n2={n2}");
+            assert!(n1 * n2 >= 16);
+        }
+    }
+
+    #[test]
+    fn vit_memory_stays_high() {
+        // Paper: "HBM capacity is also highly utilized" for the ViT.
+        let art = generate_4b();
+        let mem: Vec<f64> = art.rows.iter().filter_map(|r| r[7].as_f64()).collect();
+        assert!(!mem.is_empty());
+        for m in &mem {
+            assert!(*m > 100.0, "{mem:?}");
+        }
+    }
+
+    #[test]
+    fn vit_low_pp_throughout() {
+        let art = generate_4b();
+        for r in art.rows.iter().filter(|r| !r[3].is_null()) {
+            assert!(r[3].as_u64().unwrap() <= 16, "ViT PP should stay small");
+        }
+    }
+}

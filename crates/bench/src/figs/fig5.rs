@@ -1,0 +1,137 @@
+//! Fig. 5: full-run training time (days) vs GPU count for all nine
+//! systems (A100/H200/B200 × NVS4/8/64): (a) GPT3-1T pre-training on 1T
+//! tokens with 1D TP, (b) ViT-64K on 80 epochs of 40-year ERA5 with 2D TP.
+
+use crate::common::pow2_range;
+use perfmodel::{optimize, training_days, SearchOptions, TpStrategy};
+use report::{num, Artifact};
+use serde_json::json;
+use systems::{system, ALL_GENERATIONS, ALL_NVS_SIZES};
+use txmodel::{gpt3_1t, vit_64k, TrainingWorkload, TransformerConfig};
+
+fn days_sweep(
+    id: &str,
+    title: &str,
+    model: &TransformerConfig,
+    strategy: TpStrategy,
+    workload: &TrainingWorkload,
+    scales: &[u64],
+) -> Artifact {
+    let mut art = Artifact::new(
+        id,
+        title,
+        ["system", "gpus", "days", "iteration_s", "config"],
+    );
+    for gen in ALL_GENERATIONS {
+        for nvs in ALL_NVS_SIZES {
+            let sys = system(gen, nvs);
+            for &n in scales {
+                let row = optimize(model, &sys, &SearchOptions::new(n, 4096, strategy));
+                match row {
+                    Some(e) => art.push(vec![
+                        json!(sys.name.clone()),
+                        json!(n),
+                        num(training_days(workload, &e)),
+                        num(e.iteration_time),
+                        json!(format!("{}", e.config)),
+                    ]),
+                    None => art.push(vec![
+                        json!(sys.name.clone()),
+                        json!(n),
+                        serde_json::Value::Null,
+                        serde_json::Value::Null,
+                        json!("infeasible"),
+                    ]),
+                }
+            }
+        }
+    }
+    art
+}
+
+/// Fig. 5a: GPT3-1T days-to-train across systems and scales.
+pub fn generate_5a() -> Artifact {
+    days_sweep(
+        "fig5a",
+        "Fig 5a: GPT3-1T (1D TP) training days on 1T tokens vs #GPUs, 9 systems",
+        &gpt3_1t().config,
+        TpStrategy::OneD,
+        &TrainingWorkload::gpt3_1t_pretraining(),
+        &pow2_range(128, 16384),
+    )
+}
+
+/// Fig. 5b: ViT-64K days-to-train across systems and scales.
+pub fn generate_5b() -> Artifact {
+    days_sweep(
+        "fig5b",
+        "Fig 5b: ViT-64K (2D TP) training days on 80×ERA5-40y vs #GPUs, 9 systems",
+        &vit_64k().config,
+        TpStrategy::TwoD,
+        &TrainingWorkload::vit_era5_training(),
+        &pow2_range(32, 16384),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn days(art: &Artifact, system: &str, n: u64) -> Option<f64> {
+        art.rows
+            .iter()
+            .find(|r| r[0].as_str() == Some(system) && r[1].as_u64() == Some(n))
+            .and_then(|r| r[2].as_f64())
+    }
+
+    #[test]
+    fn gpt_generation_speedups() {
+        // Paper: O(30) days on 16K A100 dropping to O(3–5) on B200.
+        let art = generate_5a();
+        let a100 = days(&art, "A100-NVS8", 16384).expect("A100 16K feasible");
+        let b200 = days(&art, "B200-NVS8", 16384).expect("B200 16K feasible");
+        assert!(a100 > 15.0 && a100 < 60.0, "A100 {a100}");
+        assert!(b200 > 2.0 && b200 < 8.0, "B200 {b200}");
+        assert!(a100 / b200 > 4.0, "generation speedup {}", a100 / b200);
+    }
+
+    #[test]
+    fn gpt_nvs_effect_grows_at_scale() {
+        // Paper: NVS effects show at the largest scales for GPT3-1T.
+        let art = generate_5a();
+        let ratio_at = |n: u64| {
+            let s8 = days(&art, "B200-NVS8", n).unwrap();
+            let s64 = days(&art, "B200-NVS64", n).unwrap();
+            s8 / s64
+        };
+        assert!(ratio_at(16384) >= ratio_at(2048) * 0.99, "NVS effect should not shrink at scale");
+        assert!(ratio_at(16384) >= 1.0);
+    }
+
+    #[test]
+    fn vit_nvs_effect_is_uniform_and_real() {
+        // Paper: NVS domain size effects are seen throughout for the ViT.
+        let art = generate_5b();
+        let mut counted = 0;
+        for n in [512u64, 2048, 8192] {
+            let (Some(s4), Some(s64)) =
+                (days(&art, "B200-NVS4", n), days(&art, "B200-NVS64", n))
+            else {
+                continue;
+            };
+            assert!(s4 >= s64, "NVS64 never slower (n={n})");
+            if s4 / s64 > 1.05 {
+                counted += 1;
+            }
+        }
+        assert!(counted >= 2, "NVS effect should be visible at most scales");
+    }
+
+    #[test]
+    fn vit_days_in_paper_range_at_16k() {
+        // Paper Fig A6b scale: roughly 1.5–3 days on 8–16K B200.
+        let art = generate_5b();
+        let d = days(&art, "B200-NVS8", 16384).expect("feasible");
+        assert!(d > 0.3 && d < 6.0, "got {d}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. A1: AllGather time vs communication volume on 32 Perlmutter-class
+//! A100 GPUs — analytic formula ("Theoretical") vs the netsim
+//! discrete-event simulation ("Empirical" substitute), for 2 and 4 GPUs
+//! per node (NVL2 / NVL4).
+
+use collectives::{collective_time, Collective, CommGroup};
+use netsim::{simulate_collective, SimOptions};
+use report::{num, Artifact};
+use serde_json::json;
+use systems::perlmutter;
+
+/// Volumes swept, bytes (the paper spans ~1 MB to ~10 GB, log-spaced).
+fn volumes() -> Vec<f64> {
+    (0..14).map(|i| 1e6 * 2f64.powi(i)).collect()
+}
+
+/// Generates the comparison rows for NVL ∈ {2, 4}.
+pub fn generate() -> Artifact {
+    let mut art = Artifact::new(
+        "figa1",
+        "Fig A1: AG time vs volume on 32 A100 (Perlmutter-like), analytic vs DES",
+        ["nvl", "volume_mb", "theoretical_s", "empirical_s", "rel_err"],
+    );
+    for nvl in [2u64, 4] {
+        let sys = perlmutter(nvl);
+        let group = CommGroup::new(32, nvl);
+        for v in volumes() {
+            let theo = collective_time(Collective::AllGather, v, group, &sys);
+            let sim =
+                simulate_collective(Collective::AllGather, v, group, &sys, &SimOptions::default())
+                    .time;
+            art.push(vec![
+                json!(nvl),
+                num(v / 1e6),
+                num(theo),
+                num(sim),
+                num((sim - theo).abs() / theo),
+            ]);
+        }
+    }
+    art
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_is_good_at_bandwidth_regime() {
+        let art = generate();
+        for r in &art.rows {
+            let v = r[1].as_f64().unwrap();
+            let err = r[4].as_f64().unwrap();
+            if v >= 64.0 {
+                assert!(err < 0.15, "vol {v} MB: err {err}");
+            } else {
+                assert!(err < 0.45, "vol {v} MB: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn nvl4_is_faster_than_nvl2_everywhere_large() {
+        let art = generate();
+        let sim = |nvl: u64, vmb: f64| {
+            art.rows
+                .iter()
+                .find(|r| r[0].as_u64() == Some(nvl) && r[1].as_f64() == Some(vmb))
+                .unwrap()[3]
+                .as_f64()
+                .unwrap()
+        };
+        for vmb in [128.0, 1024.0, 8192.0] {
+            assert!(sim(4, vmb) < sim(2, vmb), "at {vmb} MB");
+        }
+    }
+
+    #[test]
+    fn covers_both_nvl_settings_across_four_decades() {
+        let art = generate();
+        assert_eq!(art.rows.len(), 28);
+    }
+}

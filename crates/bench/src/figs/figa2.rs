@@ -1,0 +1,126 @@
+//! Fig. A2: plain 2D TP n1/n2 sweeps on 16384 B200 NVS64:
+//! (a) GPT3-1T — high-DP (nt=32, np=1) vs high-PP (nt=8, np=128) splits;
+//! (b) ViT-64K — nt=16 with np=1 then np=16.
+//!
+//! Paper finding: 2D TP behaves like SUMMA but with far higher memory in
+//! the low-PP configurations (replicated weights/activations), so the
+//! high-PP side is chosen for GPT3-1T; the ViT's memory is sensitive to
+//! the n1/n2 balance.
+
+use crate::common::{config_label, eval_row, EVAL_COLUMNS};
+use perfmodel::{best_placement_eval, ParallelConfig, TpStrategy};
+use report::Artifact;
+use systems::{system, GpuGeneration, NvsSize};
+use txmodel::{gpt3_1t, vit_64k};
+
+fn sweep(
+    id: &str,
+    title: &str,
+    model: &txmodel::TransformerConfig,
+    parts: &[(u64, u64, u64, u64, u64)], // (n1, n2, np, nd, bm)
+) -> Artifact {
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs64);
+    let mut art = Artifact::new(id, title, EVAL_COLUMNS);
+    for (i, &(n1, n2, np, nd, bm)) in parts.iter().enumerate() {
+        let cfg = ParallelConfig::new(TpStrategy::TwoD, n1, n2, np, nd, bm);
+        if cfg.validate(model, 4096).is_err() {
+            continue;
+        }
+        let e = best_placement_eval(model, &cfg, 4096, &sys);
+        art.push(eval_row(&config_label(i), &e));
+    }
+    art
+}
+
+/// Generates panels (a) GPT3-1T and (b) ViT-64K.
+pub fn generate() -> Vec<Artifact> {
+    let a = sweep(
+        "figa2a",
+        "Fig A2a: 2D TP n1/n2 sweep, GPT3-1T, 16384×B200 NVS64",
+        &gpt3_1t().config,
+        &[
+            // High-DP side: nt=32, np=1, nd=512, bm=8 (m=1).
+            (32, 1, 1, 512, 8),
+            (16, 2, 1, 512, 8),
+            (8, 4, 1, 512, 8),
+            (4, 8, 1, 512, 8),
+            (2, 16, 1, 512, 8),
+            // High-PP side: nt=8, np=128, nd=16, bm=1 (m=256).
+            (8, 1, 128, 16, 1),
+            (4, 2, 128, 16, 1),
+            (2, 4, 128, 16, 1),
+            (1, 8, 128, 16, 1),
+        ],
+    );
+    let b = sweep(
+        "figa2b",
+        "Fig A2b: 2D TP n1/n2 sweep, ViT-64K, 16384×B200 NVS64",
+        &vit_64k().config,
+        &[
+            // nt = 16, np = 1, nd = 1024, bm = 1 (m = 4).
+            (16, 1, 1, 1024, 1),
+            (8, 2, 1, 1024, 1),
+            (4, 4, 1, 1024, 1),
+            (2, 8, 1, 1024, 1),
+            (1, 16, 1, 1024, 1),
+            // nt = 16, np = 16, nd = 64, bm = 1 (m = 64).
+            (16, 1, 16, 64, 1),
+            (8, 2, 16, 64, 1),
+            (4, 4, 16, 64, 1),
+            (2, 8, 16, 64, 1),
+            (1, 16, 16, 64, 1),
+        ],
+    );
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_low_pp_rows_use_lots_of_memory() {
+        // Paper: 2D TP low-PP configs "take up a lot of memory" due to
+        // shared weights/activations — most should overflow the B200.
+        let arts = generate();
+        let low_pp_infeasible = arts[0]
+            .rows
+            .iter()
+            .filter(|r| r[3].as_u64() == Some(1) && !r[8].as_bool().unwrap())
+            .count();
+        assert!(low_pp_infeasible >= 3, "got {low_pp_infeasible}");
+    }
+
+    #[test]
+    fn gpt_feasible_optimum_is_high_pp() {
+        let arts = generate();
+        let best = arts[0]
+            .rows
+            .iter()
+            .filter(|r| r[8].as_bool().unwrap())
+            .min_by(|a, b| a[9].as_f64().unwrap().total_cmp(&b[9].as_f64().unwrap()))
+            .unwrap();
+        assert_eq!(best[3].as_u64().unwrap(), 128);
+    }
+
+    #[test]
+    fn vit_memory_sensitive_to_grid_balance() {
+        // Paper: "memory used is sensitive to the choice of n1, n2".
+        let arts = generate();
+        let mems: Vec<f64> = arts[1]
+            .rows
+            .iter()
+            .filter(|r| r[3].as_u64() == Some(1))
+            .map(|r| r[7].as_f64().unwrap())
+            .collect();
+        let max = mems.iter().cloned().fold(0.0, f64::max);
+        let min = mems.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 1.3, "memory spread too small: {mems:?}");
+    }
+
+    #[test]
+    fn vit_has_feasible_configs() {
+        let arts = generate();
+        assert!(arts[1].rows.iter().any(|r| r[8].as_bool().unwrap()));
+    }
+}

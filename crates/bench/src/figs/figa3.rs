@@ -1,0 +1,85 @@
+//! Fig. A3: optimal-configuration scaling on the large NVS64 domain,
+//! B200: (a) GPT3-1T with 1D TP (reduced PP at scale vs NVS8), (b)
+//! GPT3-1T with 2D TP SUMMA (mostly-1D splits chosen).
+
+use crate::common::{eval_row, pow2_range, EVAL_COLUMNS};
+use perfmodel::{optimize, SearchOptions, TpStrategy};
+use report::Artifact;
+use serde_json::json;
+use systems::{system, GpuGeneration, NvsSize};
+use txmodel::gpt3_1t;
+
+fn scaling(id: &str, title: &str, strategy: TpStrategy) -> Artifact {
+    let model = gpt3_1t().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs64);
+    let mut art = Artifact::new(id, title, EVAL_COLUMNS);
+    for n in pow2_range(128, 16384) {
+        match optimize(&model, &sys, &SearchOptions::new(n, 4096, strategy)) {
+            Some(e) => art.push(eval_row(&n.to_string(), &e)),
+            None => {
+                let mut row = vec![json!(n.to_string())];
+                row.extend(std::iter::repeat(serde_json::Value::Null).take(EVAL_COLUMNS.len() - 1));
+                art.push(row);
+            }
+        }
+    }
+    art
+}
+
+/// Generates panels (a) 1D TP and (b) SUMMA on NVS64.
+pub fn generate() -> Vec<Artifact> {
+    vec![
+        scaling("figa3a", "Fig A3a: optimal 1D TP vs #GPUs, GPT3-1T, B200 NVS64", TpStrategy::OneD),
+        scaling(
+            "figa3b",
+            "Fig A3b: optimal 2D TP SUMMA vs #GPUs, GPT3-1T, B200 NVS64",
+            TpStrategy::Summa,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figs::fig4::generate_4a;
+
+    #[test]
+    fn nvs64_reduces_pp_at_scale_relative_to_nvs8() {
+        // Paper: "1D TP on larger NVS domain shows reduced PP at scale".
+        let a3 = generate()[0].clone();
+        let f4 = generate_4a();
+        let np_of = |art: &Artifact, n: &str| {
+            art.rows
+                .iter()
+                .find(|r| r[0].as_str() == Some(n))
+                .and_then(|r| r[3].as_u64())
+        };
+        let (Some(np64), Some(np8)) = (np_of(&a3, "16384"), np_of(&f4, "16384")) else {
+            panic!("16384 must be feasible in both");
+        };
+        assert!(np64 <= np8, "NVS64 np {np64} should be ≤ NVS8 np {np8}");
+    }
+
+    #[test]
+    fn summa_mostly_chooses_1d_splits() {
+        // Paper: "the model effectively chooses 1D TP at most scales".
+        let arts = generate();
+        let rows: Vec<_> = arts[1].rows.iter().filter(|r| !r[2].is_null()).collect();
+        let oned = rows.iter().filter(|r| r[2].as_u64() == Some(1)).count();
+        assert!(
+            oned * 2 >= rows.len(),
+            "expected n2=1 in at least half the scales ({oned}/{})",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn times_scale_down_monotonically() {
+        for art in generate() {
+            let times: Vec<f64> = art.rows.iter().filter_map(|r| r[9].as_f64()).collect();
+            for w in times.windows(2) {
+                assert!(w[1] < w[0], "{}: {times:?}", art.id);
+            }
+        }
+    }
+}

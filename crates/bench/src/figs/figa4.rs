@@ -1,0 +1,109 @@
+//! Fig. A4: relative speedup of the two 2D TP variants over 1D TP for
+//! GPT3-1T across all nine systems and every scale.
+//!
+//! Paper finding: SUMMA helps most in resource-constrained regimes
+//! (small scale, A100 capacity, small NVS); plain 2D TP helps more at
+//! large scale; speedups shrink with newer GPUs and bigger NVS domains.
+
+use crate::common::pow2_range;
+use perfmodel::{optimize, SearchOptions, TpStrategy};
+use rayon::prelude::*;
+use report::{num, Artifact};
+use serde_json::json;
+use systems::{system, SystemSpec, ALL_GENERATIONS, ALL_NVS_SIZES};
+use txmodel::gpt3_1t;
+
+/// One (system, n) cell of both panels.
+fn cell(sys: &SystemSpec, n: u64) -> Option<(f64, f64, f64)> {
+    let model = gpt3_1t().config;
+    let t = |s: TpStrategy| {
+        optimize(&model, sys, &SearchOptions::new(n, 4096, s)).map(|e| e.iteration_time)
+    };
+    Some((t(TpStrategy::OneD)?, t(TpStrategy::TwoD)?, t(TpStrategy::Summa)?))
+}
+
+/// Generates panels (a) SUMMA/1D and (b) 2D/1D as one artifact each.
+pub fn generate() -> Vec<Artifact> {
+    let mut grid: Vec<(String, u64, Option<(f64, f64, f64)>)> = Vec::new();
+    let mut jobs = Vec::new();
+    for gen in ALL_GENERATIONS {
+        for nvs in ALL_NVS_SIZES {
+            let sys = system(gen, nvs);
+            for n in pow2_range(128, 16384) {
+                jobs.push((sys.clone(), n));
+            }
+        }
+    }
+    grid.par_extend(
+        jobs.par_iter().map(|(sys, n)| (sys.name.clone(), *n, cell(sys, *n))),
+    );
+
+    let mut a = Artifact::new(
+        "figa4a",
+        "Fig A4a: SUMMA speedup over 1D TP, GPT3-1T, 9 systems",
+        ["system", "gpus", "speedup"],
+    );
+    let mut b = Artifact::new(
+        "figa4b",
+        "Fig A4b: 2D TP speedup over 1D TP, GPT3-1T, 9 systems",
+        ["system", "gpus", "speedup"],
+    );
+    for (name, n, v) in grid {
+        match v {
+            Some((t1, t2, ts)) => {
+                a.push(vec![json!(name.clone()), json!(n), num(t1 / ts)]);
+                b.push(vec![json!(name), json!(n), num(t1 / t2)]);
+            }
+            None => {
+                a.push(vec![json!(name.clone()), json!(n), serde_json::Value::Null]);
+                b.push(vec![json!(name), json!(n), serde_json::Value::Null]);
+            }
+        }
+    }
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speedup(art: &Artifact, sys: &str, n: u64) -> Option<f64> {
+        art.rows
+            .iter()
+            .find(|r| r[0].as_str() == Some(sys) && r[1].as_u64() == Some(n))
+            .and_then(|r| r[2].as_f64())
+    }
+
+    #[test]
+    fn summa_shines_in_constrained_regimes() {
+        let arts = generate();
+        let constrained = speedup(&arts[0], "A100-NVS4", 4096).expect("feasible");
+        let comfortable = speedup(&arts[0], "B200-NVS64", 4096).expect("feasible");
+        assert!(constrained > 1.0, "A100-NVS4 SUMMA speedup {constrained}");
+        assert!(
+            constrained > comfortable,
+            "constrained {constrained} vs comfortable {comfortable}"
+        );
+    }
+
+    #[test]
+    fn twod_helps_at_large_scale() {
+        let arts = generate();
+        let small = speedup(&arts[1], "B200-NVS8", 512).unwrap();
+        let large = speedup(&arts[1], "B200-NVS8", 16384).unwrap();
+        assert!(large >= small, "2D speedup should grow with scale: {small} → {large}");
+        assert!(large > 1.05);
+    }
+
+    #[test]
+    fn twod_never_slower_than_1d() {
+        // 1D is a strict subspace of the 2D search (n2 = 1), so the 2D
+        // optimum can never lose.
+        let arts = generate();
+        for r in &arts[1].rows {
+            if let Some(s) = r[2].as_f64() {
+                assert!(s >= 0.999, "{r:?}");
+            }
+        }
+    }
+}

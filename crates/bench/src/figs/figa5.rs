@@ -1,0 +1,128 @@
+//! Fig. A5: co-design sweep — training days on 8192 GPUs as a function of
+//! tensor-core rate (y) and coupled HBM capacity+bandwidth (x), with the
+//! B200 network held fixed (NVS8): (a) GPT3-1T 1D TP, (b) ViT-64K 2D TP.
+//!
+//! Paper finding: FLOP rate is the primary axis for GPT3-1T (near-vertical
+//! contours); the ViT is additionally sensitive to capacity/bandwidth.
+
+use perfmodel::{optimize, training_days, SearchOptions, TpStrategy};
+use rayon::prelude::*;
+use report::{num, Artifact};
+use systems::{GpuGeneration, NvsSize, SystemBuilder};
+use txmodel::{gpt3_1t, vit_64k, TrainingWorkload, TransformerConfig};
+
+/// x-axis: coupled (capacity GB, bandwidth TB/s) pairs, A100 → beyond-B200.
+const MEM_POINTS: [(f64, f64); 6] =
+    [(80.0, 1.555), (120.0, 3.0), (160.0, 5.0), (200.0, 8.0), (280.0, 12.0), (350.0, 16.0)];
+
+/// y-axis: tensor-core TFLOPs/s.
+const FLOP_POINTS: [f64; 6] = [500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3500.0];
+
+fn grid(
+    id: &str,
+    title: &str,
+    model: &TransformerConfig,
+    strategy: TpStrategy,
+    workload: &TrainingWorkload,
+) -> Artifact {
+    let mut art = Artifact::new(
+        id,
+        title,
+        ["tensor_tflops", "hbm_cap_gb", "hbm_bw_tbs", "days"],
+    );
+    let mut points = Vec::new();
+    for &tf in &FLOP_POINTS {
+        for &(cap, bw) in &MEM_POINTS {
+            points.push((tf, cap, bw));
+        }
+    }
+    let rows: Vec<_> = points
+        .par_iter()
+        .map(|&(tf, cap, bw)| {
+            let sys = SystemBuilder::from_catalog(GpuGeneration::B200, NvsSize::Nvs8)
+                .tensor_flops(tf * 1e12)
+                .hbm_capacity(cap * 1e9)
+                .hbm_bandwidth(bw * 1e12)
+                .name(format!("codesign-{tf}-{cap}"))
+                .build();
+            let days = optimize(model, &sys, &SearchOptions::new(8192, 4096, strategy))
+                .map(|e| training_days(workload, &e));
+            (tf, cap, bw, days)
+        })
+        .collect();
+    for (tf, cap, bw, days) in rows {
+        art.push(vec![
+            num(tf),
+            num(cap),
+            num(bw),
+            days.map(num).unwrap_or(serde_json::Value::Null),
+        ]);
+    }
+    art
+}
+
+/// Generates panels (a) GPT3-1T and (b) ViT-64K.
+pub fn generate() -> Vec<Artifact> {
+    vec![
+        grid(
+            "figa5a",
+            "Fig A5a: GPT3-1T days on 8192 GPUs vs FLOP rate × HBM cap+bw (B200 net)",
+            &gpt3_1t().config,
+            TpStrategy::OneD,
+            &TrainingWorkload::gpt3_1t_pretraining(),
+        ),
+        grid(
+            "figa5b",
+            "Fig A5b: ViT-64K days on 8192 GPUs vs FLOP rate × HBM cap+bw (B200 net)",
+            &vit_64k().config,
+            TpStrategy::TwoD,
+            &TrainingWorkload::vit_era5_training(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn days(art: &Artifact, tf: f64, cap: f64) -> Option<f64> {
+        art.rows
+            .iter()
+            .find(|r| r[0].as_f64() == Some(tf) && r[1].as_f64() == Some(cap))
+            .and_then(|r| r[3].as_f64())
+    }
+
+    #[test]
+    fn flop_rate_dominates_gpt() {
+        let arts = generate();
+        let a = &arts[0];
+        // Moving up the FLOP axis at fixed memory: large effect.
+        let slow = days(a, 500.0, 200.0).unwrap();
+        let fast = days(a, 3500.0, 200.0).unwrap();
+        assert!(slow / fast > 2.5, "FLOP effect {} → {}", slow, fast);
+        // Moving along the memory axis at fixed (high) FLOPs: small effect.
+        let lo_mem = days(a, 2500.0, 120.0).unwrap();
+        let hi_mem = days(a, 2500.0, 350.0).unwrap();
+        assert!(lo_mem / hi_mem < 1.6, "memory effect {} → {}", lo_mem, hi_mem);
+    }
+
+    #[test]
+    fn vit_more_sensitive_to_memory_than_gpt() {
+        let arts = generate();
+        let ratio = |art: &Artifact| {
+            let lo = days(art, 2500.0, 120.0).unwrap();
+            let hi = days(art, 2500.0, 350.0).unwrap();
+            lo / hi
+        };
+        let g = ratio(&arts[0]);
+        let v = ratio(&arts[1]);
+        assert!(v > g, "ViT memory sensitivity {v} should exceed GPT's {g}");
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        for art in generate() {
+            assert_eq!(art.rows.len(), 36, "{}", art.id);
+        }
+    }
+}

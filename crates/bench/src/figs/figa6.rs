@@ -1,0 +1,125 @@
+//! Fig. A6: memory-technology sweep — training days on 8192 GPUs as a
+//! function of HBM capacity (x) and HBM bandwidth (y) with B200 compute
+//! and network held fixed: (a) GPT3-1T 1D TP, (b) ViT-64K 2D TP.
+//!
+//! Paper finding: high-capacity/low-bandwidth corners (LPDDR-class
+//! memory) are competitive with the B200 point for both models — less
+//! parallelism inefficiency traded for more memory-access time.
+
+use perfmodel::{optimize, training_days, SearchOptions, TpStrategy};
+use rayon::prelude::*;
+use report::{num, Artifact};
+use systems::{GpuGeneration, NvsSize, SystemBuilder};
+use txmodel::{gpt3_1t, vit_64k, TrainingWorkload, TransformerConfig};
+
+/// x-axis: HBM capacity in TB.
+const CAP_POINTS: [f64; 6] = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+/// y-axis: HBM bandwidth in TB/s.
+const BW_POINTS: [f64; 6] = [2.0, 4.0, 8.0, 10.0, 13.0, 16.0];
+
+fn grid(
+    id: &str,
+    title: &str,
+    model: &TransformerConfig,
+    strategy: TpStrategy,
+    workload: &TrainingWorkload,
+) -> Artifact {
+    let mut art = Artifact::new(id, title, ["hbm_cap_tb", "hbm_bw_tbs", "days"]);
+    let mut points = Vec::new();
+    for &cap in &CAP_POINTS {
+        for &bw in &BW_POINTS {
+            points.push((cap, bw));
+        }
+    }
+    let rows: Vec<_> = points
+        .par_iter()
+        .map(|&(cap, bw)| {
+            let sys = SystemBuilder::from_catalog(GpuGeneration::B200, NvsSize::Nvs8)
+                .hbm_capacity(cap * 1e12)
+                .hbm_bandwidth(bw * 1e12)
+                .build();
+            let days = optimize(model, &sys, &SearchOptions::new(8192, 4096, strategy))
+                .map(|e| training_days(workload, &e));
+            (cap, bw, days)
+        })
+        .collect();
+    for (cap, bw, days) in rows {
+        art.push(vec![num(cap), num(bw), days.map(num).unwrap_or(serde_json::Value::Null)]);
+    }
+    art
+}
+
+/// Generates panels (a) GPT3-1T and (b) ViT-64K.
+pub fn generate() -> Vec<Artifact> {
+    vec![
+        grid(
+            "figa6a",
+            "Fig A6a: GPT3-1T days on 8192 GPUs vs HBM capacity × bandwidth (B200 compute)",
+            &gpt3_1t().config,
+            TpStrategy::OneD,
+            &TrainingWorkload::gpt3_1t_pretraining(),
+        ),
+        grid(
+            "figa6b",
+            "Fig A6b: ViT-64K days on 8192 GPUs vs HBM capacity × bandwidth (B200 compute)",
+            &vit_64k().config,
+            TpStrategy::TwoD,
+            &TrainingWorkload::vit_era5_training(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn days(art: &Artifact, cap: f64, bw: f64) -> Option<f64> {
+        art.rows
+            .iter()
+            .find(|r| r[0].as_f64() == Some(cap) && r[1].as_f64() == Some(bw))
+            .and_then(|r| r[2].as_f64())
+    }
+
+    #[test]
+    fn lpddr_corner_is_competitive_for_gpt() {
+        // High capacity + low bandwidth ≈ B200 point (192 GB, 8 TB/s).
+        let arts = generate();
+        let b200ish = days(&arts[0], 0.2, 8.0).expect("B200-like point feasible");
+        let lpddr = days(&arts[0], 1.0, 2.0).expect("LPDDR-like point feasible");
+        assert!(lpddr < 1.5 * b200ish, "LPDDR {lpddr} vs B200 {b200ish}");
+    }
+
+    #[test]
+    fn lpddr_corner_is_competitive_for_vit() {
+        let arts = generate();
+        let b200ish = days(&arts[1], 0.2, 8.0).expect("feasible");
+        let lpddr = days(&arts[1], 1.0, 2.0).expect("feasible");
+        assert!(lpddr < 1.8 * b200ish, "LPDDR {lpddr} vs B200 {b200ish}");
+    }
+
+    #[test]
+    fn tiny_capacity_hurts_the_vit_more() {
+        // Paper: "smaller capacities showing poorer performance" for the
+        // ViT, with multiple inflection points.
+        let arts = generate();
+        let ratio = |art: &Artifact| {
+            let small = days(art, 0.1, 8.0);
+            let big = days(art, 0.8, 8.0);
+            match (small, big) {
+                (Some(s), Some(b)) => s / b,
+                // Infeasible at 100 GB counts as "hurts more".
+                (None, Some(_)) => f64::INFINITY,
+                _ => 1.0,
+            }
+        };
+        assert!(ratio(&arts[1]) >= ratio(&arts[0]) * 0.99);
+    }
+
+    #[test]
+    fn bandwidth_effect_saturates_for_gpt() {
+        let arts = generate();
+        let mid = days(&arts[0], 0.4, 8.0).unwrap();
+        let high = days(&arts[0], 0.4, 16.0).unwrap();
+        assert!(mid / high < 1.2, "beyond-HBM bandwidth should barely help GPT");
+    }
+}

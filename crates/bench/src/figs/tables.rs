@@ -1,0 +1,141 @@
+//! Tables I, II, A2 (per-strategy communication structure for one layer)
+//! and Table A3 (hardware catalog).
+
+use perfmodel::partition::build_profile;
+use perfmodel::plan::{CommPattern, TpGroup};
+use perfmodel::TpStrategy;
+use report::{num, Artifact};
+use serde_json::json;
+use systems::{system, GpuGeneration, NvsSize, ALL_GENERATIONS};
+use txmodel::gpt3_1t;
+
+/// Emits the communication events of one forward layer pass under
+/// `strategy` on an `n1 × n2` grid for GPT3-1T (bm = 1), mirroring the
+/// paper's Vol column in concrete megabytes.
+fn comm_table(id: &str, title: &str, strategy: TpStrategy, n1: u64, n2: u64, nb: u64) -> Artifact {
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let profile = build_profile(&gpt3_1t().config, strategy, n1, n2, 1, nb, &sys.gpu);
+    let mut art = Artifact::new(
+        id,
+        title,
+        ["idx", "kind", "collective", "group", "volume_mb"],
+    );
+    for (i, c) in profile.fwd.comms.iter().enumerate() {
+        let group_name = |g: &TpGroup| match g {
+            TpGroup::N1 => format!("n1={n1}"),
+            TpGroup::N2 => format!("n2={n2}"),
+        };
+        match c {
+            CommPattern::Exposed { coll, volume, group } => art.push(vec![
+                json!(i),
+                json!("exposed"),
+                json!(coll.abbrev()),
+                json!(group_name(group)),
+                num(volume / 1e6),
+            ]),
+            CommPattern::SummaOverlapped { vol_a, group_a, vol_b, group_b, panels, .. } => {
+                art.push(vec![
+                    json!(i),
+                    json!(format!("summa(nb={panels})")),
+                    json!("B+B"),
+                    json!(format!("{} × {}", group_name(group_a), group_name(group_b))),
+                    num((vol_a + vol_b) / 1e6),
+                ]);
+            }
+        }
+    }
+    art
+}
+
+/// Table I: 1D TP communication structure (nt = 8).
+pub fn table1() -> Artifact {
+    comm_table("table1", "Table I: 1D TP per-layer collectives, GPT3-1T, nt=8", TpStrategy::OneD, 8, 1, 1)
+}
+
+/// Table II: 2D TP communication structure (4 × 2 grid).
+pub fn table2() -> Artifact {
+    comm_table("table2", "Table II: 2D TP per-layer collectives, GPT3-1T, n1=4 n2=2", TpStrategy::TwoD, 4, 2, 1)
+}
+
+/// Table A2: SUMMA communication structure (4 × 2 grid, nb = 4).
+pub fn tablea2() -> Artifact {
+    comm_table(
+        "tablea2",
+        "Table A2: 2D TP SUMMA per-layer collectives, GPT3-1T, n1=4 n2=2 nb=4",
+        TpStrategy::Summa,
+        4,
+        2,
+        4,
+    )
+}
+
+/// Table A3: the GPU/network parameter catalog.
+pub fn tablea3() -> Artifact {
+    let mut art = Artifact::new(
+        "tablea3",
+        "Table A3: GPU and network parameters per generation",
+        [
+            "gpu", "tensor_tflops", "vector_tflops", "flops_latency_s", "hbm_bw_gbs",
+            "hbm_cap_gb", "nvs_bw_gbs", "nvs_latency_s", "ib_bw_gbs", "ib_latency_s",
+        ],
+    );
+    for gen in ALL_GENERATIONS {
+        let g = gen.gpu();
+        let n = gen.network();
+        art.push(vec![
+            json!(gen.name()),
+            num(g.tensor_flops / 1e12),
+            num(g.vector_flops / 1e12),
+            num(g.flops_latency),
+            num(g.hbm_bandwidth / 1e9),
+            num(g.hbm_capacity / 1e9),
+            num(n.nvs_bandwidth / 1e9),
+            num(n.nvs_latency),
+            num(n.ib_bandwidth / 1e9),
+            num(n.ib_latency),
+        ]);
+    }
+    art
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_ag_rs_rows() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 4);
+        // Table I: volume is b·l·e bytes = 2048·25600·2 / 1e6 ≈ 104.9 MB
+        // for every collective.
+        for row in &t.rows {
+            let mb = row[4].as_f64().unwrap();
+            assert!((mb - 104.8576).abs() < 0.01, "got {mb}");
+        }
+    }
+
+    #[test]
+    fn table2_has_six_rows_with_smaller_volumes() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 6);
+        let max_mb = t.rows.iter().map(|r| r[4].as_f64().unwrap()).fold(0.0, f64::max);
+        assert!(max_mb < 104.0, "2D volumes must scale down, got {max_mb}");
+    }
+
+    #[test]
+    fn tablea2_mixes_summa_and_exposed() {
+        let t = tablea2();
+        let kinds: Vec<String> =
+            t.rows.iter().map(|r| r[1].as_str().unwrap().to_string()).collect();
+        assert!(kinds.iter().any(|k| k.starts_with("summa")));
+        assert!(kinds.iter().any(|k| k == "exposed"));
+    }
+
+    #[test]
+    fn tablea3_matches_catalog() {
+        let t = tablea3();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][0], json!("A100"));
+        assert_eq!(t.rows[2][1].as_f64().unwrap(), 2500.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Paper-artifact regeneration harness.
+//!
+//! Every table and figure in the paper's evaluation has a generator here
+//! (see DESIGN.md §3 for the experiment index). Generators return
+//! [`report::Artifact`] values that the `figures` binary renders to the
+//! terminal and writes to `out/<id>.{json,csv}`; the Criterion benches in
+//! `benches/paper.rs` measure the underlying model machinery and print the
+//! regenerated rows into `cargo bench` output.
+
+pub mod common;
+pub mod figs;
+
+use report::Artifact;
+
+/// All artifact identifiers, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "table2", "tablea2", "tablea3", "fig1", "fig2", "fig3", "fig4a", "fig4b", "fig5a",
+    "fig5b", "figa1", "figa2", "figa3", "figa4", "figa5", "figa6", "validation", "ablations",
+];
+
+/// Generates the artifact set for one identifier (a figure may produce
+/// several artifacts, e.g. its (a) and (b) panels).
+pub fn generate(id: &str) -> Vec<Artifact> {
+    match id {
+        "table1" => vec![figs::tables::table1()],
+        "table2" => vec![figs::tables::table2()],
+        "tablea2" => vec![figs::tables::tablea2()],
+        "tablea3" => vec![figs::tables::tablea3()],
+        "fig1" => vec![figs::fig1::generate()],
+        "fig2" => figs::fig2::generate(),
+        "fig3" => figs::fig3::generate(),
+        "fig4a" => vec![figs::fig4::generate_4a()],
+        "fig4b" => vec![figs::fig4::generate_4b()],
+        "fig5a" => vec![figs::fig5::generate_5a()],
+        "fig5b" => vec![figs::fig5::generate_5b()],
+        "figa1" => vec![figs::figa1::generate()],
+        "figa2" => figs::figa2::generate(),
+        "figa3" => figs::figa3::generate(),
+        "figa4" => figs::figa4::generate(),
+        "figa5" => figs::figa5::generate(),
+        "figa6" => figs::figa6::generate(),
+        "validation" => vec![figs::validation::generate()],
+        "ablations" => figs::ablations::generate(),
+        other => panic!("unknown artifact id {other:?}; known: {ALL_IDS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_generates_nonempty_artifacts() {
+        // Smoke-generate the cheap artifacts; the expensive sweeps are
+        // covered by the figures binary / benches.
+        for id in ["table1", "table2", "tablea2", "tablea3", "fig1"] {
+            let arts = generate(id);
+            assert!(!arts.is_empty(), "{id} produced nothing");
+            for a in arts {
+                assert!(!a.rows.is_empty(), "{id}/{} has no rows", a.id);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown artifact id")]
+    fn unknown_id_panics() {
+        let _ = generate("nope");
+    }
+}

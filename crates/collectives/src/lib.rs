@@ -1,0 +1,370 @@
+//! Analytic communication-time model for NCCL-style collectives on a
+//! dual-bandwidth fabric (paper §III, stage S2 "Communication Time").
+//!
+//! The model follows the NCCL ring-algorithm performance model: a
+//! collective over `n` GPUs placed `per_domain`-at-a-time into NVSwitch
+//! domains pays
+//!
+//! ```text
+//! t_latency = α_s·(n/n_NVS − 1) + α_f·(n − n/n_NVS)
+//! t_comm    = t_latency + (n − 1)/n · max( V/(n_NIC·β_s), V/β_f )
+//! ```
+//!
+//! for AllGather/ReduceScatter of a tensor of `V` total bytes. The `max`
+//! expresses that NCCL runs one ring per NIC, so the effective inter-node
+//! bandwidth is `n_NIC·β_s` until it saturates the fast-tier bandwidth
+//! `β_f` each GPU must also sustain. Groups that fit entirely inside one
+//! NVS domain never touch the slow tier.
+//!
+//! AllReduce is modeled as ReduceScatter + AllGather (2× cost); Broadcast
+//! and Reduce are pipelined rings in which the bottleneck link carries the
+//! full tensor once (`V/bw` + per-hop latency). Point-to-point transfers
+//! pay a single hop.
+//!
+//! All bandwidths are derated by the system's empirical efficiency factor
+//! (70% in the paper, validated on Perlmutter-style NCCL tests — in this
+//! repo, against the `netsim` discrete-event simulator; see Fig. A1).
+
+use serde::{Deserialize, Serialize};
+use systems::SystemSpec;
+
+/// The communication collectives used by the performance model
+/// (paper Table A1 abbreviations: AG, RS, AR, B, and Reduce for SUMMA
+/// transposed products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// AllGather (AG): every GPU ends with the full tensor.
+    AllGather,
+    /// ReduceScatter (RS): every GPU ends with its reduced shard.
+    ReduceScatter,
+    /// AllReduce (AR) = RS + AG.
+    AllReduce,
+    /// Broadcast (B): one root sends the tensor to all (SUMMA panels).
+    Broadcast,
+    /// Reduce: all GPUs reduce onto one root (SUMMA transposed products).
+    Reduce,
+}
+
+impl Collective {
+    /// Short name as used in the paper's tables.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Collective::AllGather => "AG",
+            Collective::ReduceScatter => "RS",
+            Collective::AllReduce => "AR",
+            Collective::Broadcast => "B",
+            Collective::Reduce => "Red",
+        }
+    }
+}
+
+/// Placement of a communication group onto NVS domains.
+///
+/// `size` GPUs participate; `per_domain` of them share each NVS domain
+/// (the paper's GPU-assignment configuration `n_NVSi`). `per_domain` must
+/// divide `size` and be at least 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommGroup {
+    size: u64,
+    per_domain: u64,
+}
+
+impl CommGroup {
+    /// Creates a placement; panics if `per_domain ∤ size` or either is 0.
+    pub fn new(size: u64, per_domain: u64) -> Self {
+        assert!(size >= 1 && per_domain >= 1, "group and domain share must be positive");
+        assert!(per_domain <= size, "per_domain ({per_domain}) exceeds group size ({size})");
+        assert_eq!(size % per_domain, 0, "per_domain ({per_domain}) must divide size ({size})");
+        Self { size, per_domain }
+    }
+
+    /// A group confined to a single NVS domain.
+    pub fn single_domain(size: u64) -> Self {
+        Self::new(size, size)
+    }
+
+    /// Number of participating GPUs.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// GPUs of this group per NVS domain.
+    pub fn per_domain(&self) -> u64 {
+        self.per_domain
+    }
+
+    /// Number of NVS domains the group spans.
+    pub fn domains(&self) -> u64 {
+        self.size / self.per_domain
+    }
+
+    /// True if the group never leaves one NVS domain.
+    pub fn is_intra_domain(&self) -> bool {
+        self.domains() == 1
+    }
+}
+
+/// Ring-hop latency for one full ring traversal (`n−1` hops): slow hops
+/// between domains plus fast hops inside them.
+fn ring_latency(group: CommGroup, sys: &SystemSpec) -> f64 {
+    let domains = group.domains() as f64;
+    let slow_hops = domains - 1.0;
+    let fast_hops = group.size() as f64 - domains;
+    sys.network.ib_latency * slow_hops + sys.network.nvs_latency * fast_hops
+}
+
+/// Effective bottleneck bandwidth (bytes/s) for a ring spanning this
+/// placement: the slower of the NIC-aggregated IB tier and the fast tier;
+/// purely intra-domain groups use the fast tier alone.
+pub fn effective_bandwidth(group: CommGroup, sys: &SystemSpec) -> f64 {
+    let fast = sys.network.effective_nvs_bandwidth();
+    if group.is_intra_domain() {
+        return fast;
+    }
+    let nics = group.per_domain().min(sys.nics_per_node);
+    let slow = sys.network.effective_ib_bandwidth(nics);
+    slow.min(fast)
+}
+
+/// Time in seconds for `collective` over a tensor of `volume_bytes` total
+/// bytes on the given placement. Zero for single-GPU groups or zero volume.
+pub fn collective_time(
+    collective: Collective,
+    volume_bytes: f64,
+    group: CommGroup,
+    sys: &SystemSpec,
+) -> f64 {
+    if group.size() <= 1 || volume_bytes <= 0.0 {
+        return 0.0;
+    }
+    let n = group.size() as f64;
+    let bw = effective_bandwidth(group, sys);
+    let lat = ring_latency(group, sys);
+    match collective {
+        Collective::AllGather | Collective::ReduceScatter => {
+            lat + (n - 1.0) / n * volume_bytes / bw
+        }
+        Collective::AllReduce => 2.0 * (lat + (n - 1.0) / n * volume_bytes / bw),
+        Collective::Broadcast | Collective::Reduce => lat + volume_bytes / bw,
+    }
+}
+
+/// Tree AllReduce time (NCCL's latency-optimal algorithm): a reduce up a
+/// binary tree followed by a broadcast down, pipelined so each direction
+/// moves the full tensor once. The tree is laid out domain-major — intra-
+/// domain levels use fast hops, the `log2(domains)` upper levels use slow
+/// hops — so
+///
+/// ```text
+/// t = 2·(α_f·log2(per_domain) + α_s·log2(domains)) + 2·V/bw
+/// ```
+///
+/// Rings win on bandwidth at small scale; trees win on latency at large
+/// scale (their latency grows logarithmically, not linearly). This is an
+/// extension beyond the paper's ring-only model; [`allreduce_auto_time`]
+/// picks the faster of the two as NCCL's autotuner would.
+pub fn allreduce_tree_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
+    if group.size() <= 1 || volume_bytes <= 0.0 {
+        return 0.0;
+    }
+    let fast_levels = (group.per_domain() as f64).log2().ceil().max(0.0);
+    let slow_levels = (group.domains() as f64).log2().ceil().max(0.0);
+    let lat = sys.network.nvs_latency * fast_levels + sys.network.ib_latency * slow_levels;
+    let bw = effective_bandwidth(group, sys);
+    2.0 * (lat + volume_bytes / bw)
+}
+
+/// AllReduce with NCCL-style algorithm selection: the faster of the ring
+/// and tree estimates.
+pub fn allreduce_auto_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
+    collective_time(Collective::AllReduce, volume_bytes, group, sys)
+        .min(allreduce_tree_time(volume_bytes, group, sys))
+}
+
+/// Time in seconds for a point-to-point transfer of `volume_bytes` between
+/// two GPUs (`same_domain` selects the tier).
+pub fn p2p_time(volume_bytes: f64, same_domain: bool, sys: &SystemSpec) -> f64 {
+    if volume_bytes <= 0.0 {
+        return 0.0;
+    }
+    if same_domain {
+        sys.network.nvs_latency + volume_bytes / sys.network.effective_nvs_bandwidth()
+    } else {
+        sys.network.ib_latency + volume_bytes / sys.network.effective_ib_bandwidth(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systems::{system, GpuGeneration, NvsSize};
+
+    fn b200_nvs8() -> SystemSpec {
+        system(GpuGeneration::B200, NvsSize::Nvs8)
+    }
+
+    #[test]
+    fn group_geometry() {
+        let g = CommGroup::new(32, 4);
+        assert_eq!(g.domains(), 8);
+        assert!(!g.is_intra_domain());
+        assert!(CommGroup::single_domain(8).is_intra_domain());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_placement_panics() {
+        let _ = CommGroup::new(12, 5);
+    }
+
+    #[test]
+    fn single_gpu_is_free() {
+        let sys = b200_nvs8();
+        assert_eq!(
+            collective_time(Collective::AllGather, 1e9, CommGroup::single_domain(1), &sys),
+            0.0
+        );
+    }
+
+    #[test]
+    fn intra_domain_uses_fast_tier_only() {
+        let sys = b200_nvs8();
+        let g = CommGroup::single_domain(8);
+        let v = 1e9;
+        let t = collective_time(Collective::AllGather, v, g, &sys);
+        let expect = 7.0 * sys.network.nvs_latency
+            + (7.0 / 8.0) * v / sys.network.effective_nvs_bandwidth();
+        assert!((t - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn cross_domain_matches_paper_formula() {
+        let sys = b200_nvs8();
+        // 32 GPUs, 8 per domain → 4 domains, n_NIC = 8.
+        let g = CommGroup::new(32, 8);
+        let v = 4e9;
+        let t = collective_time(Collective::ReduceScatter, v, g, &sys);
+        let lat = sys.network.ib_latency * 3.0 + sys.network.nvs_latency * (32.0 - 4.0);
+        let bw = sys
+            .network
+            .effective_ib_bandwidth(8)
+            .min(sys.network.effective_nvs_bandwidth());
+        let expect = lat + (31.0 / 32.0) * v / bw;
+        assert!((t - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_is_twice_allgather() {
+        let sys = b200_nvs8();
+        let g = CommGroup::new(16, 8);
+        let ag = collective_time(Collective::AllGather, 1e8, g, &sys);
+        let ar = collective_time(Collective::AllReduce, 1e8, g, &sys);
+        assert!((ar - 2.0 * ag).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_gpus_per_domain_aggregate_more_nics() {
+        // The Fig. A1 effect: using more GPUs (rings/NICs) per node makes
+        // large cross-node collectives faster.
+        let sys = b200_nvs8();
+        let v = 8e9;
+        let t2 = collective_time(Collective::AllGather, v, CommGroup::new(32, 2), &sys);
+        let t8 = collective_time(Collective::AllGather, v, CommGroup::new(32, 8), &sys);
+        assert!(t8 < t2, "NVL8 {t8} should beat NVL2 {t2}");
+    }
+
+    #[test]
+    fn nic_aggregation_saturates_at_fast_tier() {
+        // With enough NICs, min(n_NIC·β_s, β_f) = β_f: a 64-GPU domain on
+        // B200 (64·100 = 6.4 TB/s > 900 GB/s) is NVS-bound.
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs64);
+        let g = CommGroup::new(128, 64);
+        assert_eq!(effective_bandwidth(g, &sys), sys.network.effective_nvs_bandwidth());
+    }
+
+    #[test]
+    fn latency_dominates_small_volumes() {
+        let sys = b200_nvs8();
+        let g = CommGroup::new(64, 8);
+        let tiny = collective_time(Collective::AllGather, 8.0, g, &sys);
+        let lat = ring_latency(g, &sys);
+        assert!((tiny - lat).abs() / lat < 1e-3);
+    }
+
+    #[test]
+    fn p2p_tier_selection() {
+        let sys = b200_nvs8();
+        let fast = p2p_time(1e9, true, &sys);
+        let slow = p2p_time(1e9, false, &sys);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn broadcast_carries_full_volume() {
+        let sys = b200_nvs8();
+        let g = CommGroup::single_domain(4);
+        let v = 1e9;
+        let t = collective_time(Collective::Broadcast, v, g, &sys);
+        let expect = 3.0 * sys.network.nvs_latency + v / sys.network.effective_nvs_bandwidth();
+        assert!((t - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(Collective::AllGather.abbrev(), "AG");
+        assert_eq!(Collective::Broadcast.abbrev(), "B");
+    }
+
+    #[test]
+    fn tree_beats_ring_at_latency_bound_scale() {
+        // 1024 GPUs, tiny tensor: ring pays ~1023 hops of latency, the
+        // tree ~2·(3 + 7) levels.
+        let sys = b200_nvs8();
+        let g = CommGroup::new(1024, 8);
+        let v = 4096.0;
+        let ring = collective_time(Collective::AllReduce, v, g, &sys);
+        let tree = allreduce_tree_time(v, g, &sys);
+        assert!(tree < ring / 10.0, "tree {tree} vs ring {ring}");
+    }
+
+    #[test]
+    fn ring_beats_tree_at_bandwidth_bound_scale() {
+        // Small group, huge tensor: ring moves 2·(n−1)/n·V, tree 2·V.
+        let sys = b200_nvs8();
+        let g = CommGroup::single_domain(4);
+        let v = 8e9;
+        let ring = collective_time(Collective::AllReduce, v, g, &sys);
+        let tree = allreduce_tree_time(v, g, &sys);
+        assert!(ring < tree, "ring {ring} vs tree {tree}");
+    }
+
+    #[test]
+    fn auto_picks_the_minimum() {
+        let sys = b200_nvs8();
+        for (size, per, v) in [(1024u64, 8u64, 4096.0), (4, 4, 8e9), (64, 8, 1e7)] {
+            let g = CommGroup::new(size, per);
+            let auto = allreduce_auto_time(v, g, &sys);
+            let ring = collective_time(Collective::AllReduce, v, g, &sys);
+            let tree = allreduce_tree_time(v, g, &sys);
+            assert_eq!(auto, ring.min(tree));
+        }
+    }
+
+    #[test]
+    fn tree_trivial_cases() {
+        let sys = b200_nvs8();
+        assert_eq!(allreduce_tree_time(1e9, CommGroup::single_domain(1), &sys), 0.0);
+        assert_eq!(allreduce_tree_time(0.0, CommGroup::new(8, 8), &sys), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_volume_and_group_size() {
+        let sys = b200_nvs8();
+        let g = CommGroup::new(16, 8);
+        let t1 = collective_time(Collective::AllGather, 1e8, g, &sys);
+        let t2 = collective_time(Collective::AllGather, 2e8, g, &sys);
+        assert!(t2 > t1);
+        let big = collective_time(Collective::AllGather, 1e8, CommGroup::new(32, 8), &sys);
+        assert!(big > t1);
+    }
+}

@@ -1,0 +1,192 @@
+//! The discrete-event engine: chunk transfers on serialized links.
+
+use crate::topology::RingTopology;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine counters (useful for tests and for demonstrating that the
+/// simulation actually executed the schedule rather than a formula).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventStats {
+    /// Completed link transfers.
+    pub transfers: u64,
+    /// Heap re-insertions due to link contention.
+    pub requeues: u64,
+}
+
+/// Result of one simulated collective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Completion time in seconds.
+    pub time: f64,
+    /// Engine counters.
+    pub stats: EventStats,
+}
+
+/// A data shard flowing around the ring: `origin` holds it at time 0 and
+/// it must traverse `hops` links, split into `pieces` pipeline pieces.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Shard {
+    pub origin: u64,
+    pub bytes: f64,
+    pub hops: u64,
+}
+
+/// One pending transfer: piece `piece` of shard `shard` over the link
+/// leaving ring position `(origin + hop) % size`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transfer {
+    ready: f64,
+    shard: u32,
+    hop: u32,
+    piece: u32,
+}
+
+// Total order for the heap: earliest ready time first, deterministic
+// tie-breaking on (shard, hop, piece).
+impl Eq for Transfer {}
+impl Ord for Transfer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ready
+            .total_cmp(&other.ready)
+            .then(self.shard.cmp(&other.shard))
+            .then(self.hop.cmp(&other.hop))
+            .then(self.piece.cmp(&other.piece))
+    }
+}
+impl PartialOrd for Transfer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates the pipelined flow of `shards` around one ring, with each
+/// shard split into `pieces` pieces. A piece may be forwarded as soon as
+/// it has been received; each link carries one piece at a time.
+///
+/// Returns the completion time of the last piece plus engine stats.
+pub(crate) fn simulate_flow(topo: &RingTopology, shards: &[Shard], pieces: u64) -> SimResult {
+    let pieces = pieces.max(1);
+    let n = topo.size;
+    let mut link_free = vec![0.0f64; n as usize];
+    let mut heap: BinaryHeap<Reverse<Transfer>> = BinaryHeap::new();
+    let mut stats = EventStats::default();
+    let mut finish = 0.0f64;
+
+    for (si, s) in shards.iter().enumerate() {
+        if s.hops == 0 || s.bytes <= 0.0 {
+            continue;
+        }
+        for p in 0..pieces {
+            heap.push(Reverse(Transfer { ready: 0.0, shard: si as u32, hop: 0, piece: p as u32 }));
+        }
+    }
+
+    while let Some(Reverse(t)) = heap.pop() {
+        let shard = &shards[t.shard as usize];
+        let from = (shard.origin + t.hop as u64) % n;
+        let start = t.ready.max(link_free[from as usize]);
+        if start > t.ready {
+            // Link busy: requeue at the time it becomes free so ordering
+            // stays chronological.
+            stats.requeues += 1;
+            heap.push(Reverse(Transfer { ready: start, ..t }));
+            continue;
+        }
+        let (lat, bw) = topo.link_params(from);
+        let piece_bytes = shard.bytes / pieces as f64;
+        // The link is occupied for the serialization time only; the hop
+        // latency is propagation and delays arrival without blocking the
+        // next piece from entering the wire.
+        let end = start + lat + piece_bytes / bw;
+        link_free[from as usize] = start + piece_bytes / bw;
+        stats.transfers += 1;
+        finish = finish.max(end);
+        if (t.hop as u64) + 1 < shard.hops {
+            heap.push(Reverse(Transfer { ready: end, shard: t.shard, hop: t.hop + 1, piece: t.piece }));
+        }
+    }
+
+    SimResult { time: finish, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::CommGroup;
+    use systems::{system, GpuGeneration, NvsSize};
+
+    fn topo(size: u64, per_domain: u64) -> RingTopology {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        RingTopology::build(CommGroup::new(size, per_domain), &sys)
+    }
+
+    #[test]
+    fn single_hop_single_piece() {
+        let t = topo(4, 4);
+        let r = simulate_flow(&t, &[Shard { origin: 0, bytes: 1e6, hops: 1 }], 1);
+        let expect = t.fast_latency + 1e6 / t.fast_bandwidth;
+        assert!((r.time - expect).abs() / expect < 1e-12);
+        assert_eq!(r.stats.transfers, 1);
+    }
+
+    #[test]
+    fn pipelining_hides_store_and_forward() {
+        // One shard over many hops: with many pieces the total approaches
+        // bytes/bw + hops·lat instead of hops·bytes/bw.
+        let t = topo(4, 4);
+        let shard = [Shard { origin: 0, bytes: 4e6, hops: 3 }];
+        let unpipelined = simulate_flow(&t, &shard, 1).time;
+        let pipelined = simulate_flow(&t, &shard, 64).time;
+        assert!(pipelined < 0.5 * unpipelined);
+        let floor = 3.0 * t.fast_latency + 4e6 / t.fast_bandwidth;
+        assert!(pipelined > floor * 0.99);
+    }
+
+    #[test]
+    fn contention_serializes_a_link() {
+        // Two shards entering the same link at once must queue.
+        let t = topo(4, 4);
+        let one = simulate_flow(&t, &[Shard { origin: 0, bytes: 1e8, hops: 1 }], 1).time;
+        let both = simulate_flow(
+            &t,
+            &[
+                Shard { origin: 0, bytes: 1e8, hops: 1 },
+                Shard { origin: 0, bytes: 1e8, hops: 1 },
+            ],
+            1,
+        );
+        assert!(both.time > 1.9 * one);
+        assert!(both.stats.requeues > 0);
+    }
+
+    #[test]
+    fn slow_hop_dominates_cross_domain() {
+        let t = topo(8, 4); // one slow boundary at positions 3 and 7
+        let fast_only = simulate_flow(&t, &[Shard { origin: 0, bytes: 8e6, hops: 3 }], 1).time;
+        let with_slow = simulate_flow(&t, &[Shard { origin: 0, bytes: 8e6, hops: 4 }], 1).time;
+        let slow_hop = t.slow_latency + 8e6 / t.slow_bandwidth;
+        assert!((with_slow - fast_only - slow_hop).abs() / slow_hop < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_shards_are_free() {
+        let t = topo(4, 4);
+        assert_eq!(simulate_flow(&t, &[], 4).time, 0.0);
+        assert_eq!(
+            simulate_flow(&t, &[Shard { origin: 0, bytes: 0.0, hops: 2 }], 4).time,
+            0.0
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = topo(8, 4);
+        let shards: Vec<Shard> =
+            (0..8).map(|o| Shard { origin: o, bytes: 3e6, hops: 7 }).collect();
+        let a = simulate_flow(&t, &shards, 8);
+        let b = simulate_flow(&t, &shards, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Discrete-event simulator of NCCL-style ring collectives on a two-tier
+//! (NVSwitch + InfiniBand) fabric.
+//!
+//! This crate is the repo's stand-in for the paper's *empirical* NCCL
+//! measurements on Perlmutter (Fig. A1): where the paper validates its
+//! analytic communication-time formulas against `nccl-tests`, we validate
+//! them against an explicit chunk-level simulation of the ring schedule.
+//! The simulator executes the same algorithm the analytic model
+//! approximates — multiple rings (one per NIC), pipelined chunks, per-hop
+//! latency, bandwidth shared inside the fast domain — so the comparison
+//! probes the same approximation error the paper's Fig. A1 probes.
+//!
+//! The event engine is a classic binary-heap DES: every chunk transfer on
+//! every link is an event; a GPU forwards a chunk as soon as (a) it has
+//! received it and (b) its outgoing link is free.
+
+mod engine;
+mod ring;
+mod topology;
+
+pub use engine::{EventStats, SimResult};
+pub use ring::{simulate_collective, SimOptions};
+pub use topology::{LinkKind, RingTopology};
+
+#[cfg(test)]
+mod validation_tests {
+    //! Cross-validation of the analytic formulas (collectives crate)
+    //! against the DES — the Fig. A1 experiment in unit-test form.
+    use crate::{simulate_collective, SimOptions};
+    use collectives::{collective_time, Collective, CommGroup};
+    use systems::{perlmutter, system, GpuGeneration, NvsSize};
+
+    /// Relative error |sim − analytic| / analytic.
+    fn rel_err(coll: Collective, volume: f64, size: u64, per_domain: u64) -> f64 {
+        let sys = perlmutter(per_domain);
+        let group = CommGroup::new(size, per_domain);
+        let analytic = collective_time(coll, volume, group, &sys);
+        let sim = simulate_collective(coll, volume, group, &sys, &SimOptions::default()).time;
+        (sim - analytic).abs() / analytic
+    }
+
+    #[test]
+    fn allgather_matches_analytic_at_large_volume() {
+        // Bandwidth-dominated regime: the ring model should match closely.
+        for &v in &[256e6, 1e9, 8e9] {
+            let e = rel_err(Collective::AllGather, v, 32, 4);
+            assert!(e < 0.15, "volume {v:.0}: error {e:.3}");
+        }
+    }
+
+    #[test]
+    fn allgather_matches_analytic_at_small_volume() {
+        // Latency-dominated regime.
+        for &v in &[64e3, 1e6] {
+            let e = rel_err(Collective::AllGather, v, 32, 4);
+            assert!(e < 0.35, "volume {v:.0}: error {e:.3}");
+        }
+    }
+
+    #[test]
+    fn nvl4_beats_nvl2_in_simulation() {
+        // The Fig. A1 headline: more GPUs per node → more NICs → faster.
+        let v = 1e9;
+        let t2 = simulate_collective(
+            Collective::AllGather,
+            v,
+            CommGroup::new(32, 2),
+            &perlmutter(2),
+            &SimOptions::default(),
+        )
+        .time;
+        let t4 = simulate_collective(
+            Collective::AllGather,
+            v,
+            CommGroup::new(32, 4),
+            &perlmutter(4),
+            &SimOptions::default(),
+        )
+        .time;
+        assert!(t4 < t2, "NVL4 {t4} should beat NVL2 {t2}");
+    }
+
+    #[test]
+    fn allreduce_roughly_doubles_allgather() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let g = CommGroup::new(16, 4);
+        let opts = SimOptions::default();
+        let ag = simulate_collective(Collective::AllGather, 1e9, g, &sys, &opts).time;
+        let ar = simulate_collective(Collective::AllReduce, 1e9, g, &sys, &opts).time;
+        let ratio = ar / ag;
+        assert!(ratio > 1.7 && ratio < 2.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn intra_domain_collectives_also_agree() {
+        let e = rel_err(Collective::ReduceScatter, 512e6, 4, 4);
+        assert!(e < 0.15, "error {e:.3}");
+    }
+}

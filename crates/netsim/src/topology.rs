@@ -1,0 +1,156 @@
+//! Ring topology construction over the two-tier fabric.
+
+use collectives::CommGroup;
+use serde::{Deserialize, Serialize};
+use systems::SystemSpec;
+
+/// Classification of one ring hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Intra-domain hop over NVSwitch/NVLink.
+    Fast,
+    /// Inter-domain hop over a NIC (InfiniBand/SlingShot).
+    Slow,
+}
+
+/// A logical ring over the collective's GPUs, plus the link
+/// characteristics of each hop.
+///
+/// GPUs are laid out `per_domain` at a time into NVS domains, matching the
+/// placement semantics of [`collectives::CommGroup`]. NCCL builds one ring
+/// per usable NIC; every ring visits all GPUs (rings differ in which NIC
+/// carries their inter-node hop, not in membership), so the simulator runs
+/// `num_rings` identical rings each carrying `1/num_rings` of the volume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingTopology {
+    /// Number of GPUs in the ring.
+    pub size: u64,
+    /// GPUs per NVS domain.
+    pub per_domain: u64,
+    /// Concurrent rings (one per NIC engaged per domain).
+    pub num_rings: u64,
+    /// Effective per-ring bandwidth of a fast hop, bytes/s.
+    pub fast_bandwidth: f64,
+    /// Effective per-ring bandwidth of a slow hop, bytes/s.
+    pub slow_bandwidth: f64,
+    /// Per-hop latency of a fast hop, seconds.
+    pub fast_latency: f64,
+    /// Per-hop latency of a slow hop, seconds.
+    pub slow_latency: f64,
+}
+
+impl RingTopology {
+    /// Builds the ring set for a collective over `group` on `sys`.
+    pub fn build(group: CommGroup, sys: &SystemSpec) -> Self {
+        let eff = sys.network.bandwidth_efficiency;
+        let num_rings = if group.is_intra_domain() {
+            // No NIC involved; a single logical ring uses the full fast
+            // bandwidth (NCCL still runs channels, but they share β_f, so
+            // one full-bandwidth ring is equivalent).
+            1
+        } else {
+            group.per_domain().min(sys.nics_per_node).max(1)
+        };
+        RingTopology {
+            size: group.size(),
+            per_domain: group.per_domain(),
+            num_rings,
+            // The per-GPU NVLink bandwidth is shared by all concurrent
+            // rings passing through it.
+            fast_bandwidth: sys.network.nvs_bandwidth * eff / num_rings as f64,
+            slow_bandwidth: sys.network.ib_bandwidth * eff,
+            fast_latency: sys.network.nvs_latency,
+            slow_latency: sys.network.ib_latency,
+        }
+    }
+
+    /// Link kind of the hop from ring position `i` to `i + 1 (mod size)`.
+    ///
+    /// Positions are domain-major: positions `k·per_domain ..
+    /// (k+1)·per_domain − 1` share a domain, so the hop out of a domain's
+    /// last position is slow (as is the wrap-around hop when more than one
+    /// domain participates).
+    pub fn link_kind(&self, from: u64) -> LinkKind {
+        if self.size <= self.per_domain {
+            return LinkKind::Fast;
+        }
+        if (from + 1) % self.per_domain == 0 {
+            LinkKind::Slow
+        } else {
+            LinkKind::Fast
+        }
+    }
+
+    /// (latency, bandwidth) of the hop leaving position `from`.
+    pub fn link_params(&self, from: u64) -> (f64, f64) {
+        match self.link_kind(from) {
+            LinkKind::Fast => (self.fast_latency, self.fast_bandwidth),
+            LinkKind::Slow => (self.slow_latency, self.slow_bandwidth),
+        }
+    }
+
+    /// Number of slow hops in one full ring traversal.
+    pub fn slow_hops(&self) -> u64 {
+        if self.size <= self.per_domain {
+            0
+        } else {
+            self.size / self.per_domain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systems::{perlmutter, system, GpuGeneration, NvsSize};
+
+    #[test]
+    fn intra_domain_is_all_fast() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs8);
+        let t = RingTopology::build(CommGroup::single_domain(8), &sys);
+        assert_eq!(t.num_rings, 1);
+        assert_eq!(t.slow_hops(), 0);
+        for i in 0..8 {
+            assert_eq!(t.link_kind(i), LinkKind::Fast);
+        }
+    }
+
+    #[test]
+    fn cross_domain_ring_structure() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let t = RingTopology::build(CommGroup::new(16, 4), &sys);
+        assert_eq!(t.num_rings, 4);
+        assert_eq!(t.slow_hops(), 4);
+        // Hop out of each domain's last GPU is slow.
+        assert_eq!(t.link_kind(3), LinkKind::Slow);
+        assert_eq!(t.link_kind(15), LinkKind::Slow); // wrap-around
+        assert_eq!(t.link_kind(0), LinkKind::Fast);
+        assert_eq!(t.link_kind(4), LinkKind::Fast);
+    }
+
+    #[test]
+    fn fast_bandwidth_shared_across_rings() {
+        let sys = perlmutter(4);
+        let t = RingTopology::build(CommGroup::new(32, 4), &sys);
+        let expect = sys.network.nvs_bandwidth * 0.7 / 4.0;
+        assert!((t.fast_bandwidth - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn nics_cap_ring_count() {
+        let mut sys = system(GpuGeneration::A100, NvsSize::Nvs8);
+        sys.nics_per_node = 2;
+        let t = RingTopology::build(CommGroup::new(32, 8), &sys);
+        assert_eq!(t.num_rings, 2);
+    }
+
+    #[test]
+    fn per_domain_one_is_all_slow_boundaries() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let t = RingTopology::build(CommGroup::new(8, 1), &sys);
+        assert_eq!(t.slow_hops(), 8);
+        for i in 0..8 {
+            assert_eq!(t.link_kind(i), LinkKind::Slow);
+        }
+    }
+}

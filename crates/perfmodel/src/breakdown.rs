@@ -1,0 +1,95 @@
+//! Iteration-time breakdown by bucket (the stacked bars in the paper's
+//! TIME panels: Compute, Memory, TP Comm, PP Bubble, DP Comm, PP Comm).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-iteration time split into the six buckets the paper reports.
+/// The bucket sum equals the iteration time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Tensor-core / vector FLOP time, incl. kernel-launch latency.
+    pub compute: f64,
+    /// Extra time exposed by memory-bound operations (HBM accesses).
+    pub memory: f64,
+    /// Exposed tensor-parallel communication.
+    pub tp_comm: f64,
+    /// Pipeline bubble (idle) time: `(np − 1)(tf + tb)`.
+    pub pp_bubble: f64,
+    /// Exposed data-parallel gradient/weight communication.
+    pub dp_comm: f64,
+    /// Pipeline point-to-point activation transfers.
+    pub pp_comm: f64,
+}
+
+impl Breakdown {
+    /// Total iteration time (sum of all buckets).
+    pub fn total(&self) -> f64 {
+        self.compute + self.memory + self.tp_comm + self.pp_bubble + self.dp_comm + self.pp_comm
+    }
+
+    /// Bucket values normalized to percentages of the total, in the
+    /// paper's legend order: Compute, TP Comm, PP Bubble, DP Comm,
+    /// Memory, PP Comm.
+    pub fn percentages(&self) -> [(&'static str, f64); 6] {
+        let t = self.total();
+        let pct = |x: f64| if t > 0.0 { 100.0 * x / t } else { 0.0 };
+        [
+            ("Compute", pct(self.compute)),
+            ("TP Comm", pct(self.tp_comm)),
+            ("PP Bubble", pct(self.pp_bubble)),
+            ("DP Comm", pct(self.dp_comm)),
+            ("Memory", pct(self.memory)),
+            ("PP Comm", pct(self.pp_comm)),
+        ]
+    }
+
+    /// Fraction of the iteration spent doing useful FLOPs (a proxy for
+    /// MFU given the compute bucket uses peak rates).
+    pub fn compute_fraction(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.compute / t
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Breakdown {
+        Breakdown {
+            compute: 5.0,
+            memory: 1.0,
+            tp_comm: 2.0,
+            pp_bubble: 1.5,
+            dp_comm: 0.25,
+            pp_comm: 0.25,
+        }
+    }
+
+    #[test]
+    fn total_sums_buckets() {
+        assert!((sample().total() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let s: f64 = sample().percentages().iter().map(|(_, p)| p).sum();
+        assert!((s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_percentages() {
+        let z = Breakdown::default();
+        assert_eq!(z.total(), 0.0);
+        assert!(z.percentages().iter().all(|(_, p)| *p == 0.0));
+    }
+
+    #[test]
+    fn compute_fraction() {
+        assert!((sample().compute_fraction() - 0.5).abs() < 1e-12);
+    }
+}

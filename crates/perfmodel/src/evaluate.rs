@@ -1,0 +1,449 @@
+//! Stage S2 assembly: converts a layer profile + configuration + placement
+//! into an iteration time with a full bucket breakdown and memory check.
+//!
+//! Iteration structure under the non-interleaved 1F1B schedule:
+//!
+//! ```text
+//! t_iter = m·(tf + tb)            steady-state microbatches
+//!        + (np − 1)·(tf + tb)     pipeline bubble (paper S2)
+//!        + t_pp                   P2P stage-boundary transfers (exposed)
+//!        + t_dp                   exposed remainder of DP grad/weight sync
+//! ```
+//!
+//! where `tf`/`tb` are the per-microbatch stage times (layers/stage ×
+//! per-layer compute + memory + exposed TP communication). The DP
+//! ReduceScatter is overlapped with the last microbatch's backward and the
+//! weight AllGather with the first microbatch's forward (paper S1 "Data
+//! Parallel and Optimizer"); only the remainder is charged.
+
+use crate::breakdown::Breakdown;
+use crate::config::{ParallelConfig, Placement};
+use crate::memory::{memory_usage, MemoryUsage};
+use crate::partition::build_profile;
+use crate::plan::{CommPattern, LayerProfile, TpGroup};
+use collectives::{collective_time, p2p_time, Collective, CommGroup};
+use serde::{Deserialize, Serialize};
+use systems::SystemSpec;
+use txmodel::TransformerConfig;
+
+/// Full evaluation of one design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The parallelization configuration evaluated.
+    pub config: ParallelConfig,
+    /// The NVS-domain assignment used.
+    pub placement: Placement,
+    /// Number of microbatches `m`.
+    pub microbatches: u64,
+    /// Seconds per training iteration (forward + backward + sync).
+    pub iteration_time: f64,
+    /// Bucketed time breakdown (sums to `iteration_time`).
+    pub breakdown: Breakdown,
+    /// Per-GPU HBM usage.
+    pub memory: MemoryUsage,
+    /// True if the memory fits the device HBM capacity.
+    pub feasible: bool,
+}
+
+/// Resolves a TP group reference to its communication placement.
+fn comm_group(group: TpGroup, cfg: &ParallelConfig, placement: &Placement) -> CommGroup {
+    match group {
+        TpGroup::N1 => CommGroup::new(cfg.n1, placement.v1),
+        TpGroup::N2 => CommGroup::new(cfg.n2, placement.v2),
+    }
+}
+
+/// Exposed time of one communication pattern under a placement.
+fn pattern_time(
+    pattern: &CommPattern,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    sys: &SystemSpec,
+) -> f64 {
+    match pattern {
+        CommPattern::Exposed { coll, volume, group } => {
+            collective_time(*coll, *volume, comm_group(*group, cfg, placement), sys)
+        }
+        CommPattern::SummaOverlapped {
+            vol_a,
+            group_a,
+            vol_b,
+            group_b,
+            panels,
+            panel_compute,
+        } => {
+            let panels = (*panels).max(1) as f64;
+            // `vol_*` carry the (g−1)/g received factor; the broadcast of
+            // one panel moves the full panel tensor, so undo the factor.
+            let per_step = |vol: f64, g: TpGroup| -> f64 {
+                let grp = comm_group(g, cfg, placement);
+                if grp.size() <= 1 || vol <= 0.0 {
+                    return 0.0;
+                }
+                let n = grp.size() as f64;
+                let tensor = vol * n / (n - 1.0) / panels;
+                collective_time(Collective::Broadcast, tensor, grp, sys)
+            };
+            let step_comm = per_step(*vol_a, *group_a) + per_step(*vol_b, *group_b);
+            // Prologue (first panel fully exposed) + exposed remainder of
+            // each subsequent panel after overlapping with compute.
+            step_comm + (panels - 1.0) * (step_comm - panel_compute).max(0.0)
+        }
+    }
+}
+
+/// Sum of exposed communication over one pass of one layer.
+fn pass_comm_time(
+    comms: &[CommPattern],
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    sys: &SystemSpec,
+) -> f64 {
+    comms.iter().map(|p| pattern_time(p, cfg, placement, sys)).sum()
+}
+
+/// Evaluates with a fraction of the exposed tensor-parallel communication
+/// hidden behind compute (paper Limitations: "there are more lower-level
+/// opportunities for TP communications to be overlapped with compute").
+/// `tp_overlap` ∈ [0, 1]; 0 is the paper's baseline.
+pub fn evaluate_with_tp_overlap(
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    global_batch: u64,
+    sys: &SystemSpec,
+    tp_overlap: f64,
+) -> Evaluation {
+    let tp_overlap = tp_overlap.clamp(0.0, 1.0);
+    let mut e = evaluate(model, cfg, placement, global_batch, sys);
+    let hidden = e.breakdown.tp_comm * tp_overlap;
+    e.breakdown.tp_comm -= hidden;
+    // The bubble is proportional to (tf + tb), which shrinks by the
+    // hidden per-microbatch TP time.
+    let m = e.microbatches as f64;
+    if m > 0.0 {
+        e.breakdown.pp_bubble -=
+            (cfg.np - 1) as f64 / cfg.interleave as f64 * hidden / m;
+        e.breakdown.pp_bubble = e.breakdown.pp_bubble.max(0.0);
+    }
+    e.iteration_time = e.breakdown.total();
+    e
+}
+
+/// Per-microbatch forward/backward times of one pipeline stage
+/// (layers-per-stage × per-layer device time + exposed TP communication).
+/// This is the quantity `tf`/`tb` in the paper's bubble formula; exposed
+/// for the `trainsim` schedule simulator.
+pub fn stage_times(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    sys: &SystemSpec,
+) -> (f64, f64) {
+    let layers = (model.depth / cfg.np) as f64;
+    let fwd_comm = layers * pass_comm_time(&profile.fwd.comms, cfg, placement, sys);
+    let bwd_comm = layers * pass_comm_time(&profile.bwd.comms, cfg, placement, sys);
+    (
+        layers * profile.fwd.time.total() + fwd_comm,
+        layers * profile.bwd.time.total() + bwd_comm,
+    )
+}
+
+/// Evaluates a configuration + placement using a precomputed layer
+/// profile (the search's fast path — the profile only depends on the TP
+/// tuple and microbatch size).
+pub fn evaluate_with_profile(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    global_batch: u64,
+    sys: &SystemSpec,
+) -> Evaluation {
+    let m = cfg.num_microbatches(global_batch) as f64;
+    let layers = (model.depth / cfg.np) as f64;
+
+    // Per-microbatch stage times.
+    let fwd_comm = layers * pass_comm_time(&profile.fwd.comms, cfg, placement, sys);
+    let bwd_comm = layers * pass_comm_time(&profile.bwd.comms, cfg, placement, sys);
+    let (tf, tb) = stage_times(profile, model, cfg, placement, sys);
+
+    // Steady-state + bubble. Interleaving the stage into `v` virtual
+    // chunks divides the bubble by `v` (Narayanan et al. / paper
+    // Limitations).
+    let bubble = (cfg.np - 1) as f64 * (tf + tb) / cfg.interleave as f64;
+
+    // Pipeline P2P: each microbatch's activation forward and gradient
+    // backward across the stage boundary, not overlapped (paper S1).
+    // Interleaving multiplies the boundary crossings by `v`.
+    let pp_comm = if cfg.np > 1 {
+        let same_domain = placement.vp >= 2;
+        2.0 * m * cfg.interleave as f64 * p2p_time(profile.boundary_bytes, same_domain, sys)
+    } else {
+        0.0
+    };
+
+    // Data-parallel gradient ReduceScatter + weight AllGather over the
+    // combined nd × n2 group (2D TP folds the sequence-group weight-grad
+    // reduction into this collective — paper Appendix A).
+    let dp_size = cfg.nd * profile.dp_group_multiplier;
+    let dp_comm = if dp_size > 1 {
+        let per_domain = (placement.vd * placement.v2).min(dp_size);
+        let per_domain = largest_divisor_at_most(dp_size, per_domain);
+        let grp = CommGroup::new(dp_size, per_domain);
+        let vol = profile.weight_bytes * layers;
+        let t_rs = collective_time(Collective::ReduceScatter, vol, grp, sys);
+        let t_ag = collective_time(Collective::AllGather, vol, grp, sys);
+        if cfg.zero3 {
+            // ZeRO-3: weights are re-gathered for every microbatch's
+            // forward and backward and gradients reduce-scattered per
+            // microbatch; each microbatch's collectives can hide behind
+            // that microbatch's compute, the remainder is exposed.
+            m * (2.0 * t_ag + t_rs - (tf + tb)).max(0.0)
+        } else {
+            (t_rs - tb).max(0.0) + (t_ag - tf).max(0.0)
+        }
+    } else {
+        0.0
+    };
+
+    let breakdown = Breakdown {
+        compute: m * layers * (profile.fwd.time.compute + profile.bwd.time.compute),
+        memory: m * layers * (profile.fwd.time.memory_excess + profile.bwd.time.memory_excess),
+        tp_comm: m * (fwd_comm + bwd_comm),
+        pp_bubble: bubble,
+        dp_comm,
+        pp_comm,
+    };
+
+    let memory = memory_usage(profile, model, cfg, global_batch);
+    let feasible = memory.fits(sys.gpu.hbm_capacity);
+
+    Evaluation {
+        config: *cfg,
+        placement: *placement,
+        microbatches: m as u64,
+        iteration_time: breakdown.total(),
+        breakdown,
+        memory,
+        feasible,
+    }
+}
+
+/// Largest divisor of `n` that is ≤ `cap` (≥ 1).
+pub fn largest_divisor_at_most(n: u64, cap: u64) -> u64 {
+    let mut best = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n % d == 0 {
+            if d <= cap && d > best {
+                best = d;
+            }
+            let q = n / d;
+            if q <= cap && q > best {
+                best = q;
+            }
+        }
+        d += 1;
+    }
+    best
+}
+
+/// Evaluates a configuration + placement from scratch (builds the layer
+/// profile internally). Panics on invalid configurations — call
+/// [`ParallelConfig::validate`] first for user input.
+pub fn evaluate(
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    global_batch: u64,
+    sys: &SystemSpec,
+) -> Evaluation {
+    cfg.validate(model, global_batch)
+        .unwrap_or_else(|e| panic!("invalid configuration {cfg}: {e}"));
+    placement
+        .validate(cfg, sys.nvs_size)
+        .unwrap_or_else(|e| panic!("invalid placement {placement:?}: {e}"));
+    let profile = build_profile(
+        model,
+        cfg.strategy,
+        cfg.n1,
+        cfg.n2,
+        cfg.microbatch,
+        cfg.summa_panels,
+        &sys.gpu,
+    );
+    evaluate_with_profile(&profile, model, cfg, placement, global_batch, sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpStrategy;
+    use systems::{system, GpuGeneration, NvsSize};
+    use txmodel::gpt3_1t;
+
+    fn sys() -> SystemSpec {
+        system(GpuGeneration::B200, NvsSize::Nvs8)
+    }
+
+    fn eval_1d(n1: u64, np: u64, nd: u64, v1: u64, vp: u64, vd: u64) -> Evaluation {
+        let model = gpt3_1t().config;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, n1, 1, np, nd, 1);
+        let placement = Placement { v1, v2: 1, vp, vd };
+        evaluate(&model, &cfg, &placement, 4096, &sys())
+    }
+
+    #[test]
+    fn breakdown_sums_to_iteration_time() {
+        let e = eval_1d(8, 64, 32, 8, 1, 1);
+        assert!((e.breakdown.total() - e.iteration_time).abs() / e.iteration_time < 1e-12);
+    }
+
+    #[test]
+    fn fig1_config_d_magnitude() {
+        // Fig. 1 config D lands around 2–4 s/iteration on 16384 B200.
+        let e = eval_1d(8, 64, 32, 8, 1, 1);
+        assert!(
+            e.iteration_time > 1.0 && e.iteration_time < 8.0,
+            "got {} s",
+            e.iteration_time
+        );
+        assert!(e.feasible);
+        assert_eq!(e.microbatches, 128);
+    }
+
+    #[test]
+    fn compute_dominates_at_optimal_scale() {
+        // Paper Fig. 4a: most time is compute for GPT3-1T at moderate TP.
+        let e = eval_1d(8, 64, 32, 8, 1, 1);
+        assert!(e.breakdown.compute_fraction() > 0.4, "{:?}", e.breakdown.percentages());
+    }
+
+    #[test]
+    fn more_tp_means_more_tp_comm_share() {
+        // Fixed np: raising nt (lowering nd, raising m) inflates total TP
+        // communication (volume is nt-invariant but per-microbatch).
+        let lo = eval_1d(4, 64, 64, 4, 2, 1);
+        let hi = eval_1d(32, 64, 8, 8, 1, 1);
+        let share = |e: &Evaluation| e.breakdown.tp_comm / e.iteration_time;
+        assert!(share(&hi) > share(&lo));
+    }
+
+    #[test]
+    fn fewer_microbatches_means_bigger_bubble_share() {
+        // Fixed nt = 8: large DP shrinks m, exposing the pipeline bubble
+        // (Fig. 2 right-hand configs).
+        let many_mb = eval_1d(8, 64, 32, 8, 1, 1); // m = 128, np = 64
+        let few_mb = eval_1d(8, 64, 128, 8, 1, 1); // m = 32, np = 64
+        let share = |e: &Evaluation| e.breakdown.pp_bubble / e.iteration_time;
+        assert!(share(&few_mb) > share(&many_mb));
+    }
+
+    #[test]
+    fn placement_changes_time() {
+        // Giving the domain to TP vs DP must alter communication time.
+        let tp_placed = eval_1d(8, 64, 32, 8, 1, 1);
+        let dp_placed = eval_1d(8, 64, 32, 1, 1, 8);
+        assert_ne!(tp_placed.iteration_time, dp_placed.iteration_time);
+        // With nt = 8 cross-domain TP is very painful: TP-placed wins.
+        assert!(tp_placed.iteration_time < dp_placed.iteration_time);
+    }
+
+    #[test]
+    fn pure_dp_has_no_tp_or_pp_costs() {
+        let model = gpt3_1t().config;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 1, 1, 1, 512, 1);
+        let placement = Placement { v1: 1, v2: 1, vp: 1, vd: 8 };
+        let e = evaluate(&model, &cfg, &placement, 4096, &sys());
+        assert_eq!(e.breakdown.tp_comm, 0.0);
+        assert_eq!(e.breakdown.pp_bubble, 0.0);
+        assert_eq!(e.breakdown.pp_comm, 0.0);
+        assert!(!e.feasible, "1T params on one GPU's worth of TP cannot fit");
+    }
+
+    #[test]
+    fn summa_evaluation_runs() {
+        let model = gpt3_1t().config;
+        let mut cfg = ParallelConfig::new(TpStrategy::Summa, 8, 4, 8, 16, 1);
+        cfg.summa_panels = 4;
+        let placement = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let e = evaluate(&model, &cfg, &placement, 4096, &sys());
+        assert!(e.iteration_time > 0.0);
+        assert!(e.breakdown.tp_comm > 0.0);
+    }
+
+    #[test]
+    fn dp_comm_is_exposed_remainder_only() {
+        // Small DP volume (high TP·PP sharding) should be fully hidden
+        // behind the microbatch fwd/bwd windows.
+        let e = eval_1d(8, 128, 16, 8, 1, 1);
+        assert!(e.breakdown.dp_comm < 0.2 * e.iteration_time);
+    }
+
+    #[test]
+    fn largest_divisor_helper() {
+        assert_eq!(largest_divisor_at_most(64, 16), 16);
+        assert_eq!(largest_divisor_at_most(64, 15), 8);
+        assert_eq!(largest_divisor_at_most(12, 5), 4);
+        assert_eq!(largest_divisor_at_most(7, 3), 1);
+    }
+
+    #[test]
+    fn interleaving_divides_the_bubble() {
+        let model = gpt3_1t().config;
+        let base = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+        let inter = ParallelConfig { interleave: 2, ..base };
+        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let e0 = evaluate(&model, &base, &pl, 4096, &sys());
+        let e2 = evaluate(&model, &inter, &pl, 4096, &sys());
+        assert!((e2.breakdown.pp_bubble - e0.breakdown.pp_bubble / 2.0).abs() < 1e-9);
+        assert!((e2.breakdown.pp_comm - 2.0 * e0.breakdown.pp_comm).abs() < 1e-9);
+        // Net effect at this scale: interleaving wins (bubble dominates
+        // the extra P2P).
+        assert!(e2.iteration_time < e0.iteration_time);
+        // Activation memory grows slightly.
+        assert!(e2.memory.activations > e0.memory.activations);
+    }
+
+    #[test]
+    fn zero3_trades_memory_for_dp_comm() {
+        let model = gpt3_1t().config;
+        let base = ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, 128, 1);
+        let z3 = ParallelConfig { zero3: true, ..base };
+        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let e0 = evaluate(&model, &base, &pl, 4096, &sys());
+        let ez = evaluate(&model, &z3, &pl, 4096, &sys());
+        assert!((ez.memory.weights - e0.memory.weights / 128.0).abs() < 1.0);
+        assert!((ez.memory.gradients - e0.memory.gradients / 128.0).abs() < 1.0);
+        assert!(ez.memory.total() < e0.memory.total());
+        assert!(ez.breakdown.dp_comm >= e0.breakdown.dp_comm);
+    }
+
+    #[test]
+    fn tp_overlap_reduces_comm_and_bubble() {
+        let model = gpt3_1t().config;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 32, 1, 64, 8, 1);
+        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let s = sys();
+        let base = evaluate(&model, &cfg, &pl, 4096, &s);
+        let half = evaluate_with_tp_overlap(&model, &cfg, &pl, 4096, &s, 0.5);
+        let full = evaluate_with_tp_overlap(&model, &cfg, &pl, 4096, &s, 1.0);
+        assert!((half.breakdown.tp_comm - base.breakdown.tp_comm / 2.0).abs() < 1e-9);
+        assert_eq!(full.breakdown.tp_comm, 0.0);
+        assert!(full.iteration_time < half.iteration_time);
+        assert!(half.iteration_time < base.iteration_time);
+        // Clamping.
+        let over = evaluate_with_tp_overlap(&model, &cfg, &pl, 4096, &s, 7.0);
+        assert_eq!(over.breakdown.tp_comm, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn evaluate_rejects_invalid() {
+        let model = gpt3_1t().config;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 3, 1, 64, 32, 1);
+        let _ = evaluate(&model, &cfg, &Placement::trivial(), 4096, &sys());
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's primary contribution: an analytical, parameterized
+//! performance model of 4D-parallel transformer training and a brute-force
+//! design-space search over parallelization configurations, microbatch
+//! sizes and GPU-to-NVSwitch-domain assignments.
+//!
+//! # Pipeline (paper §III.A)
+//!
+//! 1. **(S1) Counting** — [`partition`] builds a [`plan::LayerProfile`] for
+//!    one transformer block under a chosen tensor-parallel strategy
+//!    ([`TpStrategy`]): FLOPs, HBM bytes, communication volumes and stored
+//!    activation bytes, per microbatch.
+//! 2. **(S2) Timing** — [`timing`] converts counts into time with a
+//!    roofline model; [`evaluate`] assembles layer times, pipeline bubbles,
+//!    point-to-point and data-parallel communication into an iteration time
+//!    with a [`Breakdown`] by bucket, plus a [`MemoryUsage`] feasibility
+//!    check.
+//! 3. **(S3) Search** — [`search`] enumerates every factorization
+//!    `n = n1·n2·np·nd`, microbatch size, NVS placement and SUMMA panel
+//!    count, in parallel with rayon, returning the fastest feasible
+//!    configuration.
+//!
+//! ```
+//! use perfmodel::{optimize, SearchOptions, TpStrategy};
+//! use systems::{system, GpuGeneration, NvsSize};
+//! use txmodel::gpt3_1t;
+//!
+//! let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+//! let best = optimize(
+//!     &gpt3_1t().config,
+//!     &sys,
+//!     &SearchOptions::new(1024, 4096, TpStrategy::OneD),
+//! )
+//! .expect("a feasible configuration exists");
+//! assert!(best.iteration_time > 0.0);
+//! ```
+
+pub mod breakdown;
+pub mod config;
+pub mod evaluate;
+pub mod memory;
+pub mod partition;
+pub mod placement;
+pub mod plan;
+pub mod search;
+pub mod sensitivity;
+pub mod timing;
+pub mod training;
+
+pub use breakdown::Breakdown;
+pub use config::{ParallelConfig, Placement, TpStrategy};
+pub use evaluate::{evaluate, evaluate_with_profile, evaluate_with_tp_overlap, stage_times, Evaluation};
+pub use memory::MemoryUsage;
+pub use placement::enumerate_placements;
+pub use search::{
+    best_placement_eval, enumerate_partitions, optimize, sweep_partitions, SearchOptions,
+};
+pub use sensitivity::{elasticities, Elasticity, HardwareAxis};
+pub use training::training_days;

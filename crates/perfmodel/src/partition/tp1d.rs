@@ -1,0 +1,187 @@
+//! 1D tensor parallelism (paper Table I, Megatron-style with sequence
+//! parallelism on the residual stream).
+//!
+//! The `nt = n1` GPUs shard weights column/row-parallel, attention by
+//! heads, and the residual-stream sequence dimension. LayerNorms compute on
+//! the `l/nt` sequence shard; an AllGather re-assembles the full `(b, l, e)`
+//! tensor before each weight GEMM and a ReduceScatter re-shards after the
+//! row-parallel products. Communication volume per collective is the full
+//! `b·l·e` tensor — independent of `nt` (Table I), which is why extending
+//! 1D TP at fixed batch raises total communication time.
+//!
+//! Memory note (paper §III): the gathered `X̃`, `Ỹ` tensors are *replicated*
+//! on every GPU of the group and stored for the backward pass, which is the
+//! 1D-TP memory pressure that makes long-sequence models infeasible.
+
+use super::common::{bytes_of, LayerBuilder};
+use crate::plan::{LayerProfile, TpGroup};
+use collectives::Collective;
+use systems::GpuSpec;
+use txmodel::{TransformerConfig, VectorOpKind};
+
+/// Builds the 1D TP layer profile for microbatch size `bm` on `nt` GPUs.
+pub fn build(model: &TransformerConfig, nt: u64, bm: u64, gpu: &GpuSpec) -> LayerProfile {
+    let (l, e, f, h) = (model.seq_len, model.embed, model.hidden, model.heads);
+    let eh = model.head_dim();
+    let mut b = LayerBuilder::new(gpu, nt, 1);
+
+    // Full (b, l, e) tensor bytes: the Table I collective volume.
+    let v_ble = bytes_of((bm * l * e) as f64);
+    let shard_elems = (bm * l / nt * e) as f64;
+
+    // ---- Self-attention block ----
+    // X̃ = LN(X) on the l/nt shard, then AG to the full tensor.
+    b.vector(VectorOpKind::LayerNorm, shard_elems);
+    b.collective_pair(Collective::AllGather, v_ble, TpGroup::N1);
+    // Fused QKV projection: (b·l, e) × (e, 3e/nt).
+    b.gemm(bm * l, e, 3 * e / nt);
+    // Fused Logit/Attend over h/nt heads (FlashAttention).
+    b.flash_attention(bm * h / nt, l, l, eh, model.linear_attention);
+    // Output projection (row-parallel) + ReduceScatter.
+    b.gemm(bm * l, e / nt, e);
+    b.collective_pair(Collective::ReduceScatter, v_ble, TpGroup::N1);
+    // Residual add on the shard.
+    b.vector(VectorOpKind::Add, shard_elems);
+
+    // ---- MLP block ----
+    b.vector(VectorOpKind::LayerNorm, shard_elems);
+    b.collective_pair(Collective::AllGather, v_ble, TpGroup::N1);
+    b.gemm(bm * l, e, f / nt);
+    b.vector(VectorOpKind::Gelu, (bm * l * f / nt) as f64);
+    b.gemm(bm * l, f / nt, e);
+    b.collective_pair(Collective::ReduceScatter, v_ble, TpGroup::N1);
+    b.vector(VectorOpKind::Add, shard_elems);
+
+    // ---- Stored activations (per microbatch, per layer, per GPU) ----
+    // FP16 tensors — sharded: X, Y (LN inputs), Q, K, V, S (flash
+    // inputs/output), Z, GeLU(Z); replicated: the gathered X̃ and Ỹ.
+    // Plus the two residual-dropout masks (1 byte/element on the sequence
+    // shard) and the FlashAttention softmax statistics (two FP32 rows per
+    // query per head), all of which Megatron keeps for the backward pass.
+    let le = (bm * l * e) as f64;
+    let fp16 = 2.0 * le                        // X̃, Ỹ replicated (full)
+        + 2.0 * le / nt as f64                 // X, Y shards
+        + 4.0 * le / nt as f64                 // Q, K, V, S
+        + 2.0 * (bm * l * f) as f64 / nt as f64; // Z, GeLU(Z)
+    let masks = 2.0 * (bm * l / nt * e) as f64; // 1 B/elem × 2 dropouts
+    let stats = 8.0 * (bm * h / nt * l) as f64; // 2 × FP32 per query-head
+    let stored = bytes_of(fp16) + masks + stats;
+
+    // ---- Weights per layer per GPU ----
+    // 4e² (QKV + proj) + 2ef (MLP) + biases/LN params, all sharded by nt.
+    let params = (4 * e * e + 2 * e * f + f + 5 * e) as f64 / nt as f64;
+
+    // Pipeline boundary tensor: the residual-stream shard (b, l/nt, e).
+    let boundary = bytes_of((bm * l / nt * e) as f64);
+
+    b.finish(stored, params, boundary, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CommPattern;
+    use systems::GpuGeneration;
+    use txmodel::gpt3_1t;
+
+    fn profile(nt: u64, bm: u64) -> LayerProfile {
+        build(&gpt3_1t().config, nt, bm, &GpuGeneration::B200.gpu())
+    }
+
+    #[test]
+    fn four_collectives_each_direction() {
+        let p = profile(8, 1);
+        assert_eq!(p.fwd.comms.len(), 4);
+        assert_eq!(p.bwd.comms.len(), 4);
+    }
+
+    #[test]
+    fn collective_volume_is_ble() {
+        let m = gpt3_1t().config;
+        let expect = 2.0 * (m.seq_len * m.embed) as f64; // bm = 1, FP16
+        for c in &profile(8, 1).fwd.comms {
+            match c {
+                CommPattern::Exposed { volume, group, .. } => {
+                    assert_eq!(*volume, expect);
+                    assert_eq!(*group, TpGroup::N1);
+                }
+                _ => panic!("1D TP emits only exposed collectives"),
+            }
+        }
+    }
+
+    #[test]
+    fn fwd_pattern_is_ag_rs_ag_rs() {
+        let kinds: Vec<_> = profile(4, 1)
+            .fwd
+            .comms
+            .iter()
+            .map(|c| match c {
+                CommPattern::Exposed { coll, .. } => *coll,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Collective::AllGather,
+                Collective::ReduceScatter,
+                Collective::AllGather,
+                Collective::ReduceScatter
+            ]
+        );
+    }
+
+    #[test]
+    fn no_comm_when_nt_is_one() {
+        let p = profile(1, 1);
+        assert!(p.fwd.comms.is_empty());
+        assert!(p.bwd.comms.is_empty());
+    }
+
+    #[test]
+    fn weights_shard_evenly() {
+        let p2 = profile(2, 1);
+        let p8 = profile(8, 1);
+        assert!((p2.weight_params / p8.weight_params - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpt_layer_params_match_architecture() {
+        let m = gpt3_1t().config;
+        let p = profile(1, 1);
+        let expect = (4 * m.embed * m.embed + 2 * m.embed * m.hidden) as f64;
+        // Biases are a negligible correction.
+        assert!((p.weight_params - expect) / expect < 1e-3);
+    }
+
+    #[test]
+    fn stored_activation_has_replicated_floor() {
+        // Even at huge nt, the two replicated (b,l,e) tensors remain.
+        let m = gpt3_1t().config;
+        let p = profile(32, 1);
+        let floor = 2.0 * 2.0 * (m.seq_len * m.embed) as f64;
+        assert!(p.stored_activation_bytes > floor);
+        assert!(p.stored_activation_bytes < 2.0 * floor);
+    }
+
+    #[test]
+    fn microbatch_scales_activations_linearly() {
+        let p1 = profile(8, 1);
+        let p4 = profile(8, 4);
+        assert!((p4.stored_activation_bytes / p1.stored_activation_bytes - 4.0).abs() < 1e-9);
+        assert!((p4.boundary_bytes / p1.boundary_bytes - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_is_sequence_shard() {
+        let m = gpt3_1t().config;
+        let p = profile(8, 1);
+        assert_eq!(p.boundary_bytes, 2.0 * (m.seq_len / 8 * m.embed) as f64);
+    }
+
+    #[test]
+    fn dp_multiplier_is_one() {
+        assert_eq!(profile(8, 1).dp_group_multiplier, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! 2D tensor parallelism (paper Table II, a.k.a. context parallelism).
+//!
+//! A `n1 × n2` grid shards weights/heads/hidden over `n1` (exactly as 1D
+//! TP) and additionally shards the sequence over `n2`. The LayerNorm AG/RS
+//! collectives now move only `b·(l/n2)·e` over the `n1` group, and the
+//! attention keys/values are gathered over the `n2` group
+//! (`b·l·e/n1` each) so every query shard can attend over the full
+//! sequence. All collective volumes scale down with one grid dimension
+//! (Table II) — the better scalability that makes 2D TP mandatory for the
+//! long-sequence ViT.
+//!
+//! Weights are *replicated* across the `n2` group; their gradients incur an
+//! extra reduction over `n2`, scheduled together with the data-parallel
+//! gradient collectives (modeled via `dp_group_multiplier = n2`).
+
+use super::common::{bytes_of, LayerBuilder};
+use crate::plan::{LayerProfile, TpGroup};
+use collectives::Collective;
+use systems::GpuSpec;
+use txmodel::{TransformerConfig, VectorOpKind};
+
+/// Builds the 2D TP layer profile for microbatch size `bm` on an
+/// `n1 × n2` grid.
+pub fn build(model: &TransformerConfig, n1: u64, n2: u64, bm: u64, gpu: &GpuSpec) -> LayerProfile {
+    let (l, e, f, h) = (model.seq_len, model.embed, model.hidden, model.heads);
+    let eh = model.head_dim();
+    let mut b = LayerBuilder::new(gpu, n1, n2);
+
+    // Table II volumes: LN gathers move b·(l/n2)·e over n1; K,V gathers
+    // move b·l·(e/n1) over n2.
+    let v_ln = bytes_of((bm * l / n2 * e) as f64);
+    let v_kv = bytes_of((bm * l * e / n1) as f64);
+    let shard_elems = (bm * l / (n1 * n2) * e) as f64;
+
+    // ---- Self-attention block ----
+    b.vector(VectorOpKind::LayerNorm, shard_elems);
+    b.collective_pair(Collective::AllGather, v_ln, TpGroup::N1);
+    // QKV projection on the sequence shard: (b·l/n2, e) × (e, 3e/n1).
+    b.gemm(bm * l / n2, e, 3 * e / n1);
+    // Exchange K and V over the sequence group so local queries attend
+    // the full sequence. As in ring-attention context parallelism, the
+    // full-sequence K/V are *streamed* block-by-block and never
+    // materialized in HBM: the bytes move (AG-equivalent volume, with the
+    // conjugate ReduceScatter for dK/dV in the backward), but nothing is
+    // stored — and the backward pass must re-exchange K/V, paying the
+    // gather volume a second time.
+    b.collective_pair(Collective::AllGather, v_kv, TpGroup::N2);
+    b.collective_pair(Collective::AllGather, v_kv, TpGroup::N2);
+    b.bwd_collective(Collective::AllGather, v_kv, TpGroup::N2);
+    b.bwd_collective(Collective::AllGather, v_kv, TpGroup::N2);
+    // Fused L/A: queries l/n2 long, keys/values full l, h/n1 heads.
+    b.flash_attention(bm * h / n1, l / n2, l, eh, model.linear_attention);
+    // Output projection + RS over n1.
+    b.gemm(bm * l / n2, e / n1, e);
+    b.collective_pair(Collective::ReduceScatter, v_ln, TpGroup::N1);
+    b.vector(VectorOpKind::Add, shard_elems);
+
+    // ---- MLP block ----
+    b.vector(VectorOpKind::LayerNorm, shard_elems);
+    b.collective_pair(Collective::AllGather, v_ln, TpGroup::N1);
+    b.gemm(bm * l / n2, e, f / n1);
+    b.vector(VectorOpKind::Gelu, (bm * l / n2 * f / n1) as f64);
+    b.gemm(bm * l / n2, f / n1, e);
+    b.collective_pair(Collective::ReduceScatter, v_ln, TpGroup::N1);
+    b.vector(VectorOpKind::Add, shard_elems);
+
+    // ---- Stored activations ----
+    let le = (bm * l * e) as f64;
+    let (n1f, n2f) = (n1 as f64, n2 as f64);
+    // K/V are streamed (ring attention), so only the local shards of
+    // K and V are stored — they live inside the Q/S-sized block shards
+    // already counted below via the QKV output.
+    let fp16 = 2.0 * le / (n1f * n2f)          // X, Y shards
+        + 2.0 * le / n2f                       // X̃, Ỹ (replicated over n1)
+        + 4.0 * le / (n1f * n2f)               // Q, K, V, S local shards
+        + 2.0 * (bm * l * f) as f64 / (n1f * n2f); // Z, GeLU(Z)
+    let masks = 2.0 * (bm * l / (n1 * n2) * e) as f64; // residual dropouts
+    let stats = 8.0 * (bm * h / n1 * (l / n2)) as f64; // flash softmax stats
+    let stored = bytes_of(fp16) + masks + stats;
+
+    // ---- Weights: sharded over n1 only (replicated across n2) ----
+    let params = (4 * e * e + 2 * e * f + f + 5 * e) as f64 / n1f;
+
+    let boundary = bytes_of((bm * l / (n1 * n2) * e) as f64);
+
+    b.finish(stored, params, boundary, n2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CommPattern;
+    use systems::GpuGeneration;
+    use txmodel::{gpt3_1t, vit_64k};
+
+    fn profile(n1: u64, n2: u64) -> LayerProfile {
+        build(&vit_64k().config, n1, n2, 1, &GpuGeneration::B200.gpu())
+    }
+
+    #[test]
+    fn six_collectives_forward() {
+        // 2 LN AGs + 2 RS + 2 K/V AGs.
+        assert_eq!(profile(4, 4).fwd.comms.len(), 6);
+    }
+
+    #[test]
+    fn volumes_scale_with_grid_dimensions() {
+        let m = vit_64k().config;
+        let p = profile(4, 8);
+        let v_ln = 2.0 * (m.seq_len / 8 * m.embed) as f64;
+        let v_kv = 2.0 * (m.seq_len * m.embed / 4) as f64;
+        let vols: Vec<f64> = p
+            .fwd
+            .comms
+            .iter()
+            .map(|c| match c {
+                CommPattern::Exposed { volume, .. } => *volume,
+                _ => panic!(),
+            })
+            .collect();
+        // LN AG, K AG, V AG, RS, LN AG, RS order-insensitive check:
+        assert_eq!(vols.iter().filter(|&&v| (v - v_ln).abs() < 1.0).count(), 4);
+        assert_eq!(vols.iter().filter(|&&v| (v - v_kv).abs() < 1.0).count(), 2);
+    }
+
+    #[test]
+    fn kv_gathers_run_over_n2() {
+        let p = profile(2, 8);
+        let n2_groups = p
+            .fwd
+            .comms
+            .iter()
+            .filter(|c| matches!(c, CommPattern::Exposed { group: TpGroup::N2, .. }))
+            .count();
+        assert_eq!(n2_groups, 2);
+    }
+
+    #[test]
+    fn dp_multiplier_is_n2() {
+        assert_eq!(profile(4, 4).dp_group_multiplier, 4);
+        assert_eq!(profile(8, 2).dp_group_multiplier, 2);
+    }
+
+    #[test]
+    fn weights_replicated_over_n2() {
+        // Same n1 ⇒ same weight shard regardless of n2.
+        assert_eq!(profile(4, 2).weight_params, profile(4, 8).weight_params);
+    }
+
+    #[test]
+    fn memory_drops_with_both_dimensions() {
+        let base = profile(2, 2).stored_activation_bytes;
+        assert!(profile(4, 2).stored_activation_bytes < base);
+        assert!(profile(2, 4).stored_activation_bytes < base);
+    }
+
+    #[test]
+    fn gpt_2d_matches_1d_compute_when_n2_is_one() {
+        // n2 = 1 degenerates to 1D TP for local compute and LN volumes;
+        // only the (empty) K/V gathers differ.
+        let m = gpt3_1t().config;
+        let g = GpuGeneration::B200.gpu();
+        let p2 = build(&m, 8, 1, 1, &g);
+        let p1 = super::super::tp1d::build(&m, 8, 1, &g);
+        let t1 = p1.local_time();
+        assert!((p2.local_time() - t1).abs() / t1 < 1e-9);
+        assert_eq!(p2.fwd.comms.len(), 4); // zero-volume K/V gathers dropped
+    }
+
+    #[test]
+    fn boundary_shrinks_with_full_grid() {
+        let m = vit_64k().config;
+        let p = profile(4, 4);
+        assert_eq!(p.boundary_bytes, 2.0 * (m.seq_len / 16 * m.embed) as f64);
+    }
+}

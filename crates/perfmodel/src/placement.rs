@@ -1,0 +1,161 @@
+//! Enumeration of GPU-to-NVS-domain assignments (paper S3 "GPU assignment
+//! configurations").
+//!
+//! A placement decides how many GPUs of each parallel group share one
+//! NVSwitch domain: `nNVS = v1·v2·vp·vd` with `vi | ni`. Redistributing
+//! the fast domain between groups is how the model balances TP against DP
+//! communication (paper Q1(ii)/(iii)); the search tries every valid
+//! assignment.
+//!
+//! Placements that leave domain slots unused when a group factor could be
+//! enlarged are never better (they only add slow hops), so the enumeration
+//! keeps only *maximal* tuples — those where no single `vi` can be grown
+//! to a larger divisor of `ni` without overflowing the domain.
+
+use crate::config::{ParallelConfig, Placement};
+
+/// All divisors of `n`, ascending.
+pub(crate) fn divisors(n: u64) -> Vec<u64> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n % d == 0 {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Smallest divisor of `n` strictly greater than `v`, if any.
+fn next_divisor(n: u64, v: u64) -> Option<u64> {
+    divisors(n).into_iter().find(|&d| d > v)
+}
+
+/// Enumerates every maximal placement of `cfg`'s GPU grid onto domains of
+/// `nvs_size` GPUs.
+pub fn enumerate_placements(cfg: &ParallelConfig, nvs_size: u64) -> Vec<Placement> {
+    let budget = nvs_size.min(cfg.total_gpus());
+    let d1 = divisors(cfg.n1);
+    let d2 = divisors(cfg.n2);
+    let dp = divisors(cfg.np);
+    let dd = divisors(cfg.nd);
+    let mut out = Vec::new();
+    for &v1 in d1.iter().filter(|&&v| v <= budget) {
+        for &v2 in d2.iter().filter(|&&v| v1 * v <= budget) {
+            for &vp in dp.iter().filter(|&&v| v1 * v2 * v <= budget) {
+                for &vd in dd.iter().filter(|&&v| v1 * v2 * vp * v <= budget) {
+                    let p = Placement { v1, v2, vp, vd };
+                    if is_maximal(&p, cfg, budget) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True if no single factor can be grown to a larger divisor within the
+/// domain budget.
+fn is_maximal(p: &Placement, cfg: &ParallelConfig, budget: u64) -> bool {
+    let used = p.gpus_per_domain();
+    let checks = [
+        (cfg.n1, p.v1),
+        (cfg.n2, p.v2),
+        (cfg.np, p.vp),
+        (cfg.nd, p.vd),
+    ];
+    for (n, v) in checks {
+        if let Some(bigger) = next_divisor(n, v) {
+            if used / v * bigger <= budget {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpStrategy;
+
+    fn cfg(n1: u64, n2: u64, np: u64, nd: u64) -> ParallelConfig {
+        ParallelConfig::new(TpStrategy::TwoD, n1, n2, np, nd, 1)
+    }
+
+    #[test]
+    fn divisor_list() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(64).len(), 7);
+    }
+
+    #[test]
+    fn all_placements_valid() {
+        let c = cfg(8, 4, 16, 8);
+        for p in enumerate_placements(&c, 8) {
+            p.validate(&c, 8).unwrap();
+        }
+    }
+
+    #[test]
+    fn maximal_tuples_fill_the_domain_for_pow2_grids() {
+        // With power-of-two group sizes ≥ the domain, every maximal
+        // placement uses the whole domain.
+        let c = cfg(8, 4, 16, 8);
+        for p in enumerate_placements(&c, 8) {
+            assert_eq!(p.gpus_per_domain(), 8, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn small_grid_packs_into_one_domain() {
+        // n = 8 GPUs, domain of 64: everything co-located.
+        let c = cfg(2, 1, 2, 2);
+        let ps = enumerate_placements(&c, 64);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0], Placement { v1: 2, v2: 1, vp: 2, vd: 2 });
+    }
+
+    #[test]
+    fn trivial_only_when_domain_is_one() {
+        let c = cfg(8, 4, 16, 8);
+        let ps = enumerate_placements(&c, 1);
+        assert_eq!(ps, vec![Placement::trivial()]);
+    }
+
+    #[test]
+    fn fig1_style_count() {
+        // 1D TP on NVS8: placements decompose 8 = v1·vp·vd over divisors
+        // of (8, 64, 32) → compositions of 2^3 into 3 parts = C(5,2) = 10.
+        let c = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+        let ps = enumerate_placements(&c, 8);
+        assert_eq!(ps.len(), 10);
+    }
+
+    #[test]
+    fn includes_tp_heavy_and_dp_heavy_options() {
+        let c = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+        let ps = enumerate_placements(&c, 8);
+        assert!(ps.contains(&Placement { v1: 8, v2: 1, vp: 1, vd: 1 }));
+        assert!(ps.contains(&Placement { v1: 1, v2: 1, vp: 1, vd: 8 }));
+        assert!(ps.contains(&Placement { v1: 4, v2: 1, vp: 2, vd: 1 }));
+    }
+
+    #[test]
+    fn odd_group_sizes_allow_partial_domains() {
+        // n1 = 3: divisors {1, 3}; with nvs = 4 the maximal tuples may
+        // not fill the domain exactly.
+        let c = cfg(3, 1, 1, 1);
+        let ps = enumerate_placements(&c, 4);
+        assert_eq!(ps, vec![Placement { v1: 3, v2: 1, vp: 1, vd: 1 }]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Placement-independent per-layer profiles (output of stage S1 + the
+//! device-local half of S2).
+//!
+//! A [`LayerProfile`] captures everything about one transformer block under
+//! a given `(strategy, n1, n2, bm [, nb])` that does **not** depend on how
+//! the GPU grid is mapped onto NVS domains or on `np`/`nd`: roofline
+//! compute/memory time, the list of communication *patterns* (collective,
+//! tensor volume, which TP group they run over), stored-activation bytes
+//! and weight shard sizes. The design-space search precomputes one profile
+//! per TP tuple and reuses it across every `(np, nd, placement)` candidate
+//! — this two-phase split is what makes the brute-force search fast.
+
+use crate::timing::OpTime;
+use collectives::Collective;
+use serde::{Deserialize, Serialize};
+
+/// Which tensor-parallel GPU group a collective runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TpGroup {
+    /// The `n1` group (weights / heads / hidden partition).
+    N1,
+    /// The `n2` group (sequence partition).
+    N2,
+}
+
+/// A communication event in the forward or backward pass of one layer,
+/// with placement-independent volume bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CommPattern {
+    /// A fully exposed collective over a TP group (paper: 1D/2D TP AG/RS
+    /// and the K,V gathers are not overlapped with compute).
+    /// `volume` is the *full tensor* bytes, matching
+    /// [`collectives::collective_time`] semantics.
+    Exposed { coll: Collective, volume: f64, group: TpGroup },
+    /// A SUMMA distributed GEMM: `nb` panel iterations, each performing a
+    /// broadcast of an A-panel over `group_a` and a B-panel over
+    /// `group_b`, overlapped with the previous panel's compute. `vol_a` /
+    /// `vol_b` are the total bytes each GPU *receives* over the whole GEMM
+    /// (the `(g−1)/g` factor is already applied); `panel_compute` is the
+    /// roofline time of one panel's GEMM, used to compute the exposed
+    /// remainder (paper Appendix A: `t_comm = t_prologue + nb·t_exposed`).
+    SummaOverlapped {
+        vol_a: f64,
+        group_a: TpGroup,
+        vol_b: f64,
+        group_b: TpGroup,
+        panels: u64,
+        panel_compute: f64,
+    },
+}
+
+/// One direction (forward or backward) of a layer: device-local roofline
+/// time plus the communication patterns incurred.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PassProfile {
+    /// Summed roofline time of every device-local op in this pass.
+    pub time: OpTime,
+    /// Communication events (order irrelevant; all contribute serially).
+    pub comms: Vec<CommPattern>,
+}
+
+impl PassProfile {
+    /// Adds a device-local op's time.
+    pub fn add_time(&mut self, t: OpTime) {
+        self.time.accumulate(t);
+    }
+
+    /// Adds an exposed collective.
+    pub fn add_comm(&mut self, coll: Collective, volume: f64, group: TpGroup) {
+        if volume > 0.0 {
+            self.comms.push(CommPattern::Exposed { coll, volume, group });
+        }
+    }
+}
+
+/// Placement-independent profile of one transformer block for one
+/// microbatch under a fixed TP tuple.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Forward pass.
+    pub fwd: PassProfile,
+    /// Backward pass (≈2× forward cost; FlashAttention recompute included).
+    pub bwd: PassProfile,
+    /// Bytes of activations stored per microbatch per layer on one GPU
+    /// (inputs kept for the backward pass; FlashAttention intermediates
+    /// are recomputed, not stored).
+    pub stored_activation_bytes: f64,
+    /// Weight bytes per layer on one GPU (FP16).
+    pub weight_bytes: f64,
+    /// Weight parameters per layer on one GPU (for optimizer-state
+    /// accounting at `12/nd` bytes each).
+    pub weight_params: f64,
+    /// Bytes of the layer's output activation shard — the tensor a
+    /// pipeline stage boundary must send per microbatch.
+    pub boundary_bytes: f64,
+    /// Factor by which the data-parallel gradient collective group grows:
+    /// `n2` for 2D TP (weight grads are additionally reduced over the
+    /// sequence group, scheduled with DP — paper Appendix A), 1 otherwise.
+    pub dp_group_multiplier: u64,
+}
+
+impl LayerProfile {
+    /// Placement-independent time lower bound of fwd+bwd (no comm).
+    pub fn local_time(&self) -> f64 {
+        self.fwd.time.total() + self.bwd.time.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_volume_comm_is_dropped() {
+        let mut p = PassProfile::default();
+        p.add_comm(Collective::AllGather, 0.0, TpGroup::N1);
+        assert!(p.comms.is_empty());
+        p.add_comm(Collective::AllGather, 10.0, TpGroup::N1);
+        assert_eq!(p.comms.len(), 1);
+    }
+
+    #[test]
+    fn add_time_accumulates() {
+        let mut p = PassProfile::default();
+        p.add_time(OpTime { compute: 1.0, memory_excess: 0.5 });
+        p.add_time(OpTime { compute: 2.0, memory_excess: 0.0 });
+        assert_eq!(p.time.compute, 3.0);
+        assert_eq!(p.time.memory_excess, 0.5);
+    }
+
+    #[test]
+    fn local_time_sums_passes() {
+        let mut lp = LayerProfile::default();
+        lp.fwd.add_time(OpTime { compute: 1.0, memory_excess: 0.0 });
+        lp.bwd.add_time(OpTime { compute: 2.0, memory_excess: 1.0 });
+        assert_eq!(lp.local_time(), 4.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Roofline execution-time model (paper S2 "Computation Time").
+//!
+//! Every device-local operation with `λf` FLOPs and `λm` HBM bytes takes
+//!
+//! ```text
+//! t = t_sf + max(λf / λfh, λm / λmh)
+//! ```
+//!
+//! where `λfh` is the tensor-core rate for GEMMs and the vector rate for
+//! everything else, `λmh` the HBM bandwidth and `t_sf` the fixed FLOPs
+//! latency that models small-matrix inefficiency to first order (paper
+//! Appendix, after [55]).
+//!
+//! For breakdown purposes the time is split into a *compute* part
+//! (`t_sf + λf/λfh`) and a *memory-excess* part
+//! (`max(0, λm/λmh − λf/λfh)`) so that their sum is the roofline time and
+//! the "Memory" bucket of the paper's figures is the extra time exposed by
+//! memory-bound operations.
+
+use serde::{Deserialize, Serialize};
+use systems::GpuSpec;
+use txmodel::OpCost;
+
+/// Which hardware pipe an operation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeUnit {
+    /// Tensor cores (matrix multiplies).
+    TensorCore,
+    /// Vector/SIMT pipe (LayerNorm, Softmax, GeLU, adds).
+    Vector,
+}
+
+/// Compute-time and memory-excess-time of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpTime {
+    /// `t_sf + λf/λfh` — attributed to the Compute bucket.
+    pub compute: f64,
+    /// `max(0, λm/λmh − λf/λfh)` — attributed to the Memory bucket.
+    pub memory_excess: f64,
+}
+
+impl OpTime {
+    /// Total roofline time of the operation.
+    pub fn total(&self) -> f64 {
+        self.compute + self.memory_excess
+    }
+
+    /// Accumulates another op's time.
+    pub fn accumulate(&mut self, other: OpTime) {
+        self.compute += other.compute;
+        self.memory_excess += other.memory_excess;
+    }
+
+    /// Scales both parts (e.g. backward ≈ 2× forward).
+    pub fn scaled(self, k: f64) -> OpTime {
+        OpTime { compute: self.compute * k, memory_excess: self.memory_excess * k }
+    }
+}
+
+/// Roofline time for an operation with cost `cost` on `unit`, including
+/// the fixed launch latency. `launches` counts kernel launches (SUMMA
+/// executes one GEMM as `nb` panel launches, paying `t_sf` each time).
+pub fn op_time(cost: OpCost, unit: ComputeUnit, gpu: &GpuSpec, launches: u64) -> OpTime {
+    if cost.flops == 0.0 && cost.bytes == 0.0 {
+        return OpTime::default();
+    }
+    let rate = match unit {
+        ComputeUnit::TensorCore => gpu.tensor_flops,
+        ComputeUnit::Vector => gpu.vector_flops,
+    };
+    let t_flop = cost.flops / rate;
+    let t_mem = cost.bytes / gpu.hbm_bandwidth;
+    OpTime {
+        compute: gpu.flops_latency * launches.max(1) as f64 + t_flop,
+        memory_excess: (t_mem - t_flop).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systems::GpuGeneration;
+    use txmodel::{gemm, vector_op, VectorOpKind};
+
+    fn b200() -> GpuSpec {
+        GpuGeneration::B200.gpu()
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound() {
+        let t = op_time(gemm(8192, 8192, 8192), ComputeUnit::TensorCore, &b200(), 1);
+        assert!(t.memory_excess == 0.0);
+        let flops = (2.0 * 8192.0 - 1.0) * 8192.0 * 8192.0;
+        let expect = 2e-5 + flops / 2500e12;
+        assert!((t.compute - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn vector_op_is_memory_bound() {
+        let t = op_time(vector_op(VectorOpKind::LayerNorm, 1 << 24), ComputeUnit::Vector, &b200(), 1);
+        assert!(t.memory_excess > 0.0);
+    }
+
+    #[test]
+    fn total_is_roofline_max_plus_latency() {
+        let gpu = b200();
+        let cost = gemm(128, 128, 128); // small: memory/latency dominated
+        let t = op_time(cost, ComputeUnit::TensorCore, &gpu, 1);
+        let t_flop = cost.flops / gpu.tensor_flops;
+        let t_mem = cost.bytes / gpu.hbm_bandwidth;
+        let expect = gpu.flops_latency + t_flop.max(t_mem);
+        assert!((t.total() - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn launches_multiply_latency() {
+        let cost = gemm(1024, 1024, 1024);
+        let t1 = op_time(cost, ComputeUnit::TensorCore, &b200(), 1);
+        let t8 = op_time(cost, ComputeUnit::TensorCore, &b200(), 8);
+        assert!((t8.compute - t1.compute - 7.0 * 2e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_is_free() {
+        let t = op_time(OpCost::default(), ComputeUnit::Vector, &b200(), 1);
+        assert_eq!(t.total(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut a = OpTime { compute: 1.0, memory_excess: 0.5 };
+        a.accumulate(OpTime { compute: 2.0, memory_excess: 0.25 });
+        assert_eq!(a.compute, 3.0);
+        assert_eq!(a.memory_excess, 0.75);
+        let d = a.scaled(2.0);
+        assert_eq!(d.total(), 7.5);
+    }
+
+    #[test]
+    fn tensor_core_beats_vector_for_same_cost() {
+        let cost = gemm(4096, 4096, 4096);
+        let tc = op_time(cost, ComputeUnit::TensorCore, &b200(), 1);
+        let vec = op_time(cost, ComputeUnit::Vector, &b200(), 1);
+        assert!(vec.total() > tc.total());
+    }
+}

@@ -1,0 +1,153 @@
+//! Serializable figure/table artifacts (the regenerable experiment
+//! outputs recorded in EXPERIMENTS.md).
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One regenerated paper artifact: an identifier (e.g. `"fig4a"`), a
+/// title, column names and data rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    pub id: String,
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Artifact {
+    /// Creates an empty artifact.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (width-checked).
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match columns");
+        self.rows.push(row);
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(self.columns.iter().map(String::as_str));
+        for row in &self.rows {
+            t.push(row.iter().map(|v| match v {
+                Value::String(s) => s.clone(),
+                Value::Number(n) => {
+                    // Trim long floats for display.
+                    if let Some(f) = n.as_f64() {
+                        if f.fract() == 0.0 && f.abs() < 1e15 {
+                            format!("{}", f as i64)
+                        } else {
+                            format!("{f:.4}")
+                        }
+                    } else {
+                        n.to_string()
+                    }
+                }
+                other => other.to_string(),
+            }));
+        }
+        format!("== {} — {} ==\n{}", self.id, self.title, t.render())
+    }
+
+    /// Writes `<dir>/<id>.json` and `<dir>/<id>.csv`; returns both paths.
+    pub fn write(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&json_path, serde_json::to_string_pretty(self)?)?;
+        let csv_path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&csv_path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::String(s) => {
+                        if s.contains(',') {
+                            format!("\"{s}\"")
+                        } else {
+                            s.clone()
+                        }
+                    }
+                    other => other.to_string(),
+                })
+                .collect();
+            writeln!(f, "{}", cells.join(","))?;
+        }
+        Ok((json_path, csv_path))
+    }
+}
+
+/// Convenience: a JSON number from an f64 (NaN/∞ become null).
+pub fn num(v: f64) -> Value {
+    serde_json::Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sample() -> Artifact {
+        let mut a = Artifact::new("figx", "test artifact", ["n", "time"]);
+        a.push(vec![json!(128), json!(1.5)]);
+        a.push(vec![json!(256), json!(0.75)]);
+        a
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("figx"));
+        assert!(s.contains("128"));
+        assert!(s.contains("0.75"));
+    }
+
+    #[test]
+    fn write_and_reload() {
+        let dir = std::env::temp_dir().join("fmperf-artifact-test");
+        let (json_path, csv_path) = sample().write(&dir).unwrap();
+        let back: Artifact =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(back, sample());
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("n,time\n"));
+        assert_eq!(csv.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut a = Artifact::new("q", "quoting", ["s"]);
+        a.push(vec![json!("a,b")]);
+        let dir = std::env::temp_dir().join("fmperf-artifact-quote");
+        let (_, csv_path) = a.write(&dir).unwrap();
+        assert!(std::fs::read_to_string(csv_path).unwrap().contains("\"a,b\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn bad_row_panics() {
+        let mut a = Artifact::new("x", "t", ["a", "b"]);
+        a.push(vec![json!(1)]);
+    }
+
+    #[test]
+    fn num_handles_nan() {
+        assert_eq!(num(f64::NAN), Value::Null);
+        assert_eq!(num(2.0), json!(2.0));
+    }
+}

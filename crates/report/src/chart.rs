@@ -1,0 +1,99 @@
+//! ASCII charts for terminal rendering of the paper's figures.
+
+/// A horizontal bar of `width` cells filled proportionally to
+/// `value / max` (clamped).
+pub fn hbar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 || width == 0 {
+        return " ".repeat(width);
+    }
+    let frac = (value / max).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(filled), " ".repeat(width - filled.min(width)))
+}
+
+/// A stacked percentage bar: each `(label_char, fraction)` segment fills
+/// its share of `width` cells with its label character. Fractions are
+/// normalized if they do not sum to 1.
+pub fn stacked_bar(segments: &[(char, f64)], width: usize) -> String {
+    let total: f64 = segments.iter().map(|(_, f)| f.max(0.0)).sum();
+    if total <= 0.0 || width == 0 {
+        return " ".repeat(width);
+    }
+    let mut out = String::with_capacity(width);
+    let mut acc = 0.0;
+    let mut drawn = 0usize;
+    for (c, f) in segments {
+        acc += f.max(0.0) / total;
+        let upto = (acc * width as f64).round() as usize;
+        for _ in drawn..upto.min(width) {
+            out.push(*c);
+        }
+        drawn = drawn.max(upto.min(width));
+    }
+    while out.chars().count() < width {
+        out.push(' ');
+    }
+    out
+}
+
+/// A log-ish multi-series chart rendered as rows of `label: value bar`,
+/// one row per (series, x) pair — practical for terminal inspection of
+/// Fig. 5-style scaling curves.
+pub fn series_chart(series: &[(String, Vec<(f64, f64)>)], width: usize) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(_, y)| *y))
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for (name, pts) in series {
+        for (x, y) in pts {
+            out.push_str(&format!(
+                "{name:>14} @ {x:>8}: {:>10.3} |{}\n",
+                y,
+                hbar(*y, max, width)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbar_extremes() {
+        assert_eq!(hbar(0.0, 10.0, 4), "    ");
+        assert_eq!(hbar(10.0, 10.0, 4), "████");
+        assert_eq!(hbar(5.0, 10.0, 4), "██  ");
+        assert_eq!(hbar(20.0, 10.0, 4), "████"); // clamped
+    }
+
+    #[test]
+    fn stacked_bar_fills_width() {
+        let bar = stacked_bar(&[('C', 0.5), ('T', 0.3), ('B', 0.2)], 10);
+        assert_eq!(bar.chars().count(), 10);
+        assert_eq!(bar.chars().filter(|&c| c == 'C').count(), 5);
+        assert_eq!(bar.chars().filter(|&c| c == 'T').count(), 3);
+    }
+
+    #[test]
+    fn stacked_bar_normalizes() {
+        let a = stacked_bar(&[('a', 2.0), ('b', 2.0)], 8);
+        assert_eq!(a.chars().filter(|&c| c == 'a').count(), 4);
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert_eq!(stacked_bar(&[], 5), "     ");
+        assert_eq!(hbar(1.0, 0.0, 3), "   ");
+    }
+
+    #[test]
+    fn series_chart_contains_all_points() {
+        let s = vec![("sys".to_string(), vec![(128.0, 1.0), (256.0, 2.0)])];
+        let out = series_chart(&s, 10);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("sys"));
+    }
+}

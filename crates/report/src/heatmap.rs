@@ -1,0 +1,82 @@
+//! ASCII heatmaps for the co-design grid figures (paper Figs. A5/A6).
+
+/// Shade ramp from low to high.
+const RAMP: [char; 6] = [' ', '░', '▒', '▓', '█', '█'];
+
+/// Renders `(x, y, value)` triples as a shaded grid. Axes are the sorted
+/// distinct x/y values; missing cells (e.g. infeasible points) show `·`.
+/// Lower values shade lighter, so for days-to-train plots darker = worse.
+pub fn heatmap(points: &[(f64, f64, Option<f64>)], x_label: &str, y_label: &str) -> String {
+    let mut xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let mut ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    ys.sort_by(f64::total_cmp);
+    ys.dedup();
+    if xs.is_empty() || ys.is_empty() {
+        return String::new();
+    }
+    let vals: Vec<f64> = points.iter().filter_map(|p| p.2).collect();
+    let (lo, hi) = vals
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let shade = |v: f64| -> char {
+        if hi <= lo {
+            return RAMP[2];
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        RAMP[(t * (RAMP.len() - 2) as f64).round() as usize]
+    };
+    let lookup = |x: f64, y: f64| -> Option<f64> {
+        points.iter().find(|p| p.0 == x && p.1 == y).and_then(|p| p.2)
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} ↑ (rows high→low), {x_label} → (cols low→high); range {lo:.2}–{hi:.2}\n"));
+    for &y in ys.iter().rev() {
+        out.push_str(&format!("{y:>10.2} |"));
+        for &x in &xs {
+            match lookup(x, y) {
+                Some(v) => {
+                    let c = shade(v);
+                    out.push(c);
+                    out.push(c);
+                }
+                None => out.push_str("··"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "--".repeat(xs.len())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_full_grid() {
+        let pts = vec![
+            (1.0, 1.0, Some(0.0)),
+            (2.0, 1.0, Some(5.0)),
+            (1.0, 2.0, Some(10.0)),
+            (2.0, 2.0, None),
+        ];
+        let s = heatmap(&pts, "cap", "bw");
+        assert!(s.contains("··"), "missing cell marker");
+        assert!(s.contains('█'), "max shade present");
+        assert_eq!(s.lines().count(), 4); // header + 2 rows + axis
+    }
+
+    #[test]
+    fn constant_field_does_not_panic() {
+        let pts = vec![(1.0, 1.0, Some(3.0)), (2.0, 1.0, Some(3.0))];
+        let s = heatmap(&pts, "x", "y");
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(heatmap(&[], "x", "y"), "");
+    }
+}

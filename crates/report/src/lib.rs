@@ -1,0 +1,12 @@
+//! Reporting utilities: aligned tables, ASCII bar charts and
+//! CSV/JSON artifact emission for the paper-figure regeneration harness.
+
+mod artifact;
+mod chart;
+mod heatmap;
+mod table;
+
+pub use artifact::{num, Artifact};
+pub use chart::{hbar, series_chart, stacked_bar};
+pub use heatmap::heatmap;
+pub use table::Table;

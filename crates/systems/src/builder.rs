@@ -1,0 +1,123 @@
+//! Fluent builder for custom / hypothetical systems.
+//!
+//! The co-design studies of Figs. A5 and A6 sweep individual hardware
+//! parameters (tensor-core rate, HBM capacity, HBM bandwidth) while holding
+//! the rest of a generation's characteristics fixed. `SystemBuilder` starts
+//! from a catalog system and overrides fields one at a time.
+
+use crate::catalog::{system, GpuGeneration, NvsSize};
+use crate::SystemSpec;
+
+/// Builder over [`SystemSpec`], starting from a catalog generation.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    spec: SystemSpec,
+}
+
+impl SystemBuilder {
+    /// Starts from one of the paper's nine catalog systems.
+    pub fn from_catalog(gen: GpuGeneration, nvs: NvsSize) -> Self {
+        Self { spec: system(gen, nvs) }
+    }
+
+    /// Starts from an arbitrary existing spec.
+    pub fn from_spec(spec: SystemSpec) -> Self {
+        Self { spec }
+    }
+
+    /// Overrides the tensor-core FLOP rate (FLOPs/s), scaling the vector
+    /// rate proportionally (as in the Fig. A5 y-axis sweep).
+    pub fn tensor_flops(mut self, flops: f64) -> Self {
+        self.spec.gpu = self.spec.gpu.with_tensor_flops(flops);
+        self
+    }
+
+    /// Overrides HBM capacity (bytes).
+    pub fn hbm_capacity(mut self, bytes: f64) -> Self {
+        self.spec.gpu = self.spec.gpu.with_hbm_capacity(bytes);
+        self
+    }
+
+    /// Overrides HBM bandwidth (bytes/s).
+    pub fn hbm_bandwidth(mut self, bytes_per_s: f64) -> Self {
+        self.spec.gpu = self.spec.gpu.with_hbm_bandwidth(bytes_per_s);
+        self
+    }
+
+    /// Overrides the NVS domain size, keeping one NIC per GPU.
+    pub fn nvs_size(mut self, gpus: u64) -> Self {
+        assert!(gpus >= 1, "NVS domain must contain at least one GPU");
+        self.spec.nvs_size = gpus;
+        self.spec.nics_per_node = gpus;
+        self
+    }
+
+    /// Overrides the NIC count per NVS domain independently of its size.
+    pub fn nics_per_node(mut self, nics: u64) -> Self {
+        self.spec.nics_per_node = nics.max(1);
+        self
+    }
+
+    /// Scales both network-tier bandwidths.
+    pub fn network_bandwidth_scale(mut self, scale: f64) -> Self {
+        self.spec.network = self.spec.network.with_bandwidth_scale(scale);
+        self
+    }
+
+    /// Renames the resulting system.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SystemSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_compose() {
+        let s = SystemBuilder::from_catalog(GpuGeneration::B200, NvsSize::Nvs8)
+            .tensor_flops(1000e12)
+            .hbm_capacity(256e9)
+            .hbm_bandwidth(4e12)
+            .name("hypothetical")
+            .build();
+        assert_eq!(s.name, "hypothetical");
+        assert!((s.gpu.tensor_flops - 1000e12).abs() < 1.0);
+        assert!((s.gpu.hbm_capacity - 256e9).abs() < 1.0);
+        assert!((s.gpu.hbm_bandwidth - 4e12).abs() < 1.0);
+        // Untouched fields retain B200 values.
+        assert_eq!(s.network.ib_bandwidth, 100e9);
+        assert_eq!(s.nvs_size, 8);
+    }
+
+    #[test]
+    fn nvs_size_sets_nics() {
+        let s = SystemBuilder::from_catalog(GpuGeneration::A100, NvsSize::Nvs4)
+            .nvs_size(16)
+            .build();
+        assert_eq!(s.nvs_size, 16);
+        assert_eq!(s.nics_per_node, 16);
+    }
+
+    #[test]
+    fn vector_rate_scales_with_tensor_override() {
+        let base = GpuGeneration::B200.gpu();
+        let s = SystemBuilder::from_catalog(GpuGeneration::B200, NvsSize::Nvs8)
+            .tensor_flops(base.tensor_flops * 2.0)
+            .build();
+        assert!((s.gpu.vector_flops - base.vector_flops * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_nvs_panics() {
+        let _ = SystemBuilder::from_catalog(GpuGeneration::A100, NvsSize::Nvs4).nvs_size(0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Accelerator (GPU) characteristics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-GPU compute and memory characteristics (paper Table A3).
+///
+/// All rates are *peak* hardware rates; the roofline model in `perfmodel`
+/// converts operation FLOP/byte counts into time using these peaks plus the
+/// fixed `flops_latency` term that models small-matrix launch inefficiency
+/// (paper: `t = t_sf + λf/λfh`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A100"`.
+    pub name: String,
+    /// Peak FP16 tensor-core rate in FLOPs/s (used for matrix multiplies).
+    pub tensor_flops: f64,
+    /// Peak FP16 vector rate in FLOPs/s (used for LN/Softmax/GeLU/etc.).
+    pub vector_flops: f64,
+    /// Fixed per-operation launch/ramp latency in seconds (`t_sf`).
+    pub flops_latency: f64,
+    /// Peak HBM bandwidth in bytes/s.
+    pub hbm_bandwidth: f64,
+    /// HBM capacity in bytes.
+    pub hbm_capacity: f64,
+}
+
+impl GpuSpec {
+    /// HBM capacity in GiB-ish gigabytes (decimal GB, as the paper quotes).
+    pub fn hbm_capacity_gb(&self) -> f64 {
+        self.hbm_capacity / 1e9
+    }
+
+    /// Returns a copy with a scaled tensor-core and vector FLOP rate.
+    ///
+    /// Used by the Fig. A5 co-design sweep, which scales compute speed and
+    /// memory independently. Vector rate is scaled by the same factor so the
+    /// tensor:vector ratio of the generation is preserved.
+    pub fn with_flops_scale(mut self, scale: f64) -> Self {
+        self.tensor_flops *= scale;
+        self.vector_flops *= scale;
+        self
+    }
+
+    /// Returns a copy with the given tensor-core rate (FLOPs/s), scaling the
+    /// vector rate proportionally.
+    pub fn with_tensor_flops(self, tensor_flops: f64) -> Self {
+        let scale = tensor_flops / self.tensor_flops;
+        self.with_flops_scale(scale)
+    }
+
+    /// Returns a copy with the given HBM capacity in bytes.
+    pub fn with_hbm_capacity(mut self, bytes: f64) -> Self {
+        self.hbm_capacity = bytes;
+        self
+    }
+
+    /// Returns a copy with the given HBM bandwidth in bytes/s.
+    pub fn with_hbm_bandwidth(mut self, bytes_per_s: f64) -> Self {
+        self.hbm_bandwidth = bytes_per_s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> GpuSpec {
+        crate::catalog::GpuGeneration::A100.gpu()
+    }
+
+    #[test]
+    fn capacity_gb_matches_table_a3() {
+        assert!((a100().hbm_capacity_gb() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flops_scale_preserves_ratio() {
+        let g = a100();
+        let ratio = g.tensor_flops / g.vector_flops;
+        let g2 = g.with_flops_scale(3.5);
+        assert!((g2.tensor_flops / g2.vector_flops - ratio).abs() < 1e-9);
+        assert!((g2.tensor_flops - 312e12 * 3.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn with_tensor_flops_sets_exact_rate() {
+        let g = a100().with_tensor_flops(1000e12);
+        assert!((g.tensor_flops - 1000e12).abs() < 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Two-tier network characteristics.
+
+use serde::{Deserialize, Serialize};
+
+/// Dual-bandwidth network description (paper §III S2, Table A3).
+///
+/// The fast tier is the NVSwitch/NVLink domain (`α_f`, `β_f`); the slow tier
+/// is the inter-node InfiniBand/SlingShot fabric (`α_s`, `β_s`). NCCL can
+/// drive multiple IB rings — one per NIC — so the *effective* slow
+/// bandwidth for a collective is `n_rings · β_s`, eventually capped by the
+/// fast-tier bandwidth each GPU must also sustain. `bandwidth_efficiency`
+/// is the paper's empirical 70% achievable-fraction derate, applied to both
+/// tiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Fast-tier (NVS) one-directional per-GPU bandwidth, bytes/s (`β_f`).
+    pub nvs_bandwidth: f64,
+    /// Fast-tier per-hop latency, seconds (`α_f`).
+    pub nvs_latency: f64,
+    /// Slow-tier (IB) per-NIC one-directional bandwidth, bytes/s (`β_s`).
+    pub ib_bandwidth: f64,
+    /// Slow-tier per-hop latency, seconds (`α_s`).
+    pub ib_latency: f64,
+    /// Fraction of peak bandwidth achieved in practice (paper: 0.7).
+    pub bandwidth_efficiency: f64,
+}
+
+impl NetworkSpec {
+    /// Effective (derated) fast-tier bandwidth in bytes/s.
+    pub fn effective_nvs_bandwidth(&self) -> f64 {
+        self.nvs_bandwidth * self.bandwidth_efficiency
+    }
+
+    /// Effective (derated) slow-tier bandwidth for a collective able to
+    /// drive `nics` NICs concurrently, in bytes/s.
+    pub fn effective_ib_bandwidth(&self, nics: u64) -> f64 {
+        self.ib_bandwidth * nics.max(1) as f64 * self.bandwidth_efficiency
+    }
+
+    /// Returns a copy with both tier bandwidths scaled by `scale`.
+    ///
+    /// The paper assumes NVLink and IB bandwidth grow proportionally across
+    /// GPU generations; this helper implements that coupling for sweeps.
+    pub fn with_bandwidth_scale(mut self, scale: f64) -> Self {
+        self.nvs_bandwidth *= scale;
+        self.ib_bandwidth *= scale;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkSpec {
+        NetworkSpec {
+            nvs_bandwidth: 300e9,
+            nvs_latency: 2.5e-6,
+            ib_bandwidth: 25e9,
+            ib_latency: 5e-6,
+            bandwidth_efficiency: 0.7,
+        }
+    }
+
+    #[test]
+    fn efficiency_derates_both_tiers() {
+        let n = net();
+        assert!((n.effective_nvs_bandwidth() - 210e9).abs() < 1.0);
+        assert!((n.effective_ib_bandwidth(1) - 17.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn nic_aggregation_multiplies_ib() {
+        let n = net();
+        assert!((n.effective_ib_bandwidth(4) - 4.0 * n.effective_ib_bandwidth(1)).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_nics_clamps_to_one() {
+        let n = net();
+        assert_eq!(n.effective_ib_bandwidth(0), n.effective_ib_bandwidth(1));
+    }
+
+    #[test]
+    fn bandwidth_scale_is_proportional() {
+        let n = net().with_bandwidth_scale(2.0);
+        assert!((n.nvs_bandwidth - 600e9).abs() < 1.0);
+        assert!((n.ib_bandwidth - 50e9).abs() < 1.0);
+    }
+}

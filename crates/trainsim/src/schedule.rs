@@ -1,0 +1,112 @@
+//! 1F1B (one-forward-one-backward, non-interleaved) schedule generation.
+
+use serde::{Deserialize, Serialize};
+
+/// One unit of stage work: the forward or backward pass of one microbatch
+/// on one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkItem {
+    /// Forward pass of microbatch `j` (0-based).
+    Forward(u64),
+    /// Backward pass of microbatch `j`.
+    Backward(u64),
+}
+
+/// The serial work-item order for `stage` (0-based) of `np` stages with
+/// `m` microbatches under non-interleaved 1F1B (Megatron-LM / PipeDream-
+/// flush): `min(np − stage − 1, m)` warmup forwards, a steady 1F1B phase,
+/// then the cooldown backwards.
+pub fn stage_schedule(stage: u64, np: u64, m: u64) -> Vec<WorkItem> {
+    assert!(stage < np, "stage {stage} out of range for np {np}");
+    let warmup = (np - stage - 1).min(m);
+    let mut order = Vec::with_capacity(2 * m as usize);
+    for j in 0..warmup {
+        order.push(WorkItem::Forward(j));
+    }
+    // Steady phase: alternate F(j), B(j - warmup).
+    let mut next_f = warmup;
+    let mut next_b = 0;
+    while next_f < m {
+        order.push(WorkItem::Forward(next_f));
+        order.push(WorkItem::Backward(next_b));
+        next_f += 1;
+        next_b += 1;
+    }
+    // Cooldown: drain remaining backwards.
+    while next_b < m {
+        order.push(WorkItem::Backward(next_b));
+        next_b += 1;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use WorkItem::{Backward as B, Forward as F};
+
+    #[test]
+    fn last_stage_alternates_immediately() {
+        assert_eq!(stage_schedule(3, 4, 3), vec![F(0), B(0), F(1), B(1), F(2), B(2)]);
+    }
+
+    #[test]
+    fn first_stage_warms_up() {
+        let s = stage_schedule(0, 4, 4);
+        assert_eq!(&s[..3], &[F(0), F(1), F(2)]);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.last(), Some(&B(3)));
+    }
+
+    #[test]
+    fn single_stage_is_sequential() {
+        assert_eq!(stage_schedule(0, 1, 2), vec![F(0), B(0), F(1), B(1)]);
+    }
+
+    #[test]
+    fn every_microbatch_appears_exactly_twice() {
+        for (np, m) in [(4u64, 8u64), (8, 3), (2, 1), (6, 6)] {
+            for s in 0..np {
+                let order = stage_schedule(s, np, m);
+                assert_eq!(order.len(), 2 * m as usize);
+                for j in 0..m {
+                    assert_eq!(order.iter().filter(|w| **w == F(j)).count(), 1);
+                    assert_eq!(order.iter().filter(|w| **w == B(j)).count(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_flight_never_exceeds_np() {
+        // The 1F1B memory guarantee: forwards minus backwards ≤ np − stage.
+        for (np, m) in [(4u64, 16u64), (8, 8), (3, 5)] {
+            for s in 0..np {
+                let mut in_flight: i64 = 0;
+                let mut peak = 0;
+                for w in stage_schedule(s, np, m) {
+                    match w {
+                        WorkItem::Forward(_) => in_flight += 1,
+                        WorkItem::Backward(_) => in_flight -= 1,
+                    }
+                    peak = peak.max(in_flight);
+                }
+                assert!(peak as u64 <= np - s, "stage {s}: peak {peak}");
+                assert_eq!(in_flight, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_caps_at_m() {
+        // Fewer microbatches than stages: warmup cannot exceed m.
+        let s = stage_schedule(0, 8, 2);
+        assert_eq!(s, vec![F(0), F(1), B(0), B(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_stage_panics() {
+        let _ = stage_schedule(4, 4, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Transformer architecture hyperparameters and derived counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Transformer architecture hyperparameters (paper §III notation).
+///
+/// The transformer processes an input `X ∈ R^{b×l×e}` through `depth`
+/// repeated blocks of self-attention (S/A) and MLP, each preceded by a
+/// LayerNorm. `hidden` is the MLP hidden dimension `f` (typically `4e`);
+/// `heads` is the attention head count `h`, with head dimension
+/// `e_h = e/h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Sequence length `l` (tokens or image patches).
+    pub seq_len: u64,
+    /// Embedding dimension `e`.
+    pub embed: u64,
+    /// MLP hidden dimension `f` (usually `4e`).
+    pub hidden: u64,
+    /// Number of attention heads `h` (must divide `e`).
+    pub heads: u64,
+    /// Number of transformer blocks `d`.
+    pub depth: u64,
+    /// If true, the Logit/Attend stage uses a linear-attention formulation
+    /// with `O(l·e_h²)` cost per head instead of `O(l²·e_h)` (paper Outlook
+    /// extension; all presets default to false).
+    pub linear_attention: bool,
+}
+
+impl TransformerConfig {
+    /// Creates a standard (softmax-attention) configuration.
+    ///
+    /// # Panics
+    /// Panics if `heads` does not divide `embed`, or any dimension is zero.
+    pub fn new(seq_len: u64, embed: u64, hidden: u64, heads: u64, depth: u64) -> Self {
+        assert!(seq_len > 0 && embed > 0 && hidden > 0 && heads > 0 && depth > 0,
+                "all transformer dimensions must be positive");
+        assert_eq!(embed % heads, 0, "heads ({heads}) must divide embed ({embed})");
+        Self { seq_len, embed, hidden, heads, depth, linear_attention: false }
+    }
+
+    /// Head dimension `e_h = e/h`.
+    pub fn head_dim(&self) -> u64 {
+        self.embed / self.heads
+    }
+
+    /// Learnable parameters in one transformer block.
+    ///
+    /// S/A: `W_Q, W_K, W_V, W_p ∈ R^{e×e}` → `4e²`; MLP: `W_1 ∈ R^{e×f}`,
+    /// `W_2 ∈ R^{f×e}` → `2ef`; biases and LN scales: `2f + 4e` (b1, b2 and
+    /// two LN (γ,β) pairs) — the paper's `12e²` per block for `f = 4e`, to
+    /// leading order.
+    pub fn params_per_block(&self) -> u64 {
+        4 * self.embed * self.embed
+            + 2 * self.embed * self.hidden
+            + self.hidden
+            + self.embed
+            + 4 * self.embed
+    }
+
+    /// Total learnable parameters across all blocks.
+    ///
+    /// Embedding/readout layers are excluded, matching the paper's
+    /// block-only accounting (for GPT3-1T the blocks alone are ~1e12
+    /// parameters).
+    pub fn total_params(&self) -> u64 {
+        self.depth * self.params_per_block()
+    }
+
+    /// Leading-order forward FLOPs for one sample (all blocks):
+    /// `2·P·l` for the weight matmuls plus `4·l²·e` per block for the
+    /// logit/attend pair (or the linear-attention equivalent).
+    ///
+    /// This is the coarse "6N" style estimate used only for sanity checks;
+    /// the performance model counts every operation exactly.
+    pub fn approx_forward_flops_per_sample(&self) -> f64 {
+        let weights = 2.0 * self.total_params() as f64 * self.seq_len as f64;
+        let attn_per_block = if self.linear_attention {
+            // Two l×e_h×e_h GEMM chains per head: 4·l·e_h²·h = 4·l·e_h·e.
+            4.0 * self.seq_len as f64 * self.head_dim() as f64 * self.embed as f64
+        } else {
+            4.0 * (self.seq_len as f64).powi(2) * self.embed as f64
+        };
+        weights + self.depth as f64 * attn_per_block
+    }
+
+    /// Ratio of MLP FLOPs to S/A FLOPs per block (forward).
+    ///
+    /// The paper uses this to characterize model classes: ≈2 for GPT3-1T
+    /// (MLP-dominated), ≈0.5 for the 64K-sequence ViT (attention-dominated).
+    pub fn mlp_to_sa_flop_ratio(&self) -> f64 {
+        let l = self.seq_len as f64;
+        let e = self.embed as f64;
+        let f = self.hidden as f64;
+        let mlp = 2.0 * l * e * f * 2.0; // two GEMMs: l×e×f and l×f×e
+        let sa_proj = 2.0 * l * e * e * 4.0; // QKV + output projection
+        let sa_la = 4.0 * l * l * e; // QK^T and AV
+        mlp / (sa_proj + sa_la)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt() -> TransformerConfig {
+        TransformerConfig::new(2048, 25600, 4 * 25600, 160, 128)
+    }
+
+    fn vit() -> TransformerConfig {
+        TransformerConfig::new(64800, 12288, 4 * 12288, 64, 48)
+    }
+
+    #[test]
+    fn gpt3_1t_has_a_trillion_params() {
+        let p = gpt().total_params() as f64;
+        assert!(p > 0.95e12 && p < 1.1e12, "got {p:e}");
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        assert_eq!(gpt().head_dim(), 160);
+        assert_eq!(vit().head_dim(), 192);
+    }
+
+    #[test]
+    fn flop_ratio_separates_model_classes() {
+        // Paper: "FLOP ratio of MLP to S/A is roughly 2x" (GPT3-1T) and
+        // "roughly 0.5x" (ViT).
+        let g = gpt().mlp_to_sa_flop_ratio();
+        let v = vit().mlp_to_sa_flop_ratio();
+        assert!(g > 1.5 && g < 2.1, "GPT ratio {g}");
+        assert!(v > 0.3 && v < 0.7, "ViT ratio {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_heads_panics() {
+        let _ = TransformerConfig::new(128, 100, 400, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = TransformerConfig::new(0, 100, 400, 4, 2);
+    }
+
+    #[test]
+    fn approx_flops_magnitude_gpt() {
+        // ~6·P·l per fwd+bwd; forward alone ~2·P·l = 2·1e12·2048 ≈ 4.1e15.
+        let f = gpt().approx_forward_flops_per_sample();
+        assert!(f > 3e15 && f < 6e15, "got {f:e}");
+    }
+
+    #[test]
+    fn linear_attention_reduces_flops_for_long_seq() {
+        let mut v = vit();
+        let quad = v.approx_forward_flops_per_sample();
+        v.linear_attention = true;
+        let lin = v.approx_forward_flops_per_sample();
+        assert!(lin < quad);
+    }
+}

@@ -1,0 +1,21 @@
+//! Transformer architecture description and FLOP/byte census primitives.
+//!
+//! This crate models the *workload* side of the paper's performance model:
+//! the transformer block (self-attention + MLP, paper §III), the two model
+//! classes studied (GPT3-1T and the long-sequence scientific ViT), and the
+//! first-principles operation census — FLOPs and HBM bytes for the matrix
+//! multiply primitive and the simpler vector operations (paper stage S1).
+//!
+//! Partitioning these operations across GPUs (tensor/pipeline/data
+//! parallelism) lives in the `perfmodel` crate; this crate is strategy
+//! agnostic.
+
+mod config;
+mod ops;
+mod presets;
+mod workload;
+
+pub use config::TransformerConfig;
+pub use ops::{gemm, vector_op, MatmulShape, OpCost, VectorOpKind, BYTES_PER_ELEM};
+pub use presets::{gpt3_175b, gpt3_1t, vit_32k, vit_64k, vit_64k_linear_attention, Preset};
+pub use workload::{TrainingWorkload, ERA5_SAMPLES_PER_YEAR};

@@ -1,0 +1,216 @@
+//! FLOP and HBM-byte census for the primitive operations (paper S1).
+//!
+//! Most transformer time is spent in the matrix-multiply primitive
+//! `C = A·B` with `C ∈ R^{m×n}`, `A ∈ R^{m×k}`, `B ∈ R^{k×n}`:
+//!
+//! * FLOPs: `λf = (2k − 1)·m·n`
+//! * HBM bytes: `λm = 2(mk + kn + mn)` at FP16 (2 bytes/element)
+//!
+//! Vector operations (LayerNorm, Softmax, GeLU, residual add, bias add) use
+//! documented per-element FLOP factors and stream their operands once.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element under FP16 mixed-precision training.
+pub const BYTES_PER_ELEM: f64 = 2.0;
+
+/// FLOPs and HBM traffic of a single device-local operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from HBM.
+    pub bytes: f64,
+}
+
+impl OpCost {
+    /// Element-wise sum of two costs.
+    pub fn plus(self, other: OpCost) -> OpCost {
+        OpCost { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+    }
+
+    /// Cost scaled by a constant factor (e.g. backward ≈ 2× forward).
+    pub fn scaled(self, k: f64) -> OpCost {
+        OpCost { flops: self.flops * k, bytes: self.bytes * k }
+    }
+
+    /// Arithmetic intensity in FLOPs/byte (∞ when no bytes are moved).
+    pub fn intensity(self) -> f64 {
+        if self.bytes == 0.0 { f64::INFINITY } else { self.flops / self.bytes }
+    }
+}
+
+/// Shape of a (possibly batched) GEMM `C[m×n] = A[m×k] · B[k×n]`,
+/// repeated `batch` times (e.g. per attention head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatmulShape {
+    pub m: u64,
+    pub k: u64,
+    pub n: u64,
+    pub batch: u64,
+}
+
+impl MatmulShape {
+    /// Unbatched GEMM shape.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        Self { m, k, n, batch: 1 }
+    }
+
+    /// Batched GEMM shape (`batch` independent m×k×n products).
+    pub fn batched(batch: u64, m: u64, k: u64, n: u64) -> Self {
+        Self { m, k, n, batch }
+    }
+
+    /// Total FLOPs `batch·(2k−1)·m·n`.
+    pub fn flops(&self) -> f64 {
+        self.batch as f64 * (2.0 * self.k as f64 - 1.0) * self.m as f64 * self.n as f64
+    }
+
+    /// HBM bytes `batch·2·(mk + kn + mn)` at FP16, counting each operand
+    /// streamed exactly once (the cuBLAS ideal).
+    pub fn bytes(&self) -> f64 {
+        self.batch as f64
+            * BYTES_PER_ELEM
+            * (self.m as f64 * self.k as f64
+                + self.k as f64 * self.n as f64
+                + self.m as f64 * self.n as f64)
+    }
+
+    /// Combined census for this GEMM.
+    pub fn cost(&self) -> OpCost {
+        OpCost { flops: self.flops(), bytes: self.bytes() }
+    }
+}
+
+/// Census for a GEMM (convenience wrapper over [`MatmulShape::cost`]).
+pub fn gemm(m: u64, k: u64, n: u64) -> OpCost {
+    MatmulShape::new(m, k, n).cost()
+}
+
+/// Vector (non-GEMM) operation classes and their per-element FLOP factors.
+///
+/// These factors are first-order models of the arithmetic in each kernel;
+/// they matter only for the memory-bound vector-op time (`bytes` dominates
+/// under the roofline), so modest inaccuracies are inconsequential — the
+/// same simplification the paper makes ("similar expressions can be
+/// derived for LN, SM, GELU and Dropout, which are simpler than matrix
+/// multiplication").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VectorOpKind {
+    /// LayerNorm: mean, variance, normalize, scale, shift ≈ 5 FLOPs/elem.
+    LayerNorm,
+    /// Softmax: max-subtract, exp, sum, divide ≈ 5 FLOPs/elem.
+    Softmax,
+    /// GeLU (tanh approximation) ≈ 8 FLOPs/elem.
+    Gelu,
+    /// Residual/bias add: 1 FLOP/elem.
+    Add,
+    /// Dropout mask-and-scale: 2 FLOPs/elem (modeled when enabled).
+    Dropout,
+}
+
+impl VectorOpKind {
+    /// FLOPs per element of the output tensor.
+    pub fn flops_per_elem(self) -> f64 {
+        match self {
+            VectorOpKind::LayerNorm => 5.0,
+            VectorOpKind::Softmax => 5.0,
+            VectorOpKind::Gelu => 8.0,
+            VectorOpKind::Add => 1.0,
+            VectorOpKind::Dropout => 2.0,
+        }
+    }
+
+    /// Streamed tensors (in units of the element count): LN/SM/GeLU/Dropout
+    /// read one tensor and write one; Add reads two and writes one.
+    pub fn streams(self) -> f64 {
+        match self {
+            VectorOpKind::Add => 3.0,
+            _ => 2.0,
+        }
+    }
+}
+
+/// Census for a vector op over `elems` output elements.
+pub fn vector_op(kind: VectorOpKind, elems: u64) -> OpCost {
+    OpCost {
+        flops: kind.flops_per_elem() * elems as f64,
+        bytes: kind.streams() * BYTES_PER_ELEM * elems as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_formula() {
+        // λf = (2k−1)mn
+        let c = gemm(4, 8, 16);
+        assert_eq!(c.flops, (2.0 * 8.0 - 1.0) * 4.0 * 16.0);
+    }
+
+    #[test]
+    fn gemm_bytes_formula() {
+        // λm = 2(mk + kn + mn)
+        let c = gemm(4, 8, 16);
+        assert_eq!(c.bytes, 2.0 * (4.0 * 8.0 + 8.0 * 16.0 + 4.0 * 16.0));
+    }
+
+    #[test]
+    fn batched_gemm_scales_linearly() {
+        let single = MatmulShape::new(64, 64, 64).cost();
+        let batched = MatmulShape::batched(8, 64, 64, 64).cost();
+        assert_eq!(batched.flops, 8.0 * single.flops);
+        assert_eq!(batched.bytes, 8.0 * single.bytes);
+    }
+
+    #[test]
+    fn square_gemm_intensity_grows_with_size() {
+        // Arithmetic intensity of an n³ GEMM grows ~n/3: big GEMMs are
+        // compute-bound, small ones memory-bound. This ordering is what
+        // makes the SUMMA panel-size (nb) trade-off exist.
+        let small = gemm(64, 64, 64).intensity();
+        let large = gemm(4096, 4096, 4096).intensity();
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn vector_ops_are_low_intensity() {
+        for kind in [
+            VectorOpKind::LayerNorm,
+            VectorOpKind::Softmax,
+            VectorOpKind::Gelu,
+            VectorOpKind::Add,
+            VectorOpKind::Dropout,
+        ] {
+            let c = vector_op(kind, 1 << 20);
+            assert!(c.intensity() < 5.0, "{kind:?} intensity {}", c.intensity());
+            assert!(c.flops > 0.0 && c.bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn add_streams_three_tensors() {
+        let c = vector_op(VectorOpKind::Add, 100);
+        assert_eq!(c.bytes, 3.0 * BYTES_PER_ELEM * 100.0);
+    }
+
+    #[test]
+    fn opcost_algebra() {
+        let a = OpCost { flops: 1.0, bytes: 2.0 };
+        let b = OpCost { flops: 3.0, bytes: 4.0 };
+        let s = a.plus(b);
+        assert_eq!(s.flops, 4.0);
+        assert_eq!(s.bytes, 6.0);
+        let d = a.scaled(2.0);
+        assert_eq!(d.flops, 2.0);
+        assert_eq!(d.bytes, 4.0);
+    }
+
+    #[test]
+    fn zero_bytes_intensity_is_infinite() {
+        let c = OpCost { flops: 1.0, bytes: 0.0 };
+        assert!(c.intensity().is_infinite());
+    }
+}

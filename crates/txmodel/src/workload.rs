@@ -1,0 +1,98 @@
+//! Training-run workloads: how many optimizer iterations a full training
+//! run takes, so iteration times can be converted to days (Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// ERA5 provides hourly global snapshots: 365.25 · 24 samples per year.
+pub const ERA5_SAMPLES_PER_YEAR: f64 = 365.25 * 24.0;
+
+/// A full training run expressed as a number of optimizer iterations at a
+/// fixed global batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingWorkload {
+    /// Global batch size in samples (sequences).
+    pub global_batch: u64,
+    /// Total optimizer iterations for the full run.
+    pub iterations: f64,
+}
+
+impl TrainingWorkload {
+    /// LLM pre-training on a fixed token budget: `iterations = tokens /
+    /// (global_batch · seq_len)`. The paper assumes GPT3-1T pre-trains on
+    /// 1T tokens at batch 4096.
+    pub fn from_token_budget(tokens: f64, global_batch: u64, seq_len: u64) -> Self {
+        assert!(tokens > 0.0 && global_batch > 0 && seq_len > 0);
+        Self {
+            global_batch,
+            iterations: tokens / (global_batch as f64 * seq_len as f64),
+        }
+    }
+
+    /// Epoch-based training on a fixed dataset: `iterations = epochs ·
+    /// samples / global_batch`. The paper trains the ViT for 80 epochs on
+    /// 40 years of hourly ERA5.
+    pub fn from_epochs(samples: f64, epochs: f64, global_batch: u64) -> Self {
+        assert!(samples > 0.0 && epochs > 0.0 && global_batch > 0);
+        Self {
+            global_batch,
+            iterations: epochs * samples / global_batch as f64,
+        }
+    }
+
+    /// The paper's GPT3-1T pre-training run: 1T tokens, batch 4096, l=2048.
+    pub fn gpt3_1t_pretraining() -> Self {
+        Self::from_token_budget(1e12, 4096, 2048)
+    }
+
+    /// The paper's ViT training run: 80 epochs × 40 years of hourly ERA5,
+    /// batch 4096.
+    pub fn vit_era5_training() -> Self {
+        Self::from_epochs(40.0 * ERA5_SAMPLES_PER_YEAR, 80.0, 4096)
+    }
+
+    /// Wall-clock days for the run given a per-iteration time in seconds.
+    pub fn days(&self, iteration_seconds: f64) -> f64 {
+        self.iterations * iteration_seconds / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_iteration_count() {
+        let w = TrainingWorkload::gpt3_1t_pretraining();
+        // 1e12 / (4096·2048) ≈ 119,209 iterations.
+        assert!((w.iterations - 119_209.28).abs() < 1.0);
+    }
+
+    #[test]
+    fn vit_iteration_count() {
+        let w = TrainingWorkload::vit_era5_training();
+        // 80 · 40·8766 / 4096 ≈ 6,848 iterations.
+        assert!((w.iterations - 6_848.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn days_conversion() {
+        let w = TrainingWorkload { global_batch: 1, iterations: 86_400.0 };
+        assert!((w.days(1.0) - 1.0).abs() < 1e-12);
+        assert!((w.days(2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn megatron_sanity_check() {
+        // Paper §I: Megatron GPT-1T trained on 450B tokens with 3072 A100s
+        // took 84 days → ~6.3s/iter at batch 4096... we just check the
+        // iteration count arithmetic is in a plausible range.
+        let w = TrainingWorkload::from_token_budget(450e9, 4096, 2048);
+        assert!(w.iterations > 5e4 && w.iterations < 6e4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_panics() {
+        let _ = TrainingWorkload::from_token_budget(1e12, 0, 2048);
+    }
+}

@@ -1,0 +1,82 @@
+//! LLM pre-training planner: how long does a 1-trillion-parameter GPT
+//! pre-training run (1T tokens) take across GPU generations, scales and
+//! NVS domain sizes — and which parallelization should each use?
+//!
+//! This is the paper's headline use case (Fig. 5a) as a planning tool:
+//! run `cargo run --release --example llm_pretrain_planner`.
+
+use fmperf::prelude::*;
+use report::Table;
+
+fn main() {
+    let model = gpt3_1t();
+    let workload = TrainingWorkload::gpt3_1t_pretraining();
+    println!(
+        "Planning {} pre-training: {:.0} iterations at global batch {}\n",
+        model.name, workload.iterations, workload.global_batch
+    );
+
+    let mut table = Table::new([
+        "system", "gpus", "config", "m", "iter (s)", "days", "HBM (GB)", "compute %",
+    ]);
+    for gen in [GpuGeneration::A100, GpuGeneration::H200, GpuGeneration::B200] {
+        for nvs in [NvsSize::Nvs8, NvsSize::Nvs64] {
+            let sys = system(gen, nvs);
+            for n in [2048u64, 8192, 16384] {
+                let opts = SearchOptions::new(n, 4096, TpStrategy::OneD);
+                match optimize(&model.config, &sys, &opts) {
+                    Some(e) => table.push([
+                        sys.name.clone(),
+                        n.to_string(),
+                        format!(
+                            "TP{} PP{} DP{}",
+                            e.config.tensor_parallel(),
+                            e.config.np,
+                            e.config.nd
+                        ),
+                        e.microbatches.to_string(),
+                        format!("{:.2}", e.iteration_time),
+                        format!("{:.1}", training_days(&workload, &e)),
+                        format!("{:.0}", e.memory.total_gb()),
+                        format!("{:.0}", 100.0 * e.breakdown.compute_fraction()),
+                    ]),
+                    None => table.push([
+                        sys.name.clone(),
+                        n.to_string(),
+                        "infeasible".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]),
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // Strategy comparison at pre-training scale (the paper's Fig. A4
+    // takeaway: 2D variants buy ~5–30% depending on the regime).
+    println!("Strategy comparison on 16384 GPUs:");
+    for gen in [GpuGeneration::A100, GpuGeneration::B200] {
+        let sys = system(gen, NvsSize::Nvs8);
+        let t = |s: TpStrategy| {
+            optimize(&model.config, &sys, &SearchOptions::new(16384, 4096, s))
+                .map(|e| e.iteration_time)
+        };
+        if let (Some(t1), Some(t2), Some(ts)) =
+            (t(TpStrategy::OneD), t(TpStrategy::TwoD), t(TpStrategy::Summa))
+        {
+            println!(
+                "  {:>10}: 1D {:6.2}s | 2D {:6.2}s ({:+.1}%) | SUMMA {:6.2}s ({:+.1}%)",
+                sys.name,
+                t1,
+                t2,
+                100.0 * (t1 / t2 - 1.0),
+                ts,
+                100.0 * (t1 / ts - 1.0),
+            );
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Quickstart: find the optimal way to train GPT3-1T on 1024 B200 GPUs.
+use perfmodel::{optimize, training_days, SearchOptions, TpStrategy};
+use systems::{system, GpuGeneration, NvsSize};
+use txmodel::{gpt3_1t, TrainingWorkload};
+
+fn main() {
+    let model = gpt3_1t();
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let n = 1024;
+    let opts = SearchOptions::new(n, 4096, TpStrategy::OneD);
+    let best = optimize(&model.config, &sys, &opts).expect("feasible config");
+    println!("Optimal configuration for {} on {} GPUs ({}):", model.name, n, sys.name);
+    println!("  {}", best.config);
+    println!("  microbatches      : {}", best.microbatches);
+    println!("  iteration time    : {:.3} s", best.iteration_time);
+    println!("  HBM per GPU       : {:.1} GB", best.memory.total_gb());
+    for (name, pct) in best.breakdown.percentages() {
+        println!("  {name:<10}: {pct:5.1} %");
+    }
+    let days = training_days(&TrainingWorkload::gpt3_1t_pretraining(), &best);
+    println!("  full 1T-token pre-training: {days:.1} days");
+}

@@ -1,0 +1,74 @@
+//! Model validation: check the closed-form performance model against the
+//! two discrete-event simulators, mirroring the paper's validation story
+//! (Fig. A1 for the network formulas, §IV for end-to-end iteration time).
+//!
+//! Run: `cargo run --release --example validate_against_simulator`.
+
+use fmperf::prelude::*;
+use netsim::{simulate_collective, SimOptions};
+use report::Table;
+use trainsim::{compare, SimParams};
+
+fn main() {
+    // --- Fig. A1 analogue: collective formulas vs the chunk-level DES ---
+    println!("AllGather on 32 Perlmutter-class A100s: analytic vs simulated\n");
+    let mut t = Table::new(["NVL", "volume", "analytic (ms)", "simulated (ms)", "err %"]);
+    for nvl in [2u64, 4] {
+        let sys = perlmutter(nvl);
+        let group = CommGroup::new(32, nvl);
+        for v in [1e6, 64e6, 1e9, 8e9] {
+            let ana = collective_time(Collective::AllGather, v, group, &sys);
+            let sim =
+                simulate_collective(Collective::AllGather, v, group, &sys, &SimOptions::default())
+                    .time;
+            t.push([
+                nvl.to_string(),
+                format!("{:>6.0} MB", v / 1e6),
+                format!("{:.3}", ana * 1e3),
+                format!("{:.3}", sim * 1e3),
+                format!("{:+.1}", 100.0 * (sim - ana) / ana),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // --- §IV analogue: iteration time vs the 1F1B schedule simulator ---
+    println!("512-GPU Perlmutter iteration times: analytic vs 1F1B simulation\n");
+    let sys = perlmutter(4);
+    let mut t = Table::new(["model", "config", "analytic (s)", "simulated (s)", "err %"]);
+    let cases = [
+        (
+            "GPT3-175B",
+            gpt3_175b().config,
+            ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1),
+            Placement { v1: 4, v2: 1, vp: 1, vd: 1 },
+        ),
+        (
+            "GPT3-175B",
+            gpt3_175b().config,
+            ParallelConfig::new(TpStrategy::OneD, 16, 1, 8, 4, 1),
+            Placement { v1: 4, v2: 1, vp: 1, vd: 1 },
+        ),
+        (
+            "ViT-32K",
+            vit_32k().config,
+            ParallelConfig::new(TpStrategy::TwoD, 2, 4, 4, 16, 1),
+            Placement { v1: 2, v2: 2, vp: 1, vd: 1 },
+        ),
+    ];
+    for (name, model, cfg, pl) in cases {
+        let row = compare(name, &model, &cfg, &pl, 1024, &sys, &SimParams::default());
+        t.push([
+            name.to_string(),
+            format!("{}", cfg),
+            format!("{:.2}", row.analytic),
+            format!("{:.2}", row.simulated),
+            format!("{:.1}", 100.0 * row.rel_err()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The paper reports 2–26% against Megatron-LM on real hardware; the schedule\n\
+         simulator probes the same error classes (bubbles, exposed comm, launch gaps)."
+    );
+}

@@ -1,0 +1,49 @@
+//! `fmperf` — analytical performance modeling and design-space search for
+//! foundation-model training.
+//!
+//! Reproduction of *"Comprehensive Performance Modeling and System Design
+//! Insights for Foundation Models"* (SC 2024). This facade crate re-exports
+//! the workspace libraries and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! * [`systems`] — hardware/network catalog (Table A3) and builders.
+//! * [`txmodel`] — transformer architectures, presets, FLOP/byte census.
+//! * [`collectives`] — analytic dual-network collective time model.
+//! * [`netsim`] — chunk-level discrete-event ring-collective simulator.
+//! * [`perfmodel`] — the paper's performance model + brute-force search.
+//! * [`trainsim`] — 1F1B schedule simulator for model validation.
+//! * [`report`] — tables, ASCII charts, JSON/CSV artifacts.
+//!
+//! ```
+//! use fmperf::prelude::*;
+//!
+//! let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+//! let best = optimize(
+//!     &gpt3_1t().config,
+//!     &sys,
+//!     &SearchOptions::new(512, 4096, TpStrategy::OneD),
+//! )
+//! .unwrap();
+//! println!("{}: {:.2} s/iter", best.config, best.iteration_time);
+//! ```
+
+pub use collectives;
+pub use netsim;
+pub use perfmodel;
+pub use report;
+pub use systems;
+pub use trainsim;
+pub use txmodel;
+
+/// Everything a typical planning session needs.
+pub mod prelude {
+    pub use collectives::{collective_time, Collective, CommGroup};
+    pub use perfmodel::{
+        best_placement_eval, evaluate, optimize, training_days, Evaluation, ParallelConfig,
+        Placement, SearchOptions, TpStrategy,
+    };
+    pub use systems::{perlmutter, system, GpuGeneration, NvsSize, SystemBuilder, SystemSpec};
+    pub use txmodel::{
+        gpt3_175b, gpt3_1t, vit_32k, vit_64k, TrainingWorkload, TransformerConfig,
+    };
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the full pipeline from architecture
+//! description through search, and the two simulators against the
+//! analytic model.
+
+use fmperf::prelude::*;
+use netsim::{simulate_collective, SimOptions};
+use trainsim::{compare, simulate_iteration, SimParams};
+
+#[test]
+fn end_to_end_gpt_plan_is_consistent() {
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let model = gpt3_1t().config;
+    let best = optimize(&model, &sys, &SearchOptions::new(2048, 4096, TpStrategy::OneD))
+        .expect("feasible");
+    // Re-evaluating the returned configuration + placement must give the
+    // same numbers (the search reports real evaluations).
+    let re = evaluate(&model, &best.config, &best.placement, 4096, &sys);
+    assert!((re.iteration_time - best.iteration_time).abs() < 1e-12);
+    assert_eq!(re.memory, best.memory);
+    // And the breakdown must account for the whole iteration.
+    assert!((re.breakdown.total() - re.iteration_time).abs() / re.iteration_time < 1e-12);
+}
+
+#[test]
+fn search_beats_every_handpicked_config() {
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let model = gpt3_1t().config;
+    let n = 1024;
+    let best = optimize(&model, &sys, &SearchOptions::new(n, 4096, TpStrategy::OneD)).unwrap();
+    for (n1, np, nd) in [(8, 16, 8), (4, 32, 8), (16, 64, 1), (2, 128, 4)] {
+        let cfg = ParallelConfig::new(TpStrategy::OneD, n1, 1, np, nd, 1);
+        if cfg.validate(&model, 4096).is_err() {
+            continue;
+        }
+        let e = best_placement_eval(&model, &cfg, 4096, &sys);
+        if e.feasible {
+            assert!(
+                best.iteration_time <= e.iteration_time + 1e-12,
+                "search missed {cfg}: {} < {}",
+                e.iteration_time,
+                best.iteration_time
+            );
+        }
+    }
+}
+
+#[test]
+fn analytic_collectives_track_the_simulator_across_shapes() {
+    let opts = SimOptions::default();
+    for (gen, nvs) in [(GpuGeneration::A100, NvsSize::Nvs4), (GpuGeneration::B200, NvsSize::Nvs8)]
+    {
+        let sys = system(gen, nvs);
+        for (size, per_domain) in [(8u64, 4u64), (16, 4), (64, 4)] {
+            let per_domain = per_domain.min(sys.nvs_size);
+            let group = CommGroup::new(size, per_domain);
+            for coll in [Collective::AllGather, Collective::AllReduce] {
+                let v = 512e6;
+                let ana = collective_time(coll, v, group, &sys);
+                let sim = simulate_collective(coll, v, group, &sys, &opts).time;
+                let err = (sim - ana).abs() / ana;
+                assert!(err < 0.2, "{:?} on {}x{}: err {err:.3}", coll, size, per_domain);
+            }
+        }
+    }
+}
+
+#[test]
+fn schedule_simulator_validates_the_model_on_the_paper_setting() {
+    // §IV: 512 GPUs, batch 1024, GPT3-175B — optimal and one sub-optimal.
+    let sys = perlmutter(4);
+    let model = gpt3_175b().config;
+    let optimal = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
+    let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+    let row = compare("opt", &model, &optimal, &pl, 1024, &sys, &SimParams::default());
+    assert!(row.rel_err() < 0.15, "optimal err {:.3}", row.rel_err());
+
+    let sub = ParallelConfig::new(TpStrategy::OneD, 16, 1, 8, 4, 1);
+    let sub_row = compare("sub", &model, &sub, &pl, 1024, &sys, &SimParams::default());
+    assert!(sub_row.analytic > row.analytic, "sub-optimal must predict slower");
+    assert!(sub_row.simulated > row.simulated, "and simulate slower");
+}
+
+#[test]
+fn simulated_bubble_matches_analytic_bubble_share() {
+    let sys = perlmutter(4);
+    let model = gpt3_175b().config;
+    let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
+    let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+    let ana = evaluate(&model, &cfg, &pl, 1024, &sys);
+    let sim = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::ideal());
+    let ana_share = ana.breakdown.pp_bubble / ana.iteration_time;
+    assert!(
+        (sim.bubble_fraction - ana_share).abs() < 0.05,
+        "sim bubble {:.3} vs analytic share {:.3}",
+        sim.bubble_fraction,
+        ana_share
+    );
+}
+
+#[test]
+fn paper_contrast_llm_vs_sciml() {
+    // The paper's headline contrast, end to end: the LLM works with 1D TP
+    // + pipelining; the long-sequence ViT needs 2D TP and rejects 1D.
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let gpt = optimize(&gpt3_1t().config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::OneD));
+    assert!(gpt.is_some());
+    let vit_1d =
+        optimize(&vit_64k().config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::OneD));
+    assert!(vit_1d.is_none());
+    let vit_2d =
+        optimize(&vit_64k().config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::TwoD))
+            .expect("2D TP trains the ViT");
+    assert!(vit_2d.config.n2 >= 2);
+    // ViT pins HBM; GPT at this scale does not.
+    assert!(vit_2d.memory.total_gb() > gpt.unwrap().memory.total_gb());
+}
+
+#[test]
+fn training_days_compose_with_workloads() {
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let best = optimize(&gpt3_1t().config, &sys, &SearchOptions::new(16384, 4096, TpStrategy::OneD))
+        .unwrap();
+    let days = training_days(&TrainingWorkload::gpt3_1t_pretraining(), &best);
+    // Paper Fig. 5a: O(3–5) days on 16K B200.
+    assert!(days > 2.0 && days < 8.0, "got {days}");
+}
+
+#[test]
+fn placement_search_improves_on_trivial_placement() {
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let model = gpt3_1t().config;
+    let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+    let best = best_placement_eval(&model, &cfg, 4096, &sys);
+    let trivial = evaluate(&model, &cfg, &Placement { v1: 1, v2: 1, vp: 1, vd: 1 }, 4096, &sys);
+    assert!(best.iteration_time < trivial.iteration_time);
+}

@@ -1,0 +1,241 @@
+//! Property-based tests on the model's core invariants.
+
+use fmperf::prelude::*;
+use perfmodel::enumerate_placements;
+use proptest::prelude::*;
+use trainsim::stage_schedule;
+
+/// Strategy for power-of-two factors up to 2^max_log.
+fn pow2(max_log: u32) -> impl Strategy<Value = u64> {
+    (0..=max_log).prop_map(|e| 1u64 << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Collective time is monotone in volume and never negative.
+    #[test]
+    fn collective_time_monotone_in_volume(
+        v1 in 1.0e3f64..1.0e10,
+        scale in 1.01f64..100.0,
+        size_log in 1u32..8,
+        per_log in 0u32..4,
+    ) {
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let size = 1u64 << size_log;
+        let per = (1u64 << per_log).min(size).min(sys.nvs_size);
+        prop_assume!(size % per == 0);
+        let g = CommGroup::new(size, per);
+        for coll in [Collective::AllGather, Collective::ReduceScatter, Collective::AllReduce, Collective::Broadcast] {
+            let a = collective_time(coll, v1, g, &sys);
+            let b = collective_time(coll, v1 * scale, g, &sys);
+            prop_assert!(a >= 0.0);
+            prop_assert!(b > a, "{coll:?}: {b} !> {a}");
+        }
+    }
+
+    /// Packing more of a cross-domain group into the fast domain never
+    /// hurts (more NICs + fewer slow hops).
+    #[test]
+    fn collective_time_improves_with_domain_packing(
+        v in 1.0e6f64..1.0e10,
+        size_log in 3u32..9,
+    ) {
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let size = 1u64 << size_log;
+        let t2 = collective_time(Collective::AllGather, v, CommGroup::new(size, 2), &sys);
+        let t8 = collective_time(Collective::AllGather, v, CommGroup::new(size, 8.min(size)), &sys);
+        prop_assert!(t8 <= t2 + 1e-15);
+    }
+
+    /// Every evaluation's breakdown sums to its iteration time, and all
+    /// buckets are non-negative.
+    #[test]
+    fn breakdown_sums_and_nonnegative(
+        n1 in pow2(3),
+        np_log in 0u32..5,
+        nd_log in 0u32..5,
+        bm in pow2(2),
+    ) {
+        let model = gpt3_1t().config;
+        let np = 1u64 << np_log;
+        let nd = 1u64 << nd_log;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, n1, 1, np, nd, bm);
+        prop_assume!(cfg.validate(&model, 4096).is_ok());
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let e = best_placement_eval(&model, &cfg, 4096, &sys);
+        let b = e.breakdown;
+        for part in [b.compute, b.memory, b.tp_comm, b.pp_bubble, b.dp_comm, b.pp_comm] {
+            prop_assert!(part >= 0.0);
+        }
+        prop_assert!((b.total() - e.iteration_time).abs() <= 1e-9 * e.iteration_time);
+        prop_assert!(e.iteration_time > 0.0);
+    }
+
+    /// Memory usage is monotone in microbatch size (more in-flight bytes)
+    /// and weights shrink when TP grows.
+    #[test]
+    fn memory_monotonicity(
+        n1 in pow2(3),
+        bm_log in 0u32..3,
+    ) {
+        let model = gpt3_1t().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let bm = 1u64 << bm_log;
+        let mk = |n1: u64, bm: u64| {
+            let cfg = ParallelConfig::new(TpStrategy::OneD, n1, 1, 8, 16, bm);
+            cfg.validate(&model, 4096).ok()?;
+            Some(best_placement_eval(&model, &cfg, 4096, &sys).memory)
+        };
+        if let (Some(a), Some(b)) = (mk(n1, bm), mk(n1, bm * 2)) {
+            prop_assert!(b.activations >= a.activations);
+        }
+        if let (Some(a), Some(b)) = (mk(n1, bm), mk(n1 * 2, bm)) {
+            prop_assert!(b.weights < a.weights);
+        }
+    }
+
+    /// Every enumerated placement is valid and maximal placements fill
+    /// power-of-two domains exactly.
+    #[test]
+    fn placements_are_valid(
+        n1 in pow2(3),
+        n2 in pow2(2),
+        np_log in 0u32..4,
+        nd_log in 0u32..4,
+    ) {
+        let np = 1u64 << np_log;
+        let nd = 1u64 << nd_log;
+        let cfg = ParallelConfig::new(TpStrategy::TwoD, n1, n2, np, nd, 1);
+        let nvs = 8;
+        let placements = enumerate_placements(&cfg, nvs);
+        prop_assert!(!placements.is_empty());
+        let budget = nvs.min(cfg.total_gpus());
+        for p in placements {
+            prop_assert!(p.validate(&cfg, nvs).is_ok());
+            prop_assert_eq!(p.gpus_per_domain(), budget);
+        }
+    }
+
+    /// The 1F1B schedule always executes each microbatch exactly twice
+    /// per stage, keeps in-flight ≤ np − stage, and ends drained.
+    #[test]
+    fn schedule_invariants(np in 1u64..12, m in 1u64..40, stage_frac in 0.0f64..1.0) {
+        let stage = ((np - 1) as f64 * stage_frac) as u64;
+        let order = stage_schedule(stage, np, m);
+        prop_assert_eq!(order.len() as u64, 2 * m);
+        let mut in_flight: i64 = 0;
+        for item in &order {
+            match item {
+                trainsim::WorkItem::Forward(_) => in_flight += 1,
+                trainsim::WorkItem::Backward(_) => in_flight -= 1,
+            }
+            prop_assert!(in_flight >= 0);
+            prop_assert!(in_flight as u64 <= np - stage);
+        }
+        prop_assert_eq!(in_flight, 0);
+    }
+
+    /// GEMM census formulas stay exact under random shapes.
+    #[test]
+    fn gemm_census_formulas(m in 1u64..4096, k in 1u64..4096, n in 1u64..4096) {
+        let c = txmodel::gemm(m, k, n);
+        prop_assert_eq!(c.flops, (2.0 * k as f64 - 1.0) * m as f64 * n as f64);
+        prop_assert_eq!(
+            c.bytes,
+            2.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64)
+        );
+    }
+
+    /// Transformer parameter counts scale linearly with depth.
+    #[test]
+    fn params_linear_in_depth(d1 in 1u64..64, d2 in 1u64..64) {
+        let mk = |d| TransformerConfig::new(2048, 1024, 4096, 16, d).total_params();
+        prop_assert_eq!(mk(d1) * d2, mk(d2) * d1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tree AllReduce beats ring on latency-bound shapes and loses on
+    /// bandwidth-bound ones; auto always takes the minimum.
+    #[test]
+    fn tree_allreduce_selection(size_log in 2u32..11, vol in 1.0e3f64..1.0e10) {
+        use collectives::{allreduce_auto_time, allreduce_tree_time};
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let size = 1u64 << size_log;
+        let g = CommGroup::new(size, 8.min(size));
+        let ring = collective_time(Collective::AllReduce, vol, g, &sys);
+        let tree = allreduce_tree_time(vol, g, &sys);
+        let auto = allreduce_auto_time(vol, g, &sys);
+        prop_assert!(auto <= ring + 1e-15);
+        prop_assert!(auto <= tree + 1e-15);
+        prop_assert!((auto - ring.min(tree)).abs() < 1e-15);
+    }
+
+    /// Interleaving never increases the bubble and never decreases
+    /// activation memory.
+    #[test]
+    fn interleave_tradeoff_direction(v_log in 1u32..4) {
+        let model = gpt3_1t().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let v = 1u64 << v_log;
+        let base = ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, 128, 1);
+        let inter = ParallelConfig { interleave: v, ..base };
+        prop_assume!(inter.validate(&model, 4096).is_ok());
+        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let e0 = evaluate(&model, &base, &pl, 4096, &sys);
+        let ev = evaluate(&model, &inter, &pl, 4096, &sys);
+        prop_assert!(ev.breakdown.pp_bubble <= e0.breakdown.pp_bubble + 1e-12);
+        prop_assert!(ev.memory.activations >= e0.memory.activations - 1e-9);
+        prop_assert!(ev.breakdown.pp_comm >= e0.breakdown.pp_comm - 1e-12);
+    }
+
+    /// ZeRO-3 always shrinks weight+gradient memory by exactly nd and
+    /// never shrinks DP communication.
+    #[test]
+    fn zero3_memory_exactness(nd_log in 1u32..8) {
+        let model = gpt3_1t().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let nd = 1u64 << nd_log;
+        prop_assume!(4096 % nd == 0);
+        let base = ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, nd, 1);
+        let z3 = ParallelConfig { zero3: true, ..base };
+        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let e0 = evaluate(&model, &base, &pl, 4096, &sys);
+        let ez = evaluate(&model, &z3, &pl, 4096, &sys);
+        prop_assert!((ez.memory.weights * nd as f64 - e0.memory.weights).abs() < 1.0);
+        prop_assert!(ez.breakdown.dp_comm >= e0.breakdown.dp_comm - 1e-12);
+    }
+
+    /// The netsim DES stays within a bounded factor of the analytic model
+    /// over random volumes and placements (the Fig. A1 property).
+    #[test]
+    fn netsim_tracks_analytic(vol in 1.0e7f64..1.0e10, per_log in 1u32..4) {
+        use netsim::{simulate_collective, SimOptions};
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs8);
+        let per = 1u64 << per_log;
+        let g = CommGroup::new(32, per);
+        let ana = collective_time(Collective::AllGather, vol, g, &sys);
+        let sim = simulate_collective(Collective::AllGather, vol, g, &sys, &SimOptions::default()).time;
+        let err = (sim - ana).abs() / ana;
+        prop_assert!(err < 0.25, "err {err} at vol {vol} per {per}");
+    }
+
+    /// Straggler injection slows the simulated iteration by at most the
+    /// straggler factor and at least something.
+    #[test]
+    fn straggler_bounds(factor in 1.05f64..2.0) {
+        use trainsim::{simulate_iteration, SimParams};
+        let model = gpt3_175b().config;
+        let sys = perlmutter(4);
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 8, 16, 1);
+        let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+        let base = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::ideal());
+        let params = SimParams { straggler_stage: Some(3), straggler_factor: factor, ..SimParams::ideal() };
+        let slow = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &params);
+        let ratio = slow.iteration_time / base.iteration_time;
+        prop_assert!(ratio > 1.0 && ratio < factor + 1e-9, "ratio {ratio} factor {factor}");
+    }
+}
