@@ -11,10 +11,12 @@
 
 use criterion::{criterion_group, Criterion};
 use perfmodel::partition::build_profile;
-use perfmodel::{best_placement_eval, optimize, ParallelConfig, Placement, SearchOptions, TpStrategy};
+use perfmodel::{
+    best_placement_eval, optimize, ParallelConfig, Placement, SearchOptions, TpStrategy,
+};
 use std::time::Duration;
 use systems::{perlmutter, system, GpuGeneration, NvsSize};
-use txmodel::{gpt3_1t, gpt3_175b, vit_64k};
+use txmodel::{gpt3_175b, gpt3_1t, vit_64k};
 
 fn bench_profile(c: &mut Criterion) {
     let gpu = GpuGeneration::B200.gpu();
@@ -51,16 +53,40 @@ fn bench_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("search");
     g.sample_size(10);
     g.bench_function("gpt_1d_n1024", |b| {
-        b.iter(|| optimize(&gpt, &sys, &SearchOptions::new(1024, 4096, TpStrategy::OneD)))
+        b.iter(|| {
+            optimize(
+                &gpt,
+                &sys,
+                &SearchOptions::new(1024, 4096, TpStrategy::OneD),
+            )
+        })
     });
     g.bench_function("gpt_1d_n16384", |b| {
-        b.iter(|| optimize(&gpt, &sys, &SearchOptions::new(16384, 4096, TpStrategy::OneD)))
+        b.iter(|| {
+            optimize(
+                &gpt,
+                &sys,
+                &SearchOptions::new(16384, 4096, TpStrategy::OneD),
+            )
+        })
     });
     g.bench_function("gpt_summa_n16384", |b| {
-        b.iter(|| optimize(&gpt, &sys, &SearchOptions::new(16384, 4096, TpStrategy::Summa)))
+        b.iter(|| {
+            optimize(
+                &gpt,
+                &sys,
+                &SearchOptions::new(16384, 4096, TpStrategy::Summa),
+            )
+        })
     });
     g.bench_function("vit_2d_n16384", |b| {
-        b.iter(|| optimize(&vit, &sys, &SearchOptions::new(16384, 4096, TpStrategy::TwoD)))
+        b.iter(|| {
+            optimize(
+                &vit,
+                &sys,
+                &SearchOptions::new(16384, 4096, TpStrategy::TwoD),
+            )
+        })
     });
     g.finish();
 }
@@ -86,7 +112,12 @@ fn bench_trainsim(c: &mut Criterion) {
     let model = gpt3_175b().config;
     let sys = perlmutter(4);
     let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
-    let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+    let pl = Placement {
+        v1: 4,
+        v2: 1,
+        vp: 1,
+        vd: 1,
+    };
     let mut g = c.benchmark_group("trainsim");
     g.bench_function("gpt175b_512gpu_iteration", |b| {
         b.iter(|| simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::default()))

@@ -7,8 +7,22 @@ use serde_json::{json, Value};
 /// Column set for configuration-sweep artifacts (the paper's paired
 /// "Parallelization Configuration" + "Time" panels flattened into rows).
 pub const EVAL_COLUMNS: [&str; 16] = [
-    "label", "n1", "n2", "np", "nd", "bm", "microbatches", "mem_gb", "feasible", "t_iter_s",
-    "pct_compute", "pct_tp_comm", "pct_pp_bubble", "pct_dp_comm", "pct_memory", "pct_pp_comm",
+    "label",
+    "n1",
+    "n2",
+    "np",
+    "nd",
+    "bm",
+    "microbatches",
+    "mem_gb",
+    "feasible",
+    "t_iter_s",
+    "pct_compute",
+    "pct_tp_comm",
+    "pct_pp_bubble",
+    "pct_dp_comm",
+    "pct_memory",
+    "pct_pp_comm",
 ];
 
 /// Converts an evaluation into an [`EVAL_COLUMNS`] row.
@@ -74,7 +88,13 @@ pub fn grid_heatmap(art: &report::Artifact) -> Option<String> {
     let points: Vec<(f64, f64, Option<f64>)> = art
         .rows
         .iter()
-        .map(|r| (r[xi].as_f64().unwrap_or(f64::NAN), r[yi].as_f64().unwrap_or(f64::NAN), r[vi].as_f64()))
+        .map(|r| {
+            (
+                r[xi].as_f64().unwrap_or(f64::NAN),
+                r[yi].as_f64().unwrap_or(f64::NAN),
+                r[vi].as_f64(),
+            )
+        })
         .collect();
     Some(report::heatmap(&points, xl, yl))
 }
@@ -98,7 +118,12 @@ mod tests {
         let e = evaluate(
             &gpt3_1t().config,
             &cfg,
-            &Placement { v1: 8, v2: 1, vp: 1, vd: 1 },
+            &Placement {
+                v1: 8,
+                v2: 1,
+                vp: 1,
+                vd: 1,
+            },
             4096,
             &sys,
         );

@@ -63,8 +63,16 @@ pub fn tp_overlap() -> Artifact {
         ["model", "overlap", "t_iter_s", "speedup_vs_baseline"],
     );
     let cases = [
-        ("GPT3-1T/1D", gpt3_1t().config, ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1)),
-        ("ViT-64K/2D", vit_64k().config, ParallelConfig::new(TpStrategy::TwoD, 4, 4, 2, 512, 1)),
+        (
+            "GPT3-1T/1D",
+            gpt3_1t().config,
+            ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1),
+        ),
+        (
+            "ViT-64K/2D",
+            vit_64k().config,
+            ParallelConfig::new(TpStrategy::TwoD, 4, 4, 2, 512, 1),
+        ),
     ];
     for (name, model, cfg) in cases {
         let base = best_placement_eval(&model, &cfg, 4096, &sys);
@@ -103,7 +111,11 @@ pub fn zero3() -> Artifact {
     opts.allow_zero3 = true;
     if let Some(e) = optimize(&model, &sys, &opts) {
         art.push(eval_row(
-            if e.config.zero3 { "search:best (zero3)" } else { "search:best (baseline)" },
+            if e.config.zero3 {
+                "search:best (zero3)"
+            } else {
+                "search:best (baseline)"
+            },
             &e,
         ));
     }

@@ -37,8 +37,12 @@ mod tests {
         // nt = 8".
         let art = generate();
         let times: Vec<f64> = art.rows.iter().map(|r| r[9].as_f64().unwrap()).collect();
-        let min_idx =
-            times.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let min_idx = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         // Minimum at C (nt=4) or D (nt=8) — the paper's shallow basin.
         assert!(min_idx == 2 || min_idx == 3, "min at {min_idx}: {times:?}");
         // Endpoints are worse than the basin.

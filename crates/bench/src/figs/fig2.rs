@@ -17,11 +17,14 @@ fn panel(nvs: NvsSize, suffix: &str) -> Artifact {
     let sys = system(GpuGeneration::B200, nvs);
     let mut art = Artifact::new(
         format!("fig2{suffix}"),
-        format!("Fig 2({suffix}): vary PP/DP at nt=8, bm=1, GPT3-1T 1D TP, 16384×{}", sys.name),
+        format!(
+            "Fig 2({suffix}): vary PP/DP at nt=8, bm=1, GPT3-1T 1D TP, 16384×{}",
+            sys.name
+        ),
         EVAL_COLUMNS,
     );
     for (i, np) in NP_SWEEP.into_iter().enumerate() {
-        if model.depth % np != 0 {
+        if !model.depth.is_multiple_of(np) {
             continue;
         }
         let nd = 16384 / 8 / np;
@@ -68,7 +71,10 @@ mod tests {
         let arts = generate();
         let np8 = feasible_min_np(&arts[0]);
         let np64 = feasible_min_np(&arts[1]);
-        assert!(np64 < np8, "NVS64 best np {np64} should be below NVS8 best {np8}");
+        assert!(
+            np64 < np8,
+            "NVS64 best np {np64} should be below NVS8 best {np8}"
+        );
         assert!(np64 <= 16, "NVS64 best np = {np64}");
     }
 
@@ -77,10 +83,19 @@ mod tests {
         // Paper: "while np = 1 is fastest, it is infeasible on a B200
         // due to high HBM capacity required".
         let arts = generate();
-        let low_pp: Vec<_> =
-            arts[1].rows.iter().filter(|r| r[3].as_u64().unwrap() <= 2).collect();
-        assert!(low_pp.iter().all(|r| !r[8].as_bool().unwrap()), "np≤2 should overflow HBM");
-        let t_low = low_pp.iter().map(|r| r[9].as_f64().unwrap()).fold(f64::MAX, f64::min);
+        let low_pp: Vec<_> = arts[1]
+            .rows
+            .iter()
+            .filter(|r| r[3].as_u64().unwrap() <= 2)
+            .collect();
+        assert!(
+            low_pp.iter().all(|r| !r[8].as_bool().unwrap()),
+            "np≤2 should overflow HBM"
+        );
+        let t_low = low_pp
+            .iter()
+            .map(|r| r[9].as_f64().unwrap())
+            .fold(f64::MAX, f64::min);
         let t_rest = arts[1]
             .rows
             .iter()

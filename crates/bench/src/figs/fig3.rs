@@ -42,7 +42,10 @@ fn panel(nvs: NvsSize, suffix: &str) -> Artifact {
     let sys = system(GpuGeneration::B200, nvs);
     let mut art = Artifact::new(
         format!("fig3{suffix}"),
-        format!("Fig 3({suffix}): SUMMA n1/n2 sweep, GPT3-1T, 16384×{}", sys.name),
+        format!(
+            "Fig 3({suffix}): SUMMA n1/n2 sweep, GPT3-1T, 16384×{}",
+            sys.name
+        ),
         EVAL_COLUMNS,
     );
     let mut i = 0;
@@ -114,7 +117,10 @@ mod tests {
         // Config C = (8, 4, np=1): NVS64 speeds it up substantially.
         let c_gain = t(&arts[0], "C") / t(&arts[1], "C");
         let f_gain = t(&arts[0], "F") / t(&arts[1], "F");
-        assert!(c_gain > f_gain, "high-DP gain {c_gain:.2} vs high-PP gain {f_gain:.2}");
+        assert!(
+            c_gain > f_gain,
+            "high-DP gain {c_gain:.2} vs high-PP gain {f_gain:.2}"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn scaling(
             Some(e) => art.push(eval_row(&n.to_string(), &e)),
             None => {
                 let mut row = vec![json!(n.to_string())];
-                row.extend(std::iter::repeat(serde_json::Value::Null).take(EVAL_COLUMNS.len() - 1));
+                row.extend(std::iter::repeat_n(
+                    serde_json::Value::Null,
+                    EVAL_COLUMNS.len() - 1,
+                ));
                 art.push(row);
             }
         }
@@ -60,8 +63,7 @@ mod tests {
     #[test]
     fn gpt_strong_scaling_is_monotone() {
         let art = generate_4a();
-        let times: Vec<f64> =
-            art.rows.iter().filter_map(|r| r[9].as_f64()).collect();
+        let times: Vec<f64> = art.rows.iter().filter_map(|r| r[9].as_f64()).collect();
         assert!(times.len() >= 7, "most scales should be feasible");
         for w in times.windows(2) {
             assert!(w[1] < w[0], "{times:?}");
@@ -72,8 +74,7 @@ mod tests {
     fn gpt_compute_share_falls_at_scale() {
         // Paper: bubbles and communication slowly get exposed at scale.
         let art = generate_4a();
-        let shares: Vec<f64> =
-            art.rows.iter().filter_map(|r| r[10].as_f64()).collect();
+        let shares: Vec<f64> = art.rows.iter().filter_map(|r| r[10].as_f64()).collect();
         let mid = shares[shares.len() / 2];
         let last = *shares.last().unwrap();
         assert!(last < mid, "compute share should fall at 16K: {shares:?}");

@@ -104,7 +104,10 @@ mod tests {
             let s64 = days(&art, "B200-NVS64", n).unwrap();
             s8 / s64
         };
-        assert!(ratio_at(16384) >= ratio_at(2048) * 0.99, "NVS effect should not shrink at scale");
+        assert!(
+            ratio_at(16384) >= ratio_at(2048) * 0.99,
+            "NVS effect should not shrink at scale"
+        );
         assert!(ratio_at(16384) >= 1.0);
     }
 
@@ -114,8 +117,7 @@ mod tests {
         let art = generate_5b();
         let mut counted = 0;
         for n in [512u64, 2048, 8192] {
-            let (Some(s4), Some(s64)) =
-                (days(&art, "B200-NVS4", n), days(&art, "B200-NVS64", n))
+            let (Some(s4), Some(s64)) = (days(&art, "B200-NVS4", n), days(&art, "B200-NVS64", n))
             else {
                 continue;
             };

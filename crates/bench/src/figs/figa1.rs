@@ -19,16 +19,27 @@ pub fn generate() -> Artifact {
     let mut art = Artifact::new(
         "figa1",
         "Fig A1: AG time vs volume on 32 A100 (Perlmutter-like), analytic vs DES",
-        ["nvl", "volume_mb", "theoretical_s", "empirical_s", "rel_err"],
+        [
+            "nvl",
+            "volume_mb",
+            "theoretical_s",
+            "empirical_s",
+            "rel_err",
+        ],
     );
     for nvl in [2u64, 4] {
         let sys = perlmutter(nvl);
         let group = CommGroup::new(32, nvl);
         for v in volumes() {
             let theo = collective_time(Collective::AllGather, v, group, &sys);
-            let sim =
-                simulate_collective(Collective::AllGather, v, group, &sys, &SimOptions::default())
-                    .time;
+            let sim = simulate_collective(
+                Collective::AllGather,
+                v,
+                group,
+                &sys,
+                &SimOptions::default(),
+            )
+            .time;
             art.push(vec![
                 json!(nvl),
                 num(v / 1e6),

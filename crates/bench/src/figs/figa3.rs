@@ -18,7 +18,10 @@ fn scaling(id: &str, title: &str, strategy: TpStrategy) -> Artifact {
             Some(e) => art.push(eval_row(&n.to_string(), &e)),
             None => {
                 let mut row = vec![json!(n.to_string())];
-                row.extend(std::iter::repeat(serde_json::Value::Null).take(EVAL_COLUMNS.len() - 1));
+                row.extend(std::iter::repeat_n(
+                    serde_json::Value::Null,
+                    EVAL_COLUMNS.len() - 1,
+                ));
                 art.push(row);
             }
         }
@@ -29,7 +32,11 @@ fn scaling(id: &str, title: &str, strategy: TpStrategy) -> Artifact {
 /// Generates panels (a) 1D TP and (b) SUMMA on NVS64.
 pub fn generate() -> Vec<Artifact> {
     vec![
-        scaling("figa3a", "Fig A3a: optimal 1D TP vs #GPUs, GPT3-1T, B200 NVS64", TpStrategy::OneD),
+        scaling(
+            "figa3a",
+            "Fig A3a: optimal 1D TP vs #GPUs, GPT3-1T, B200 NVS64",
+            TpStrategy::OneD,
+        ),
         scaling(
             "figa3b",
             "Fig A3b: optimal 2D TP SUMMA vs #GPUs, GPT3-1T, B200 NVS64",

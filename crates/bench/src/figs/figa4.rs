@@ -19,12 +19,20 @@ fn cell(sys: &SystemSpec, n: u64) -> Option<(f64, f64, f64)> {
     let t = |s: TpStrategy| {
         optimize(&model, sys, &SearchOptions::new(n, 4096, s)).map(|e| e.iteration_time)
     };
-    Some((t(TpStrategy::OneD)?, t(TpStrategy::TwoD)?, t(TpStrategy::Summa)?))
+    Some((
+        t(TpStrategy::OneD)?,
+        t(TpStrategy::TwoD)?,
+        t(TpStrategy::Summa)?,
+    ))
 }
+
+/// One sweep point: system name, GPU count, and the `(t_1d, t_2d, t_summa)`
+/// iteration times when the point is feasible under all three strategies.
+type GridRow = (String, u64, Option<(f64, f64, f64)>);
 
 /// Generates panels (a) SUMMA/1D and (b) 2D/1D as one artifact each.
 pub fn generate() -> Vec<Artifact> {
-    let mut grid: Vec<(String, u64, Option<(f64, f64, f64)>)> = Vec::new();
+    let mut grid: Vec<GridRow> = Vec::new();
     let mut jobs = Vec::new();
     for gen in ALL_GENERATIONS {
         for nvs in ALL_NVS_SIZES {
@@ -35,7 +43,8 @@ pub fn generate() -> Vec<Artifact> {
         }
     }
     grid.par_extend(
-        jobs.par_iter().map(|(sys, n)| (sys.name.clone(), *n, cell(sys, *n))),
+        jobs.par_iter()
+            .map(|(sys, n)| (sys.name.clone(), *n, cell(sys, *n))),
     );
 
     let mut a = Artifact::new(
@@ -91,7 +100,10 @@ mod tests {
         let arts = generate();
         let small = speedup(&arts[1], "B200-NVS8", 512).unwrap();
         let large = speedup(&arts[1], "B200-NVS8", 16384).unwrap();
-        assert!(large >= small, "2D speedup should grow with scale: {small} → {large}");
+        assert!(
+            large >= small,
+            "2D speedup should grow with scale: {small} → {large}"
+        );
         assert!(large > 1.05);
     }
 

@@ -12,8 +12,14 @@ use systems::{GpuGeneration, NvsSize, SystemBuilder};
 use txmodel::{gpt3_1t, vit_64k, TrainingWorkload, TransformerConfig};
 
 /// x-axis: coupled (capacity GB, bandwidth TB/s) pairs, A100 → beyond-B200.
-const MEM_POINTS: [(f64, f64); 6] =
-    [(80.0, 1.555), (120.0, 3.0), (160.0, 5.0), (200.0, 8.0), (280.0, 12.0), (350.0, 16.0)];
+const MEM_POINTS: [(f64, f64); 6] = [
+    (80.0, 1.555),
+    (120.0, 3.0),
+    (160.0, 5.0),
+    (200.0, 8.0),
+    (280.0, 12.0),
+    (350.0, 16.0),
+];
 
 /// y-axis: tensor-core TFLOPs/s.
 const FLOP_POINTS: [f64; 6] = [500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3500.0];
@@ -103,7 +109,12 @@ mod tests {
         // Moving along the memory axis at fixed (high) FLOPs: small effect.
         let lo_mem = days(a, 2500.0, 120.0).unwrap();
         let hi_mem = days(a, 2500.0, 350.0).unwrap();
-        assert!(lo_mem / hi_mem < 1.6, "memory effect {} → {}", lo_mem, hi_mem);
+        assert!(
+            lo_mem / hi_mem < 1.6,
+            "memory effect {} → {}",
+            lo_mem,
+            hi_mem
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ fn grid(
         })
         .collect();
     for (cap, bw, days) in rows {
-        art.push(vec![num(cap), num(bw), days.map(num).unwrap_or(serde_json::Value::Null)]);
+        art.push(vec![
+            num(cap),
+            num(bw),
+            days.map(num).unwrap_or(serde_json::Value::Null),
+        ]);
     }
     art
 }
@@ -120,6 +124,9 @@ mod tests {
         let arts = generate();
         let mid = days(&arts[0], 0.4, 8.0).unwrap();
         let high = days(&arts[0], 0.4, 16.0).unwrap();
-        assert!(mid / high < 1.2, "beyond-HBM bandwidth should barely help GPT");
+        assert!(
+            mid / high < 1.2,
+            "beyond-HBM bandwidth should barely help GPT"
+        );
     }
 }

@@ -26,14 +26,25 @@ fn comm_table(id: &str, title: &str, strategy: TpStrategy, n1: u64, n2: u64, nb:
             TpGroup::N2 => format!("n2={n2}"),
         };
         match c {
-            CommPattern::Exposed { coll, volume, group } => art.push(vec![
+            CommPattern::Exposed {
+                coll,
+                volume,
+                group,
+            } => art.push(vec![
                 json!(i),
                 json!("exposed"),
                 json!(coll.abbrev()),
                 json!(group_name(group)),
                 num(volume / 1e6),
             ]),
-            CommPattern::SummaOverlapped { vol_a, group_a, vol_b, group_b, panels, .. } => {
+            CommPattern::SummaOverlapped {
+                vol_a,
+                group_a,
+                vol_b,
+                group_b,
+                panels,
+                ..
+            } => {
                 art.push(vec![
                     json!(i),
                     json!(format!("summa(nb={panels})")),
@@ -49,12 +60,26 @@ fn comm_table(id: &str, title: &str, strategy: TpStrategy, n1: u64, n2: u64, nb:
 
 /// Table I: 1D TP communication structure (nt = 8).
 pub fn table1() -> Artifact {
-    comm_table("table1", "Table I: 1D TP per-layer collectives, GPT3-1T, nt=8", TpStrategy::OneD, 8, 1, 1)
+    comm_table(
+        "table1",
+        "Table I: 1D TP per-layer collectives, GPT3-1T, nt=8",
+        TpStrategy::OneD,
+        8,
+        1,
+        1,
+    )
 }
 
 /// Table II: 2D TP communication structure (4 × 2 grid).
 pub fn table2() -> Artifact {
-    comm_table("table2", "Table II: 2D TP per-layer collectives, GPT3-1T, n1=4 n2=2", TpStrategy::TwoD, 4, 2, 1)
+    comm_table(
+        "table2",
+        "Table II: 2D TP per-layer collectives, GPT3-1T, n1=4 n2=2",
+        TpStrategy::TwoD,
+        4,
+        2,
+        1,
+    )
 }
 
 /// Table A2: SUMMA communication structure (4 × 2 grid, nb = 4).
@@ -75,8 +100,16 @@ pub fn tablea3() -> Artifact {
         "tablea3",
         "Table A3: GPU and network parameters per generation",
         [
-            "gpu", "tensor_tflops", "vector_tflops", "flops_latency_s", "hbm_bw_gbs",
-            "hbm_cap_gb", "nvs_bw_gbs", "nvs_latency_s", "ib_bw_gbs", "ib_latency_s",
+            "gpu",
+            "tensor_tflops",
+            "vector_tflops",
+            "flops_latency_s",
+            "hbm_bw_gbs",
+            "hbm_cap_gb",
+            "nvs_bw_gbs",
+            "nvs_latency_s",
+            "ib_bw_gbs",
+            "ib_latency_s",
         ],
     );
     for gen in ALL_GENERATIONS {
@@ -118,15 +151,22 @@ mod tests {
     fn table2_has_six_rows_with_smaller_volumes() {
         let t = table2();
         assert_eq!(t.rows.len(), 6);
-        let max_mb = t.rows.iter().map(|r| r[4].as_f64().unwrap()).fold(0.0, f64::max);
+        let max_mb = t
+            .rows
+            .iter()
+            .map(|r| r[4].as_f64().unwrap())
+            .fold(0.0, f64::max);
         assert!(max_mb < 104.0, "2D volumes must scale down, got {max_mb}");
     }
 
     #[test]
     fn tablea2_mixes_summa_and_exposed() {
         let t = tablea2();
-        let kinds: Vec<String> =
-            t.rows.iter().map(|r| r[1].as_str().unwrap().to_string()).collect();
+        let kinds: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| r[1].as_str().unwrap().to_string())
+            .collect();
         assert!(kinds.iter().any(|k| k.starts_with("summa")));
         assert!(kinds.iter().any(|k| k == "exposed"));
     }

@@ -12,7 +12,12 @@ use txmodel::{gpt3_175b, vit_32k};
 
 /// The validation configuration set: mirrors the paper's optimal +
 /// sub-optimal configurations for both models.
-fn cases() -> Vec<(String, txmodel::TransformerConfig, ParallelConfig, Placement)> {
+fn cases() -> Vec<(
+    String,
+    txmodel::TransformerConfig,
+    ParallelConfig,
+    Placement,
+)> {
     let gpt = gpt3_175b().config;
     let vit = vit_32k().config;
     let pl = |v1: u64, v2: u64, vp: u64, vd: u64| Placement { v1, v2, vp, vd };
@@ -107,7 +112,11 @@ mod tests {
     #[test]
     fn optimal_config_error_is_small() {
         let art = generate();
-        let opt = art.rows.iter().find(|r| r[0].as_str().unwrap().contains("optimal")).unwrap();
+        let opt = art
+            .rows
+            .iter()
+            .find(|r| r[0].as_str().unwrap().contains("optimal"))
+            .unwrap();
         assert!(opt[3].as_f64().unwrap() < 15.0);
     }
 

@@ -14,8 +14,25 @@ use report::Artifact;
 
 /// All artifact identifiers, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "table2", "tablea2", "tablea3", "fig1", "fig2", "fig3", "fig4a", "fig4b", "fig5a",
-    "fig5b", "figa1", "figa2", "figa3", "figa4", "figa5", "figa6", "validation", "ablations",
+    "table1",
+    "table2",
+    "tablea2",
+    "tablea3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "figa1",
+    "figa2",
+    "figa3",
+    "figa4",
+    "figa5",
+    "figa6",
+    "validation",
+    "ablations",
 ];
 
 /// Generates the artifact set for one identifier (a figure may produce
@@ -42,6 +59,54 @@ pub fn generate(id: &str) -> Vec<Artifact> {
         "validation" => vec![figs::validation::generate()],
         "ablations" => figs::ablations::generate(),
         other => panic!("unknown artifact id {other:?}; known: {ALL_IDS:?}"),
+    }
+}
+
+/// CLI entry point shared by `crates/bench/src/bin/figures.rs` and the
+/// facade's `src/bin/figures.rs`: `figures [all | <id>...] [--out DIR]`.
+pub fn figures_main() {
+    use crate::{generate, ALL_IDS};
+    use std::path::PathBuf;
+
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("out");
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        if pos < args.len() {
+            out_dir = PathBuf::from(args.remove(pos));
+        } else {
+            eprintln!("--out requires a directory argument");
+            std::process::exit(2);
+        }
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures [all | <id>...] [--out DIR]");
+        eprintln!("known ids: {}", ALL_IDS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        for art in generate(id) {
+            println!("{}", art.render());
+            if let Some(hm) = crate::common::grid_heatmap(&art) {
+                println!("{hm}");
+            }
+            match art.write(&out_dir) {
+                Ok((json, csv)) => {
+                    eprintln!("wrote {} and {}", json.display(), csv.display())
+                }
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", art.id);
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("[{id}] regenerated in {:.2?}\n", t0.elapsed());
     }
 }
 

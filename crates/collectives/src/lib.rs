@@ -72,9 +72,19 @@ pub struct CommGroup {
 impl CommGroup {
     /// Creates a placement; panics if `per_domain ∤ size` or either is 0.
     pub fn new(size: u64, per_domain: u64) -> Self {
-        assert!(size >= 1 && per_domain >= 1, "group and domain share must be positive");
-        assert!(per_domain <= size, "per_domain ({per_domain}) exceeds group size ({size})");
-        assert_eq!(size % per_domain, 0, "per_domain ({per_domain}) must divide size ({size})");
+        assert!(
+            size >= 1 && per_domain >= 1,
+            "group and domain share must be positive"
+        );
+        assert!(
+            per_domain <= size,
+            "per_domain ({per_domain}) exceeds group size ({size})"
+        );
+        assert_eq!(
+            size % per_domain,
+            0,
+            "per_domain ({per_domain}) must divide size ({size})"
+        );
         Self { size, per_domain }
     }
 
@@ -177,8 +187,11 @@ pub fn allreduce_tree_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec
 /// AllReduce with NCCL-style algorithm selection: the faster of the ring
 /// and tree estimates.
 pub fn allreduce_auto_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
-    collective_time(Collective::AllReduce, volume_bytes, group, sys)
-        .min(allreduce_tree_time(volume_bytes, group, sys))
+    collective_time(Collective::AllReduce, volume_bytes, group, sys).min(allreduce_tree_time(
+        volume_bytes,
+        group,
+        sys,
+    ))
 }
 
 /// Time in seconds for a point-to-point transfer of `volume_bytes` between
@@ -221,7 +234,12 @@ mod tests {
     fn single_gpu_is_free() {
         let sys = b200_nvs8();
         assert_eq!(
-            collective_time(Collective::AllGather, 1e9, CommGroup::single_domain(1), &sys),
+            collective_time(
+                Collective::AllGather,
+                1e9,
+                CommGroup::single_domain(1),
+                &sys
+            ),
             0.0
         );
     }
@@ -232,8 +250,8 @@ mod tests {
         let g = CommGroup::single_domain(8);
         let v = 1e9;
         let t = collective_time(Collective::AllGather, v, g, &sys);
-        let expect = 7.0 * sys.network.nvs_latency
-            + (7.0 / 8.0) * v / sys.network.effective_nvs_bandwidth();
+        let expect =
+            7.0 * sys.network.nvs_latency + (7.0 / 8.0) * v / sys.network.effective_nvs_bandwidth();
         assert!((t - expect).abs() / expect < 1e-12);
     }
 
@@ -279,7 +297,10 @@ mod tests {
         // B200 (64·100 = 6.4 TB/s > 900 GB/s) is NVS-bound.
         let sys = system(GpuGeneration::B200, NvsSize::Nvs64);
         let g = CommGroup::new(128, 64);
-        assert_eq!(effective_bandwidth(g, &sys), sys.network.effective_nvs_bandwidth());
+        assert_eq!(
+            effective_bandwidth(g, &sys),
+            sys.network.effective_nvs_bandwidth()
+        );
     }
 
     #[test]
@@ -353,7 +374,10 @@ mod tests {
     #[test]
     fn tree_trivial_cases() {
         let sys = b200_nvs8();
-        assert_eq!(allreduce_tree_time(1e9, CommGroup::single_domain(1), &sys), 0.0);
+        assert_eq!(
+            allreduce_tree_time(1e9, CommGroup::single_domain(1), &sys),
+            0.0
+        );
         assert_eq!(allreduce_tree_time(0.0, CommGroup::new(8, 8), &sys), 0.0);
     }
 
@@ -366,5 +390,27 @@ mod tests {
         assert!(t2 > t1);
         let big = collective_time(Collective::AllGather, 1e8, CommGroup::new(32, 8), &sys);
         assert!(big > t1);
+    }
+}
+
+#[cfg(test)]
+mod serde_roundtrip {
+    use super::*;
+
+    #[test]
+    fn collective_and_group_survive_json() {
+        for coll in [
+            Collective::AllGather,
+            Collective::ReduceScatter,
+            Collective::AllReduce,
+            Collective::Broadcast,
+        ] {
+            let back: Collective =
+                serde_json::from_str(&serde_json::to_string(&coll).unwrap()).unwrap();
+            assert_eq!(back, coll);
+        }
+        let g = CommGroup::new(64, 8);
+        let back: CommGroup = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        assert_eq!(back, g);
     }
 }

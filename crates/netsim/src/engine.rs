@@ -79,7 +79,12 @@ pub(crate) fn simulate_flow(topo: &RingTopology, shards: &[Shard], pieces: u64) 
             continue;
         }
         for p in 0..pieces {
-            heap.push(Reverse(Transfer { ready: 0.0, shard: si as u32, hop: 0, piece: p as u32 }));
+            heap.push(Reverse(Transfer {
+                ready: 0.0,
+                shard: si as u32,
+                hop: 0,
+                piece: p as u32,
+            }));
         }
     }
 
@@ -104,11 +109,19 @@ pub(crate) fn simulate_flow(topo: &RingTopology, shards: &[Shard], pieces: u64) 
         stats.transfers += 1;
         finish = finish.max(end);
         if (t.hop as u64) + 1 < shard.hops {
-            heap.push(Reverse(Transfer { ready: end, shard: t.shard, hop: t.hop + 1, piece: t.piece }));
+            heap.push(Reverse(Transfer {
+                ready: end,
+                shard: t.shard,
+                hop: t.hop + 1,
+                piece: t.piece,
+            }));
         }
     }
 
-    SimResult { time: finish, stats }
+    SimResult {
+        time: finish,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +138,15 @@ mod tests {
     #[test]
     fn single_hop_single_piece() {
         let t = topo(4, 4);
-        let r = simulate_flow(&t, &[Shard { origin: 0, bytes: 1e6, hops: 1 }], 1);
+        let r = simulate_flow(
+            &t,
+            &[Shard {
+                origin: 0,
+                bytes: 1e6,
+                hops: 1,
+            }],
+            1,
+        );
         let expect = t.fast_latency + 1e6 / t.fast_bandwidth;
         assert!((r.time - expect).abs() / expect < 1e-12);
         assert_eq!(r.stats.transfers, 1);
@@ -136,7 +157,11 @@ mod tests {
         // One shard over many hops: with many pieces the total approaches
         // bytes/bw + hops·lat instead of hops·bytes/bw.
         let t = topo(4, 4);
-        let shard = [Shard { origin: 0, bytes: 4e6, hops: 3 }];
+        let shard = [Shard {
+            origin: 0,
+            bytes: 4e6,
+            hops: 3,
+        }];
         let unpipelined = simulate_flow(&t, &shard, 1).time;
         let pipelined = simulate_flow(&t, &shard, 64).time;
         assert!(pipelined < 0.5 * unpipelined);
@@ -148,12 +173,29 @@ mod tests {
     fn contention_serializes_a_link() {
         // Two shards entering the same link at once must queue.
         let t = topo(4, 4);
-        let one = simulate_flow(&t, &[Shard { origin: 0, bytes: 1e8, hops: 1 }], 1).time;
+        let one = simulate_flow(
+            &t,
+            &[Shard {
+                origin: 0,
+                bytes: 1e8,
+                hops: 1,
+            }],
+            1,
+        )
+        .time;
         let both = simulate_flow(
             &t,
             &[
-                Shard { origin: 0, bytes: 1e8, hops: 1 },
-                Shard { origin: 0, bytes: 1e8, hops: 1 },
+                Shard {
+                    origin: 0,
+                    bytes: 1e8,
+                    hops: 1,
+                },
+                Shard {
+                    origin: 0,
+                    bytes: 1e8,
+                    hops: 1,
+                },
             ],
             1,
         );
@@ -164,8 +206,26 @@ mod tests {
     #[test]
     fn slow_hop_dominates_cross_domain() {
         let t = topo(8, 4); // one slow boundary at positions 3 and 7
-        let fast_only = simulate_flow(&t, &[Shard { origin: 0, bytes: 8e6, hops: 3 }], 1).time;
-        let with_slow = simulate_flow(&t, &[Shard { origin: 0, bytes: 8e6, hops: 4 }], 1).time;
+        let fast_only = simulate_flow(
+            &t,
+            &[Shard {
+                origin: 0,
+                bytes: 8e6,
+                hops: 3,
+            }],
+            1,
+        )
+        .time;
+        let with_slow = simulate_flow(
+            &t,
+            &[Shard {
+                origin: 0,
+                bytes: 8e6,
+                hops: 4,
+            }],
+            1,
+        )
+        .time;
         let slow_hop = t.slow_latency + 8e6 / t.slow_bandwidth;
         assert!((with_slow - fast_only - slow_hop).abs() / slow_hop < 1e-9);
     }
@@ -175,7 +235,16 @@ mod tests {
         let t = topo(4, 4);
         assert_eq!(simulate_flow(&t, &[], 4).time, 0.0);
         assert_eq!(
-            simulate_flow(&t, &[Shard { origin: 0, bytes: 0.0, hops: 2 }], 4).time,
+            simulate_flow(
+                &t,
+                &[Shard {
+                    origin: 0,
+                    bytes: 0.0,
+                    hops: 2
+                }],
+                4
+            )
+            .time,
             0.0
         );
     }
@@ -183,8 +252,13 @@ mod tests {
     #[test]
     fn deterministic() {
         let t = topo(8, 4);
-        let shards: Vec<Shard> =
-            (0..8).map(|o| Shard { origin: o, bytes: 3e6, hops: 7 }).collect();
+        let shards: Vec<Shard> = (0..8)
+            .map(|o| Shard {
+                origin: o,
+                bytes: 3e6,
+                hops: 7,
+            })
+            .collect();
         let a = simulate_flow(&t, &shards, 8);
         let b = simulate_flow(&t, &shards, 8);
         assert_eq!(a, b);

@@ -97,3 +97,25 @@ mod validation_tests {
         assert!(e < 0.15, "error {e:.3}");
     }
 }
+
+#[cfg(test)]
+mod serde_roundtrip {
+    use super::*;
+    use collectives::{Collective, CommGroup};
+    use systems::{system, GpuGeneration, NvsSize};
+
+    #[test]
+    fn sim_result_survives_json() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs8);
+        let r = simulate_collective(
+            Collective::AllGather,
+            1e8,
+            CommGroup::new(16, 8),
+            &sys,
+            &SimOptions::default(),
+        );
+        let back: SimResult = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert!(back.stats.transfers > 0);
+    }
+}

@@ -37,7 +37,10 @@ pub fn simulate_collective(
 ) -> SimResult {
     let n = group.size();
     if n <= 1 || volume <= 0.0 {
-        return SimResult { time: 0.0, stats: EventStats::default() };
+        return SimResult {
+            time: 0.0,
+            stats: EventStats::default(),
+        };
     }
     let topo = RingTopology::build(group, sys);
     let ring_volume = volume / topo.num_rings as f64;
@@ -47,7 +50,11 @@ pub fn simulate_collective(
         // travels n−1 hops (AllGather semantics; ReduceScatter is the
         // same flow with reduction at each hop).
         let shards: Vec<Shard> = (0..n)
-            .map(|o| Shard { origin: o, bytes: vol / n as f64, hops: n - 1 })
+            .map(|o| Shard {
+                origin: o,
+                bytes: vol / n as f64,
+                hops: n - 1,
+            })
             .collect();
         simulate_flow(&topo, &shards, opts.pieces)
     };
@@ -69,7 +76,11 @@ pub fn simulate_collective(
         Collective::Broadcast | Collective::Reduce => {
             // One root shard of the full ring volume pipelined around the
             // ring (Reduce is the time-reverse of Broadcast).
-            let shards = [Shard { origin: 0, bytes: ring_volume, hops: n - 1 }];
+            let shards = [Shard {
+                origin: 0,
+                bytes: ring_volume,
+                hops: n - 1,
+            }];
             simulate_flow(&topo, &shards, opts.pieces)
         }
     }
@@ -89,9 +100,15 @@ mod tests {
         let sys = a100_nvs4();
         let opts = SimOptions::default();
         let g1 = CommGroup::single_domain(1);
-        assert_eq!(simulate_collective(Collective::AllGather, 1e9, g1, &sys, &opts).time, 0.0);
+        assert_eq!(
+            simulate_collective(Collective::AllGather, 1e9, g1, &sys, &opts).time,
+            0.0
+        );
         let g = CommGroup::new(8, 4);
-        assert_eq!(simulate_collective(Collective::AllGather, 0.0, g, &sys, &opts).time, 0.0);
+        assert_eq!(
+            simulate_collective(Collective::AllGather, 0.0, g, &sys, &opts).time,
+            0.0
+        );
     }
 
     #[test]

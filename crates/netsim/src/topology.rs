@@ -74,7 +74,7 @@ impl RingTopology {
         if self.size <= self.per_domain {
             return LinkKind::Fast;
         }
-        if (from + 1) % self.per_domain == 0 {
+        if (from + 1).is_multiple_of(self.per_domain) {
             LinkKind::Slow
         } else {
             LinkKind::Fast

@@ -69,7 +69,17 @@ pub struct ParallelConfig {
 impl ParallelConfig {
     /// Convenience constructor with `nb = 1`.
     pub fn new(strategy: TpStrategy, n1: u64, n2: u64, np: u64, nd: u64, microbatch: u64) -> Self {
-        Self { strategy, n1, n2, np, nd, microbatch, summa_panels: 1, interleave: 1, zero3: false }
+        Self {
+            strategy,
+            n1,
+            n2,
+            np,
+            nd,
+            microbatch,
+            summa_panels: 1,
+            interleave: 1,
+            zero3: false,
+        }
     }
 
     /// Total GPUs `n = n1·n2·np·nd`.
@@ -91,7 +101,17 @@ impl ParallelConfig {
     /// parallel degrees must evenly divide the tensor dimensions they
     /// partition, `np | d`, `nd | b` and `bm | b/nd`.
     pub fn validate(&self, model: &TransformerConfig, global_batch: u64) -> Result<(), String> {
-        let Self { strategy, n1, n2, np, nd, microbatch, summa_panels, interleave, .. } = *self;
+        let Self {
+            strategy,
+            n1,
+            n2,
+            np,
+            nd,
+            microbatch,
+            summa_panels,
+            interleave,
+            ..
+        } = *self;
         if n1 == 0
             || n2 == 0
             || np == 0
@@ -105,20 +125,22 @@ impl ParallelConfig {
         if strategy == TpStrategy::OneD && n2 != 1 {
             return Err(format!("1D TP requires n2 = 1, got {n2}"));
         }
-        if model.depth % np != 0 {
+        if !model.depth.is_multiple_of(np) {
             return Err(format!("np ({np}) must divide depth ({})", model.depth));
         }
-        if (model.depth / np) % interleave != 0 {
+        if !(model.depth / np).is_multiple_of(interleave) {
             return Err(format!(
                 "interleave ({interleave}) must divide layers per stage ({})",
                 model.depth / np
             ));
         }
-        if global_batch % nd != 0 {
-            return Err(format!("nd ({nd}) must divide global batch ({global_batch})"));
+        if !global_batch.is_multiple_of(nd) {
+            return Err(format!(
+                "nd ({nd}) must divide global batch ({global_batch})"
+            ));
         }
         let local_batch = global_batch / nd;
-        if local_batch % microbatch != 0 {
+        if !local_batch.is_multiple_of(microbatch) {
             return Err(format!(
                 "microbatch ({microbatch}) must divide local batch ({local_batch})"
             ));
@@ -137,16 +159,18 @@ impl ParallelConfig {
                 return Err(format!("{what} != 0 (dim {dim}, divisor {div})"));
             }
         }
-        if strategy != TpStrategy::OneD && model.seq_len % n2 != 0 {
+        if strategy != TpStrategy::OneD && !model.seq_len.is_multiple_of(n2) {
             return Err(format!("n2 ({n2}) must divide seq_len ({})", model.seq_len));
         }
         if strategy == TpStrategy::Summa {
             // SUMMA shards weight rows over n2 as well: W_Q (e/n2, e/n1),
             // W_1 (e/n2, f/n1), W_2 (f/n2, e/n1).
-            if model.embed % n2 != 0 || model.hidden % n2 != 0 {
-                return Err(format!("SUMMA requires n2 ({n2}) to divide embed and hidden"));
+            if !model.embed.is_multiple_of(n2) || !model.hidden.is_multiple_of(n2) {
+                return Err(format!(
+                    "SUMMA requires n2 ({n2}) to divide embed and hidden"
+                ));
             }
-            if model.embed % summa_panels != 0 {
+            if !model.embed.is_multiple_of(summa_panels) {
                 return Err(format!(
                     "SUMMA panel count ({summa_panels}) must divide embed ({})",
                     model.embed
@@ -176,7 +200,12 @@ pub struct Placement {
 impl Placement {
     /// Everything on separate domains (worst case placement).
     pub fn trivial() -> Self {
-        Self { v1: 1, v2: 1, vp: 1, vd: 1 }
+        Self {
+            v1: 1,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        }
     }
 
     /// GPUs co-located per NVS domain under this placement.
@@ -186,8 +215,12 @@ impl Placement {
 
     /// Checks compatibility with a configuration and an NVS domain size.
     pub fn validate(&self, cfg: &ParallelConfig, nvs_size: u64) -> Result<(), String> {
-        let pairs =
-            [(self.v1, cfg.n1, "v1|n1"), (self.v2, cfg.n2, "v2|n2"), (self.vp, cfg.np, "vp|np"), (self.vd, cfg.nd, "vd|nd")];
+        let pairs = [
+            (self.v1, cfg.n1, "v1|n1"),
+            (self.v2, cfg.n2, "v2|n2"),
+            (self.vp, cfg.np, "vp|np"),
+            (self.vd, cfg.nd, "vd|nd"),
+        ];
         for (v, n, what) in pairs {
             if v == 0 {
                 return Err("placement factors must be positive".into());
@@ -255,13 +288,19 @@ mod tests {
     #[test]
     fn nd_must_divide_batch() {
         let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 3, 1);
-        assert!(cfg.validate(&gpt(), 4096).unwrap_err().contains("global batch"));
+        assert!(cfg
+            .validate(&gpt(), 4096)
+            .unwrap_err()
+            .contains("global batch"));
     }
 
     #[test]
     fn microbatch_must_divide_local_batch() {
         let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 3);
-        assert!(cfg.validate(&gpt(), 4096).unwrap_err().contains("local batch"));
+        assert!(cfg
+            .validate(&gpt(), 4096)
+            .unwrap_err()
+            .contains("local batch"));
     }
 
     #[test]
@@ -290,10 +329,20 @@ mod tests {
     #[test]
     fn placement_validation() {
         let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
-        let p = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let p = Placement {
+            v1: 8,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         p.validate(&cfg, 8).unwrap();
         assert!(p.validate(&cfg, 4).is_err()); // 8 GPUs into NVS4
-        let bad = Placement { v1: 3, v2: 1, vp: 1, vd: 1 };
+        let bad = Placement {
+            v1: 3,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         assert!(bad.validate(&cfg, 8).is_err()); // 3 ∤ 8
     }
 

@@ -61,9 +61,11 @@ fn pattern_time(
     sys: &SystemSpec,
 ) -> f64 {
     match pattern {
-        CommPattern::Exposed { coll, volume, group } => {
-            collective_time(*coll, *volume, comm_group(*group, cfg, placement), sys)
-        }
+        CommPattern::Exposed {
+            coll,
+            volume,
+            group,
+        } => collective_time(*coll, *volume, comm_group(*group, cfg, placement), sys),
         CommPattern::SummaOverlapped {
             vol_a,
             group_a,
@@ -99,7 +101,10 @@ fn pass_comm_time(
     placement: &Placement,
     sys: &SystemSpec,
 ) -> f64 {
-    comms.iter().map(|p| pattern_time(p, cfg, placement, sys)).sum()
+    comms
+        .iter()
+        .map(|p| pattern_time(p, cfg, placement, sys))
+        .sum()
 }
 
 /// Evaluates with a fraction of the exposed tensor-parallel communication
@@ -122,8 +127,7 @@ pub fn evaluate_with_tp_overlap(
     // hidden per-microbatch TP time.
     let m = e.microbatches as f64;
     if m > 0.0 {
-        e.breakdown.pp_bubble -=
-            (cfg.np - 1) as f64 / cfg.interleave as f64 * hidden / m;
+        e.breakdown.pp_bubble -= (cfg.np - 1) as f64 / cfg.interleave as f64 * hidden / m;
         e.breakdown.pp_bubble = e.breakdown.pp_bubble.max(0.0);
     }
     e.iteration_time = e.breakdown.total();
@@ -236,7 +240,7 @@ pub fn largest_divisor_at_most(n: u64, cap: u64) -> u64 {
     let mut best = 1;
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             if d <= cap && d > best {
                 best = d;
             }
@@ -318,7 +322,11 @@ mod tests {
     fn compute_dominates_at_optimal_scale() {
         // Paper Fig. 4a: most time is compute for GPT3-1T at moderate TP.
         let e = eval_1d(8, 64, 32, 8, 1, 1);
-        assert!(e.breakdown.compute_fraction() > 0.4, "{:?}", e.breakdown.percentages());
+        assert!(
+            e.breakdown.compute_fraction() > 0.4,
+            "{:?}",
+            e.breakdown.percentages()
+        );
     }
 
     #[test]
@@ -355,7 +363,12 @@ mod tests {
     fn pure_dp_has_no_tp_or_pp_costs() {
         let model = gpt3_1t().config;
         let cfg = ParallelConfig::new(TpStrategy::OneD, 1, 1, 1, 512, 1);
-        let placement = Placement { v1: 1, v2: 1, vp: 1, vd: 8 };
+        let placement = Placement {
+            v1: 1,
+            v2: 1,
+            vp: 1,
+            vd: 8,
+        };
         let e = evaluate(&model, &cfg, &placement, 4096, &sys());
         assert_eq!(e.breakdown.tp_comm, 0.0);
         assert_eq!(e.breakdown.pp_bubble, 0.0);
@@ -368,7 +381,12 @@ mod tests {
         let model = gpt3_1t().config;
         let mut cfg = ParallelConfig::new(TpStrategy::Summa, 8, 4, 8, 16, 1);
         cfg.summa_panels = 4;
-        let placement = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let placement = Placement {
+            v1: 8,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         let e = evaluate(&model, &cfg, &placement, 4096, &sys());
         assert!(e.iteration_time > 0.0);
         assert!(e.breakdown.tp_comm > 0.0);
@@ -394,8 +412,16 @@ mod tests {
     fn interleaving_divides_the_bubble() {
         let model = gpt3_1t().config;
         let base = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
-        let inter = ParallelConfig { interleave: 2, ..base };
-        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let inter = ParallelConfig {
+            interleave: 2,
+            ..base
+        };
+        let pl = Placement {
+            v1: 8,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         let e0 = evaluate(&model, &base, &pl, 4096, &sys());
         let e2 = evaluate(&model, &inter, &pl, 4096, &sys());
         assert!((e2.breakdown.pp_bubble - e0.breakdown.pp_bubble / 2.0).abs() < 1e-9);
@@ -411,8 +437,16 @@ mod tests {
     fn zero3_trades_memory_for_dp_comm() {
         let model = gpt3_1t().config;
         let base = ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, 128, 1);
-        let z3 = ParallelConfig { zero3: true, ..base };
-        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let z3 = ParallelConfig {
+            zero3: true,
+            ..base
+        };
+        let pl = Placement {
+            v1: 8,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         let e0 = evaluate(&model, &base, &pl, 4096, &sys());
         let ez = evaluate(&model, &z3, &pl, 4096, &sys());
         assert!((ez.memory.weights - e0.memory.weights / 128.0).abs() < 1.0);
@@ -425,7 +459,12 @@ mod tests {
     fn tp_overlap_reduces_comm_and_bubble() {
         let model = gpt3_1t().config;
         let cfg = ParallelConfig::new(TpStrategy::OneD, 32, 1, 64, 8, 1);
-        let pl = Placement { v1: 8, v2: 1, vp: 1, vd: 1 };
+        let pl = Placement {
+            v1: 8,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         let s = sys();
         let base = evaluate(&model, &cfg, &pl, 4096, &s);
         let half = evaluate_with_tp_overlap(&model, &cfg, &pl, 4096, &s, 0.5);

@@ -48,7 +48,9 @@ pub mod training;
 
 pub use breakdown::Breakdown;
 pub use config::{ParallelConfig, Placement, TpStrategy};
-pub use evaluate::{evaluate, evaluate_with_profile, evaluate_with_tp_overlap, stage_times, Evaluation};
+pub use evaluate::{
+    evaluate, evaluate_with_profile, evaluate_with_tp_overlap, stage_times, Evaluation,
+};
 pub use memory::MemoryUsage;
 pub use placement::enumerate_placements;
 pub use search::{
@@ -56,3 +58,34 @@ pub use search::{
 };
 pub use sensitivity::{elasticities, Elasticity, HardwareAxis};
 pub use training::training_days;
+
+#[cfg(test)]
+mod serde_roundtrip {
+    use super::*;
+    use systems::{system, GpuGeneration, NvsSize};
+    use txmodel::gpt3_1t;
+
+    #[test]
+    fn evaluation_survives_json() {
+        let model = gpt3_1t().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, 8, 1);
+        let e = search::best_placement_eval(&model, &cfg, 4096, &sys);
+        let back: Evaluation = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn comm_patterns_survive_json() {
+        // Exercises both enum variant encodings: struct variants
+        // (Exposed/SummaOverlapped) through the layer profile.
+        let model = gpt3_1t().config;
+        let gpu = GpuGeneration::B200.gpu();
+        for (strategy, n1, n2, nb) in [(TpStrategy::OneD, 8, 1, 1), (TpStrategy::Summa, 4, 2, 4)] {
+            let profile = partition::build_profile(&model, strategy, n1, n2, 1, nb, &gpu);
+            let json = serde_json::to_string(&profile.fwd.comms).unwrap();
+            let back: Vec<plan::CommPattern> = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, profile.fwd.comms);
+        }
+    }
+}

@@ -70,7 +70,11 @@ pub fn memory_usage(
     // With pipelining, each in-flight microbatch additionally pins the
     // stage-boundary receive buffers (forward input activation and
     // backward output gradient).
-    let boundary_buffers = if cfg.np > 1 { 2.0 * in_flight * profile.boundary_bytes } else { 0.0 };
+    let boundary_buffers = if cfg.np > 1 {
+        2.0 * in_flight * profile.boundary_bytes
+    } else {
+        0.0
+    };
     // ZeRO-3 shards weights and gradients over the DP group.
     let weight_shard = if cfg.zero3 { cfg.nd as f64 } else { 1.0 };
     MemoryUsage {
@@ -112,7 +116,11 @@ mod tests {
         // of-GB regime and must fit a B200.
         let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
         let u = usage(cfg);
-        assert!(u.total_gb() > 20.0 && u.total_gb() < 80.0, "got {} GB", u.total_gb());
+        assert!(
+            u.total_gb() > 20.0 && u.total_gb() < 80.0,
+            "got {} GB",
+            u.total_gb()
+        );
         assert!(u.fits(192e9));
     }
 
@@ -152,7 +160,7 @@ mod tests {
         let model = vit_64k().config;
         let gpu = GpuGeneration::B200.gpu();
         for np in [1u64, 2, 4, 8, 16, 48] {
-            if model.depth % np != 0 {
+            if !model.depth.is_multiple_of(np) {
                 continue;
             }
             let cfg = ParallelConfig::new(TpStrategy::OneD, 32, 1, np, 4, 1);

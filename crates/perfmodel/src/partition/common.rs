@@ -39,7 +39,12 @@ pub struct LayerBuilder<'a> {
 
 impl<'a> LayerBuilder<'a> {
     pub fn new(gpu: &'a GpuSpec, n1: u64, n2: u64) -> Self {
-        Self { gpu, n1: n1.max(1), n2: n2.max(1), profile: LayerProfile::default() }
+        Self {
+            gpu,
+            n1: n1.max(1),
+            n2: n2.max(1),
+            profile: LayerProfile::default(),
+        }
     }
 
     /// Size of the given TP group on this builder's grid.
@@ -61,17 +66,27 @@ impl<'a> LayerBuilder<'a> {
         let fwd = op_time(cost, ComputeUnit::TensorCore, self.gpu, 1);
         self.profile.fwd.add_time(fwd);
         // Backward: two transposed GEMMs, two launches.
-        let bwd = op_time(cost.scaled(GEMM_BWD_FACTOR), ComputeUnit::TensorCore, self.gpu, 2);
+        let bwd = op_time(
+            cost.scaled(GEMM_BWD_FACTOR),
+            ComputeUnit::TensorCore,
+            self.gpu,
+            2,
+        );
         self.profile.bwd.add_time(bwd);
     }
 
     /// A vector op over `elems` output elements.
     pub fn vector(&mut self, kind: VectorOpKind, elems: f64) {
         let cost = vector_op(kind, elems.round() as u64);
-        self.profile.fwd.add_time(op_time(cost, ComputeUnit::Vector, self.gpu, 1));
         self.profile
-            .bwd
-            .add_time(op_time(cost.scaled(VECTOR_BWD_FACTOR), ComputeUnit::Vector, self.gpu, 1));
+            .fwd
+            .add_time(op_time(cost, ComputeUnit::Vector, self.gpu, 1));
+        self.profile.bwd.add_time(op_time(
+            cost.scaled(VECTOR_BWD_FACTOR),
+            ComputeUnit::Vector,
+            self.gpu,
+            1,
+        ));
     }
 
     /// Fused FlashAttention Logit/Attend over `batch` heads: `QKᵀ`,
@@ -93,8 +108,13 @@ impl<'a> LayerBuilder<'a> {
         let sm_flops = VectorOpKind::Softmax.flops_per_elem() * sm_elems as f64;
         // HBM traffic: Q + K + V + output only (intermediates stay in SRAM).
         let io_bytes = bytes_of((batch * (lq * eh + 2 * lkv * eh + lq * eh)) as f64);
-        let cost = OpCost { flops: flops + sm_flops, bytes: io_bytes };
-        self.profile.fwd.add_time(op_time(cost, ComputeUnit::TensorCore, self.gpu, 1));
+        let cost = OpCost {
+            flops: flops + sm_flops,
+            bytes: io_bytes,
+        };
+        self.profile
+            .fwd
+            .add_time(op_time(cost, ComputeUnit::TensorCore, self.gpu, 1));
         self.profile.bwd.add_time(op_time(
             cost.scaled(FLASH_BWD_FACTOR),
             ComputeUnit::TensorCore,
@@ -161,7 +181,12 @@ impl<'a> LayerBuilder<'a> {
         // Backward: two transposed SUMMA products (each a Broadcast +
         // Reduce sweep of the same volume); modeled as one overlapped
         // sweep with doubled volumes and doubled panel compute.
-        let bwd = op_time(cost.scaled(GEMM_BWD_FACTOR), ComputeUnit::TensorCore, self.gpu, 2 * nb);
+        let bwd = op_time(
+            cost.scaled(GEMM_BWD_FACTOR),
+            ComputeUnit::TensorCore,
+            self.gpu,
+            2 * nb,
+        );
         let bwd_total = bwd.total();
         self.profile.bwd.add_time(bwd);
         // On a degenerate 1×1 grid nothing is communicated.
@@ -242,7 +267,11 @@ mod tests {
         b.collective_pair(Collective::AllReduce, 50.0, TpGroup::N2);
         let p = b.finish(0.0, 0.0, 0.0, 1);
         match &p.bwd.comms[0] {
-            CommPattern::Exposed { coll, volume, group } => {
+            CommPattern::Exposed {
+                coll,
+                volume,
+                group,
+            } => {
                 assert_eq!(*coll, Collective::ReduceScatter);
                 assert_eq!(*volume, 100.0);
                 assert_eq!(*group, TpGroup::N1);
@@ -291,7 +320,7 @@ mod tests {
         let g = gpu();
         let t = |nb: u64| {
             let mut b = LayerBuilder::new(&g, 4, 4);
-            b.summa_gemm(4096, 4096, 4096, nb, 1e6, TpGroup::N1, 1e6, TpGroup::N2, );
+            b.summa_gemm(4096, 4096, 4096, nb, 1e6, TpGroup::N1, 1e6, TpGroup::N2);
             b.fwd_time().total()
         };
         assert!(t(16) > t(1));
@@ -305,7 +334,11 @@ mod tests {
         let fwd_t = b.fwd_time().total();
         let p = b.finish(0.0, 0.0, 0.0, 1);
         match &p.fwd.comms[0] {
-            CommPattern::SummaOverlapped { panels, panel_compute, .. } => {
+            CommPattern::SummaOverlapped {
+                panels,
+                panel_compute,
+                ..
+            } => {
                 assert_eq!(*panels, 4);
                 assert!((panel_compute * 4.0 - fwd_t).abs() / fwd_t < 1e-9);
             }

@@ -122,6 +122,11 @@ mod tests {
         let g = gpu();
         let p2d = build_profile(&m, TpStrategy::TwoD, 4, 4, 1, 1, &g);
         let ps = build_profile(&m, TpStrategy::Summa, 4, 4, 1, 4, &g);
-        assert!(ps.weight_bytes < p2d.weight_bytes, "SUMMA {} 2D {}", ps.weight_bytes, p2d.weight_bytes);
+        assert!(
+            ps.weight_bytes < p2d.weight_bytes,
+            "SUMMA {} 2D {}",
+            ps.weight_bytes,
+            p2d.weight_bytes
+        );
     }
 }

@@ -191,8 +191,7 @@ mod tests {
             })
             .unwrap();
         let expect_a = 2.0 * (m.seq_len / n2 * m.embed) as f64 * (n1 - 1) as f64 / n1 as f64;
-        let expect_b =
-            2.0 * (m.embed * 3 * m.embed / n1) as f64 * (n2 - 1) as f64 / n2 as f64;
+        let expect_b = 2.0 * (m.embed * 3 * m.embed / n1) as f64 * (n2 - 1) as f64 / n2 as f64;
         assert!((first_summa.0 - expect_a).abs() / expect_a < 1e-12);
         assert!((first_summa.1 - expect_b).abs() / expect_b < 1e-12);
     }
@@ -213,7 +212,10 @@ mod tests {
                 .unwrap()
         };
         assert!(vols_of(8, 8).0 < vols_of(8, 4).0, "A panel shrinks with n2");
-        assert!(vols_of(16, 4).1 < vols_of(8, 4).1, "B panel shrinks with n1");
+        assert!(
+            vols_of(16, 4).1 < vols_of(8, 4).1,
+            "B panel shrinks with n1"
+        );
     }
 
     #[test]
@@ -254,9 +256,15 @@ mod tests {
             .fwd
             .comms
             .iter()
-            .filter(
-                |c| matches!(c, CommPattern::Exposed { coll: Collective::AllReduce, .. }),
-            )
+            .filter(|c| {
+                matches!(
+                    c,
+                    CommPattern::Exposed {
+                        coll: Collective::AllReduce,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(ars, 2);
     }

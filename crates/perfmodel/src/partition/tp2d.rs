@@ -130,7 +130,15 @@ mod tests {
             .fwd
             .comms
             .iter()
-            .filter(|c| matches!(c, CommPattern::Exposed { group: TpGroup::N2, .. }))
+            .filter(|c| {
+                matches!(
+                    c,
+                    CommPattern::Exposed {
+                        group: TpGroup::N2,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(n2_groups, 2);
     }

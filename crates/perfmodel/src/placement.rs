@@ -20,7 +20,7 @@ pub(crate) fn divisors(n: u64) -> Vec<u64> {
     let mut large = Vec::new();
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);
@@ -122,7 +122,15 @@ mod tests {
         let c = cfg(2, 1, 2, 2);
         let ps = enumerate_placements(&c, 64);
         assert_eq!(ps.len(), 1);
-        assert_eq!(ps[0], Placement { v1: 2, v2: 1, vp: 2, vd: 2 });
+        assert_eq!(
+            ps[0],
+            Placement {
+                v1: 2,
+                v2: 1,
+                vp: 2,
+                vd: 2
+            }
+        );
     }
 
     #[test]
@@ -145,9 +153,24 @@ mod tests {
     fn includes_tp_heavy_and_dp_heavy_options() {
         let c = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
         let ps = enumerate_placements(&c, 8);
-        assert!(ps.contains(&Placement { v1: 8, v2: 1, vp: 1, vd: 1 }));
-        assert!(ps.contains(&Placement { v1: 1, v2: 1, vp: 1, vd: 8 }));
-        assert!(ps.contains(&Placement { v1: 4, v2: 1, vp: 2, vd: 1 }));
+        assert!(ps.contains(&Placement {
+            v1: 8,
+            v2: 1,
+            vp: 1,
+            vd: 1
+        }));
+        assert!(ps.contains(&Placement {
+            v1: 1,
+            v2: 1,
+            vp: 1,
+            vd: 8
+        }));
+        assert!(ps.contains(&Placement {
+            v1: 4,
+            v2: 1,
+            vp: 2,
+            vd: 1
+        }));
     }
 
     #[test]
@@ -156,6 +179,14 @@ mod tests {
         // not fill the domain exactly.
         let c = cfg(3, 1, 1, 1);
         let ps = enumerate_placements(&c, 4);
-        assert_eq!(ps, vec![Placement { v1: 3, v2: 1, vp: 1, vd: 1 }]);
+        assert_eq!(
+            ps,
+            vec![Placement {
+                v1: 3,
+                v2: 1,
+                vp: 1,
+                vd: 1
+            }]
+        );
     }
 }

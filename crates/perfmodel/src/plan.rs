@@ -31,7 +31,11 @@ pub enum CommPattern {
     /// and the K,V gathers are not overlapped with compute).
     /// `volume` is the *full tensor* bytes, matching
     /// [`collectives::collective_time`] semantics.
-    Exposed { coll: Collective, volume: f64, group: TpGroup },
+    Exposed {
+        coll: Collective,
+        volume: f64,
+        group: TpGroup,
+    },
     /// A SUMMA distributed GEMM: `nb` panel iterations, each performing a
     /// broadcast of an A-panel over `group_a` and a B-panel over
     /// `group_b`, overlapped with the previous panel's compute. `vol_a` /
@@ -68,7 +72,11 @@ impl PassProfile {
     /// Adds an exposed collective.
     pub fn add_comm(&mut self, coll: Collective, volume: f64, group: TpGroup) {
         if volume > 0.0 {
-            self.comms.push(CommPattern::Exposed { coll, volume, group });
+            self.comms.push(CommPattern::Exposed {
+                coll,
+                volume,
+                group,
+            });
         }
     }
 }
@@ -122,8 +130,14 @@ mod tests {
     #[test]
     fn add_time_accumulates() {
         let mut p = PassProfile::default();
-        p.add_time(OpTime { compute: 1.0, memory_excess: 0.5 });
-        p.add_time(OpTime { compute: 2.0, memory_excess: 0.0 });
+        p.add_time(OpTime {
+            compute: 1.0,
+            memory_excess: 0.5,
+        });
+        p.add_time(OpTime {
+            compute: 2.0,
+            memory_excess: 0.0,
+        });
         assert_eq!(p.time.compute, 3.0);
         assert_eq!(p.time.memory_excess, 0.5);
     }
@@ -131,8 +145,14 @@ mod tests {
     #[test]
     fn local_time_sums_passes() {
         let mut lp = LayerProfile::default();
-        lp.fwd.add_time(OpTime { compute: 1.0, memory_excess: 0.0 });
-        lp.bwd.add_time(OpTime { compute: 2.0, memory_excess: 1.0 });
+        lp.fwd.add_time(OpTime {
+            compute: 1.0,
+            memory_excess: 0.0,
+        });
+        lp.bwd.add_time(OpTime {
+            compute: 2.0,
+            memory_excess: 1.0,
+        });
         assert_eq!(lp.local_time(), 4.0);
     }
 }

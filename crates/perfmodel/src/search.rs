@@ -56,7 +56,10 @@ impl SearchOptions {
 
 /// Enumerates every valid [`ParallelConfig`] (without placements) for the
 /// given options.
-pub fn enumerate_partitions(model: &TransformerConfig, opts: &SearchOptions) -> Vec<ParallelConfig> {
+pub fn enumerate_partitions(
+    model: &TransformerConfig,
+    opts: &SearchOptions,
+) -> Vec<ParallelConfig> {
     let n = opts.gpus;
     let b = opts.global_batch;
     let mut out = Vec::new();
@@ -69,7 +72,11 @@ pub fn enumerate_partitions(model: &TransformerConfig, opts: &SearchOptions) -> 
         }
         v
     };
-    let zero3_choices: &[bool] = if opts.allow_zero3 { &[false, true] } else { &[false] };
+    let zero3_choices: &[bool] = if opts.allow_zero3 {
+        &[false, true]
+    } else {
+        &[false]
+    };
     let panel_choices: Vec<u64> = match opts.strategy {
         TpStrategy::Summa => {
             let mut v = vec![1u64];
@@ -91,7 +98,7 @@ pub fn enumerate_partitions(model: &TransformerConfig, opts: &SearchOptions) -> 
         for n2 in n2_choices {
             for np in divisors(n / (n1 * n2)) {
                 let nd = n / (n1 * n2 * np);
-                if b % nd != 0 {
+                if !b.is_multiple_of(nd) {
                     continue;
                 }
                 let local_batch = b / nd;
@@ -215,8 +222,7 @@ mod tests {
         let model = gpt3_1t().config;
         let opts = SearchOptions::new(64, 4096, TpStrategy::Summa);
         let parts = enumerate_partitions(&model, &opts);
-        let nbs: std::collections::HashSet<u64> =
-            parts.iter().map(|p| p.summa_panels).collect();
+        let nbs: std::collections::HashSet<u64> = parts.iter().map(|p| p.summa_panels).collect();
         assert!(nbs.contains(&1) && nbs.contains(&16));
     }
 
@@ -224,8 +230,12 @@ mod tests {
     fn optimize_finds_feasible_gpt_config() {
         let model = gpt3_1t().config;
         let sys = b200_nvs8();
-        let best = optimize(&model, &sys, &SearchOptions::new(1024, 4096, TpStrategy::OneD))
-            .expect("1024 B200s can train GPT3-1T");
+        let best = optimize(
+            &model,
+            &sys,
+            &SearchOptions::new(1024, 4096, TpStrategy::OneD),
+        )
+        .expect("1024 B200s can train GPT3-1T");
         assert!(best.feasible);
         assert!(best.memory.fits(sys.gpu.hbm_capacity));
         // The optimum needs real TP and PP at this scale.
@@ -238,7 +248,11 @@ mod tests {
         // Paper Q2(iv): the 64K ViT cannot train with 1D TP.
         let model = vit_64k().config;
         let sys = b200_nvs8();
-        let best = optimize(&model, &sys, &SearchOptions::new(512, 4096, TpStrategy::OneD));
+        let best = optimize(
+            &model,
+            &sys,
+            &SearchOptions::new(512, 4096, TpStrategy::OneD),
+        );
         assert!(best.is_none());
     }
 
@@ -246,8 +260,12 @@ mod tests {
     fn vit_2d_tp_is_feasible() {
         let model = vit_64k().config;
         let sys = b200_nvs8();
-        let best = optimize(&model, &sys, &SearchOptions::new(512, 4096, TpStrategy::TwoD))
-            .expect("2D TP makes the ViT trainable");
+        let best = optimize(
+            &model,
+            &sys,
+            &SearchOptions::new(512, 4096, TpStrategy::TwoD),
+        )
+        .expect("2D TP makes the ViT trainable");
         // Real 2D: sequence dimension in use.
         assert!(best.config.n2 >= 2, "{}", best.config);
         assert!(best.config.tensor_parallel() >= 16);
@@ -259,7 +277,9 @@ mod tests {
         let sys = b200_nvs8();
         let opts = SearchOptions::new(256, 4096, TpStrategy::OneD);
         let sweep = sweep_partitions(&model, &sys, &opts);
-        assert!(sweep.windows(2).all(|w| w[0].iteration_time <= w[1].iteration_time));
+        assert!(sweep
+            .windows(2)
+            .all(|w| w[0].iteration_time <= w[1].iteration_time));
         let best = optimize(&model, &sys, &opts).unwrap();
         let sweep_best = sweep.iter().find(|e| e.feasible).unwrap();
         assert!((sweep_best.iteration_time - best.iteration_time).abs() < 1e-12);
@@ -271,8 +291,12 @@ mod tests {
         // the optimum can only improve (or tie).
         let model = gpt3_1t().config;
         let sys = b200_nvs8();
-        let base = optimize(&model, &sys, &SearchOptions::new(1024, 4096, TpStrategy::OneD))
-            .unwrap();
+        let base = optimize(
+            &model,
+            &sys,
+            &SearchOptions::new(1024, 4096, TpStrategy::OneD),
+        )
+        .unwrap();
         let mut opts = SearchOptions::new(1024, 4096, TpStrategy::OneD);
         opts.max_interleave = 4;
         opts.allow_zero3 = true;

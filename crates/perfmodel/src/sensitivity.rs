@@ -55,7 +55,10 @@ impl HardwareAxis {
         match self {
             HardwareAxis::TensorFlops => s.gpu = s.gpu.with_flops_scale(factor),
             HardwareAxis::HbmBandwidth => {
-                s.gpu = s.gpu.clone().with_hbm_bandwidth(s.gpu.hbm_bandwidth * factor)
+                s.gpu = s
+                    .gpu
+                    .clone()
+                    .with_hbm_bandwidth(s.gpu.hbm_bandwidth * factor)
             }
             HardwareAxis::HbmCapacity => {
                 s.gpu = s.gpu.clone().with_hbm_capacity(s.gpu.hbm_capacity * factor)
@@ -95,9 +98,7 @@ pub fn elasticities(
         let up = t_of(&axis.scaled(sys, 1.0 + step));
         let down = t_of(&axis.scaled(sys, 1.0 - step));
         let value = match (up, down) {
-            (Some(tu), Some(td)) => {
-                (tu.ln() - td.ln()) / ((1.0 + step).ln() - (1.0 - step).ln())
-            }
+            (Some(tu), Some(td)) => (tu.ln() - td.ln()) / ((1.0 + step).ln() - (1.0 - step).ln()),
             // Shrinking the parameter made training infeasible: the axis
             // is a hard constraint; report a sentinel strong sensitivity.
             (Some(_), None) => f64::NEG_INFINITY,
@@ -173,7 +174,10 @@ mod tests {
         let ib_vit = value(&vit, HardwareAxis::IbBandwidth);
         let ib_gpt = value(&gpt, HardwareAxis::IbBandwidth);
         assert!(ib_vit < ib_gpt + 1e-9, "ViT {ib_vit} vs GPT {ib_gpt}");
-        assert!(ib_vit < -0.05, "ViT should have real IB sensitivity: {ib_vit}");
+        assert!(
+            ib_vit < -0.05,
+            "ViT should have real IB sensitivity: {ib_vit}"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl OpTime {
 
     /// Scales both parts (e.g. backward ≈ 2× forward).
     pub fn scaled(self, k: f64) -> OpTime {
-        OpTime { compute: self.compute * k, memory_excess: self.memory_excess * k }
+        OpTime {
+            compute: self.compute * k,
+            memory_excess: self.memory_excess * k,
+        }
     }
 }
 
@@ -97,7 +100,12 @@ mod tests {
 
     #[test]
     fn vector_op_is_memory_bound() {
-        let t = op_time(vector_op(VectorOpKind::LayerNorm, 1 << 24), ComputeUnit::Vector, &b200(), 1);
+        let t = op_time(
+            vector_op(VectorOpKind::LayerNorm, 1 << 24),
+            ComputeUnit::Vector,
+            &b200(),
+            1,
+        );
         assert!(t.memory_excess > 0.0);
     }
 
@@ -128,8 +136,14 @@ mod tests {
 
     #[test]
     fn accumulate_and_scale() {
-        let mut a = OpTime { compute: 1.0, memory_excess: 0.5 };
-        a.accumulate(OpTime { compute: 2.0, memory_excess: 0.25 });
+        let mut a = OpTime {
+            compute: 1.0,
+            memory_excess: 0.5,
+        };
+        a.accumulate(OpTime {
+            compute: 2.0,
+            memory_excess: 0.25,
+        });
         assert_eq!(a.compute, 3.0);
         assert_eq!(a.memory_excess, 0.75);
         let d = a.scaled(2.0);

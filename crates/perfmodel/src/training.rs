@@ -24,8 +24,12 @@ mod tests {
         // the paper shows roughly 4× that — expect order 10–40 days.
         let model = gpt3_1t().config;
         let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-        let best =
-            optimize(&model, &sys, &SearchOptions::new(4096, 4096, TpStrategy::OneD)).unwrap();
+        let best = optimize(
+            &model,
+            &sys,
+            &SearchOptions::new(4096, 4096, TpStrategy::OneD),
+        )
+        .unwrap();
         let days = training_days(&TrainingWorkload::gpt3_1t_pretraining(), &best);
         assert!(days > 5.0 && days < 60.0, "got {days} days");
     }

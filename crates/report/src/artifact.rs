@@ -34,7 +34,11 @@ impl Artifact {
 
     /// Appends a data row (width-checked).
     pub fn push(&mut self, row: Vec<Value>) {
-        assert_eq!(row.len(), self.columns.len(), "row width must match columns");
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
         self.rows.push(row);
     }
 
@@ -92,7 +96,9 @@ impl Artifact {
 
 /// Convenience: a JSON number from an f64 (NaN/∞ become null).
 pub fn num(v: f64) -> Value {
-    serde_json::Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+    serde_json::Number::from_f64(v)
+        .map(Value::Number)
+        .unwrap_or(Value::Null)
 }
 
 #[cfg(test)]
@@ -134,7 +140,9 @@ mod tests {
         a.push(vec![json!("a,b")]);
         let dir = std::env::temp_dir().join("fmperf-artifact-quote");
         let (_, csv_path) = a.write(&dir).unwrap();
-        assert!(std::fs::read_to_string(csv_path).unwrap().contains("\"a,b\""));
+        assert!(std::fs::read_to_string(csv_path)
+            .unwrap()
+            .contains("\"a,b\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

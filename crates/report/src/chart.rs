@@ -8,7 +8,11 @@ pub fn hbar(value: f64, max: f64, width: usize) -> String {
     }
     let frac = (value / max).clamp(0.0, 1.0);
     let filled = (frac * width as f64).round() as usize;
-    format!("{}{}", "█".repeat(filled), " ".repeat(width - filled.min(width)))
+    format!(
+        "{}{}",
+        "█".repeat(filled),
+        " ".repeat(width - filled.min(width))
+    )
 }
 
 /// A stacked percentage bar: each `(label_char, fraction)` segment fills

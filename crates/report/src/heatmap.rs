@@ -28,10 +28,15 @@ pub fn heatmap(points: &[(f64, f64, Option<f64>)], x_label: &str, y_label: &str)
         RAMP[(t * (RAMP.len() - 2) as f64).round() as usize]
     };
     let lookup = |x: f64, y: f64| -> Option<f64> {
-        points.iter().find(|p| p.0 == x && p.1 == y).and_then(|p| p.2)
+        points
+            .iter()
+            .find(|p| p.0 == x && p.1 == y)
+            .and_then(|p| p.2)
     };
     let mut out = String::new();
-    out.push_str(&format!("{y_label} ↑ (rows high→low), {x_label} → (cols low→high); range {lo:.2}–{hi:.2}\n"));
+    out.push_str(&format!(
+        "{y_label} ↑ (rows high→low), {x_label} → (cols low→high); range {lo:.2}–{hi:.2}\n"
+    ));
     for &y in ys.iter().rev() {
         out.push_str(&format!("{y:>10.2} |"));
         for &x in &xs {

@@ -10,13 +10,20 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; the cell count must match the header count.
     pub fn push<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(row);
     }
 

@@ -17,7 +17,9 @@ pub struct SystemBuilder {
 impl SystemBuilder {
     /// Starts from one of the paper's nine catalog systems.
     pub fn from_catalog(gen: GpuGeneration, nvs: NvsSize) -> Self {
-        Self { spec: system(gen, nvs) }
+        Self {
+            spec: system(gen, nvs),
+        }
     }
 
     /// Starts from an arbitrary existing spec.

@@ -19,8 +19,11 @@ pub enum NvsSize {
 }
 
 /// All generations, in release order.
-pub const ALL_GENERATIONS: [GpuGeneration; 3] =
-    [GpuGeneration::A100, GpuGeneration::H200, GpuGeneration::B200];
+pub const ALL_GENERATIONS: [GpuGeneration; 3] = [
+    GpuGeneration::A100,
+    GpuGeneration::H200,
+    GpuGeneration::B200,
+];
 
 /// All NVS domain sizes studied.
 pub const ALL_NVS_SIZES: [NvsSize; 3] = [NvsSize::Nvs4, NvsSize::Nvs8, NvsSize::Nvs64];
@@ -174,7 +177,10 @@ mod tests {
     #[test]
     fn system_names_follow_legend_format() {
         assert_eq!(system(GpuGeneration::B200, NvsSize::Nvs8).name, "B200-NVS8");
-        assert_eq!(system(GpuGeneration::A100, NvsSize::Nvs64).name, "A100-NVS64");
+        assert_eq!(
+            system(GpuGeneration::A100, NvsSize::Nvs64).name,
+            "A100-NVS64"
+        );
     }
 
     #[test]

@@ -27,3 +27,34 @@ mod sim;
 pub use report::{compare, ValidationRow};
 pub use schedule::{stage_schedule, WorkItem};
 pub use sim::{simulate_iteration, IterationReport, SimParams};
+
+#[cfg(test)]
+mod serde_roundtrip {
+    use super::*;
+
+    #[test]
+    fn work_items_survive_json() {
+        // Tuple enum variants take the `{"Forward": j}` encoding.
+        let order = stage_schedule(1, 4, 6);
+        let back: Vec<WorkItem> =
+            serde_json::from_str(&serde_json::to_string(&order).unwrap()).unwrap();
+        assert_eq!(back, order);
+    }
+
+    #[test]
+    fn sim_params_survive_json() {
+        let params = SimParams {
+            straggler_stage: Some(3),
+            straggler_factor: 1.25,
+            ..SimParams::ideal()
+        };
+        let back: SimParams =
+            serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
+        assert_eq!(back, params);
+        // `None` must round-trip through JSON null.
+        let ideal = SimParams::ideal();
+        let back: SimParams =
+            serde_json::from_str(&serde_json::to_string(&ideal).unwrap()).unwrap();
+        assert_eq!(back, ideal);
+    }
+}

@@ -66,7 +66,12 @@ mod tests {
         // Paper: 11% error for the optimal (nt, np, nd, bm) = (4, 16, 8, 1).
         let model = gpt3_175b().config;
         let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
-        let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+        let pl = Placement {
+            v1: 4,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         let row = compare(
             "GPT3-175B optimal",
             &model,
@@ -84,7 +89,12 @@ mod tests {
         // Paper: larger observed times seen with larger predicted times.
         let model = gpt3_175b().config;
         let sys = perlmutter_sys();
-        let pl4 = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+        let pl4 = Placement {
+            v1: 4,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         let configs = [
             ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1),
             ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, 4, 1),
@@ -122,7 +132,12 @@ mod tests {
         // (n1, n2, np, nd, bm) = (2, 4, 4, 16, 1).
         let model = vit_32k().config;
         let cfg = ParallelConfig::new(TpStrategy::TwoD, 2, 4, 4, 16, 1);
-        let pl = Placement { v1: 2, v2: 2, vp: 1, vd: 1 };
+        let pl = Placement {
+            v1: 2,
+            v2: 2,
+            vp: 1,
+            vd: 1,
+        };
         let row = compare(
             "ViT-32K near-optimal",
             &model,

@@ -47,7 +47,10 @@ mod tests {
 
     #[test]
     fn last_stage_alternates_immediately() {
-        assert_eq!(stage_schedule(3, 4, 3), vec![F(0), B(0), F(1), B(1), F(2), B(2)]);
+        assert_eq!(
+            stage_schedule(3, 4, 3),
+            vec![F(0), B(0), F(1), B(1), F(2), B(2)]
+        );
     }
 
     #[test]

@@ -32,7 +32,13 @@ pub struct SimParams {
 
 impl Default for SimParams {
     fn default() -> Self {
-        Self { jitter_sigma: 0.05, overhead: 30e-6, seed: 42, straggler_stage: None, straggler_factor: 1.0 }
+        Self {
+            jitter_sigma: 0.05,
+            overhead: 30e-6,
+            seed: 42,
+            straggler_stage: None,
+            straggler_factor: 1.0,
+        }
     }
 }
 
@@ -40,7 +46,13 @@ impl SimParams {
     /// An idealized run: no jitter, no overhead — should closely match
     /// the analytic model.
     pub fn ideal() -> Self {
-        Self { jitter_sigma: 0.0, overhead: 0.0, seed: 0, straggler_stage: None, straggler_factor: 1.0 }
+        Self {
+            jitter_sigma: 0.0,
+            overhead: 0.0,
+            seed: 0,
+            straggler_stage: None,
+            straggler_factor: 1.0,
+        }
     }
 }
 
@@ -70,9 +82,16 @@ pub fn simulate_iteration(
     sys: &SystemSpec,
     params: &SimParams,
 ) -> IterationReport {
-    cfg.validate(model, global_batch).expect("invalid configuration");
-    assert_eq!(cfg.interleave, 1, "trainsim models the non-interleaved 1F1B schedule only");
-    assert!(!cfg.zero3, "trainsim models the baseline ZeRO-1 optimizer sharding only");
+    cfg.validate(model, global_batch)
+        .expect("invalid configuration");
+    assert_eq!(
+        cfg.interleave, 1,
+        "trainsim models the non-interleaved 1F1B schedule only"
+    );
+    assert!(
+        !cfg.zero3,
+        "trainsim models the baseline ZeRO-1 optimizer sharding only"
+    );
     let np = cfg.np as usize;
     let m = cfg.num_microbatches(global_batch) as usize;
     assert!(m >= 1, "at least one microbatch required");
@@ -118,8 +137,9 @@ pub fn simulate_iteration(
         }
     }
 
-    let schedules: Vec<Vec<WorkItem>> =
-        (0..np).map(|s| stage_schedule(s as u64, cfg.np, m as u64)).collect();
+    let schedules: Vec<Vec<WorkItem>> = (0..np)
+        .map(|s| stage_schedule(s as u64, cfg.np, m as u64))
+        .collect();
     let mut ptr = vec![0usize; np];
     let mut clock = vec![0.0f64; np];
     let mut busy = vec![0.0f64; np];
@@ -230,7 +250,12 @@ mod tests {
         // (4, 16, 8, 1), global batch 1024.
         let model = gpt3_175b().config;
         let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
-        let placement = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+        let placement = Placement {
+            v1: 4,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         (model, cfg, placement)
     }
 
@@ -249,7 +274,12 @@ mod tests {
         // the simulator must agree with the closed form almost exactly.
         let model = gpt3_175b().config;
         let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 1, 64, 1);
-        let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+        let pl = Placement {
+            v1: 4,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        };
         let s = sys();
         let sim = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal());
         let ana = perfmodel::evaluate(&model, &cfg, &pl, 1024, &s);
@@ -275,7 +305,11 @@ mod tests {
         let (model, cfg, pl) = cfg_175b();
         let r = simulate_iteration(&model, &cfg, &pl, 1024, &sys(), &SimParams::ideal());
         // (np−1)/(m+np−1) ≈ 15/143 ≈ 10%.
-        assert!(r.bubble_fraction > 0.05 && r.bubble_fraction < 0.2, "{}", r.bubble_fraction);
+        assert!(
+            r.bubble_fraction > 0.05 && r.bubble_fraction < 0.2,
+            "{}",
+            r.bubble_fraction
+        );
     }
 
     #[test]
@@ -302,7 +336,10 @@ mod tests {
             &pl,
             1024,
             &s,
-            &SimParams { seed: 7, ..SimParams::default() },
+            &SimParams {
+                seed: 7,
+                ..SimParams::default()
+            },
         );
         assert_ne!(a.iteration_time, c.iteration_time);
     }

@@ -33,10 +33,23 @@ impl TransformerConfig {
     /// # Panics
     /// Panics if `heads` does not divide `embed`, or any dimension is zero.
     pub fn new(seq_len: u64, embed: u64, hidden: u64, heads: u64, depth: u64) -> Self {
-        assert!(seq_len > 0 && embed > 0 && hidden > 0 && heads > 0 && depth > 0,
-                "all transformer dimensions must be positive");
-        assert_eq!(embed % heads, 0, "heads ({heads}) must divide embed ({embed})");
-        Self { seq_len, embed, hidden, heads, depth, linear_attention: false }
+        assert!(
+            seq_len > 0 && embed > 0 && hidden > 0 && heads > 0 && depth > 0,
+            "all transformer dimensions must be positive"
+        );
+        assert_eq!(
+            embed % heads,
+            0,
+            "heads ({heads}) must divide embed ({embed})"
+        );
+        Self {
+            seq_len,
+            embed,
+            hidden,
+            heads,
+            depth,
+            linear_attention: false,
+        }
     }
 
     /// Head dimension `e_h = e/h`.

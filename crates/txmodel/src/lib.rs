@@ -19,3 +19,39 @@ pub use config::TransformerConfig;
 pub use ops::{gemm, vector_op, MatmulShape, OpCost, VectorOpKind, BYTES_PER_ELEM};
 pub use presets::{gpt3_175b, gpt3_1t, vit_32k, vit_64k, vit_64k_linear_attention, Preset};
 pub use workload::{TrainingWorkload, ERA5_SAMPLES_PER_YEAR};
+
+#[cfg(test)]
+mod serde_roundtrip {
+    use super::*;
+
+    #[test]
+    fn config_and_workload_survive_json() {
+        let preset = gpt3_175b();
+        let json = serde_json::to_string(&preset.config).unwrap();
+        let back: TransformerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, preset.config);
+        assert_eq!(back.total_params(), preset.config.total_params());
+
+        let workload = TrainingWorkload::from_token_budget(1e12, 4096, preset.config.seq_len);
+        let json = serde_json::to_string(&workload).unwrap();
+        let back: TrainingWorkload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, workload);
+    }
+
+    #[test]
+    fn op_types_survive_json() {
+        let cost = gemm(128, 512, 256);
+        let back: OpCost = serde_json::from_str(&serde_json::to_string(&cost).unwrap()).unwrap();
+        assert_eq!(back, cost);
+
+        let shape = MatmulShape {
+            m: 1,
+            k: 2,
+            n: 3,
+            batch: 4,
+        };
+        let back: MatmulShape =
+            serde_json::from_str(&serde_json::to_string(&shape).unwrap()).unwrap();
+        assert_eq!(back, shape);
+    }
+}

@@ -26,17 +26,27 @@ pub struct OpCost {
 impl OpCost {
     /// Element-wise sum of two costs.
     pub fn plus(self, other: OpCost) -> OpCost {
-        OpCost { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+        OpCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
     }
 
     /// Cost scaled by a constant factor (e.g. backward ≈ 2× forward).
     pub fn scaled(self, k: f64) -> OpCost {
-        OpCost { flops: self.flops * k, bytes: self.bytes * k }
+        OpCost {
+            flops: self.flops * k,
+            bytes: self.bytes * k,
+        }
     }
 
     /// Arithmetic intensity in FLOPs/byte (∞ when no bytes are moved).
     pub fn intensity(self) -> f64 {
-        if self.bytes == 0.0 { f64::INFINITY } else { self.flops / self.bytes }
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
     }
 }
 
@@ -78,7 +88,10 @@ impl MatmulShape {
 
     /// Combined census for this GEMM.
     pub fn cost(&self) -> OpCost {
-        OpCost { flops: self.flops(), bytes: self.bytes() }
+        OpCost {
+            flops: self.flops(),
+            bytes: self.bytes(),
+        }
     }
 }
 
@@ -198,8 +211,14 @@ mod tests {
 
     #[test]
     fn opcost_algebra() {
-        let a = OpCost { flops: 1.0, bytes: 2.0 };
-        let b = OpCost { flops: 3.0, bytes: 4.0 };
+        let a = OpCost {
+            flops: 1.0,
+            bytes: 2.0,
+        };
+        let b = OpCost {
+            flops: 3.0,
+            bytes: 4.0,
+        };
         let s = a.plus(b);
         assert_eq!(s.flops, 4.0);
         assert_eq!(s.bytes, 6.0);
@@ -210,7 +229,10 @@ mod tests {
 
     #[test]
     fn zero_bytes_intensity_is_infinite() {
-        let c = OpCost { flops: 1.0, bytes: 0.0 };
+        let c = OpCost {
+            flops: 1.0,
+            bytes: 0.0,
+        };
         assert!(c.intensity().is_infinite());
     }
 }

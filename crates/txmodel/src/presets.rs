@@ -53,7 +53,10 @@ pub fn vit_32k() -> Preset {
 pub fn vit_64k_linear_attention() -> Preset {
     let mut config = TransformerConfig::new(64800, 12288, 4 * 12288, 64, 48);
     config.linear_attention = true;
-    Preset { name: "ViT-64K-LinAttn", config }
+    Preset {
+        name: "ViT-64K-LinAttn",
+        config,
+    }
 }
 
 #[cfg(test)]

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn days_conversion() {
-        let w = TrainingWorkload { global_batch: 1, iterations: 86_400.0 };
+        let w = TrainingWorkload {
+            global_batch: 1,
+            iterations: 86_400.0,
+        };
         assert!((w.days(1.0) - 1.0).abs() < 1e-12);
         assert!((w.days(2.0) - 2.0).abs() < 1e-12);
     }

@@ -17,9 +17,20 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "system", "gpus", "config", "m", "iter (s)", "days", "HBM (GB)", "compute %",
+        "system",
+        "gpus",
+        "config",
+        "m",
+        "iter (s)",
+        "days",
+        "HBM (GB)",
+        "compute %",
     ]);
-    for gen in [GpuGeneration::A100, GpuGeneration::H200, GpuGeneration::B200] {
+    for gen in [
+        GpuGeneration::A100,
+        GpuGeneration::H200,
+        GpuGeneration::B200,
+    ] {
         for nvs in [NvsSize::Nvs8, NvsSize::Nvs64] {
             let sys = system(gen, nvs);
             for n in [2048u64, 8192, 16384] {
@@ -65,9 +76,11 @@ fn main() {
             optimize(&model.config, &sys, &SearchOptions::new(16384, 4096, s))
                 .map(|e| e.iteration_time)
         };
-        if let (Some(t1), Some(t2), Some(ts)) =
-            (t(TpStrategy::OneD), t(TpStrategy::TwoD), t(TpStrategy::Summa))
-        {
+        if let (Some(t1), Some(t2), Some(ts)) = (
+            t(TpStrategy::OneD),
+            t(TpStrategy::TwoD),
+            t(TpStrategy::Summa),
+        ) {
             println!(
                 "  {:>10}: 1D {:6.2}s | 2D {:6.2}s ({:+.1}%) | SUMMA {:6.2}s ({:+.1}%)",
                 sys.name,

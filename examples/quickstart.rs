@@ -9,7 +9,10 @@ fn main() {
     let n = 1024;
     let opts = SearchOptions::new(n, 4096, TpStrategy::OneD);
     let best = optimize(&model.config, &sys, &opts).expect("feasible config");
-    println!("Optimal configuration for {} on {} GPUs ({}):", model.name, n, sys.name);
+    println!(
+        "Optimal configuration for {} on {} GPUs ({}):",
+        model.name, n, sys.name
+    );
     println!("  {}", best.config);
     println!("  microbatches      : {}", best.microbatches);
     println!("  iteration time    : {:.3} s", best.iteration_time);

@@ -26,7 +26,11 @@ fn main() {
 
     // 1) The 1D TP wall.
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-    let oned = optimize(&model.config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::OneD));
+    let oned = optimize(
+        &model.config,
+        &sys,
+        &SearchOptions::new(4096, 4096, TpStrategy::OneD),
+    );
     println!(
         "\n1D TP on 4096 B200: {}",
         match oned {
@@ -38,9 +42,22 @@ fn main() {
 
     // 2) 2D TP scaling (Fig. 4b view).
     println!("\n2D TP optimal configurations (B200-NVS8):");
-    let mut table = Table::new(["gpus", "grid n1×n2", "np", "nd", "iter (s)", "days", "HBM (GB)", "TP comm %"]);
+    let mut table = Table::new([
+        "gpus",
+        "grid n1×n2",
+        "np",
+        "nd",
+        "iter (s)",
+        "days",
+        "HBM (GB)",
+        "TP comm %",
+    ]);
     for n in [512u64, 2048, 8192, 16384] {
-        if let Some(e) = optimize(&model.config, &sys, &SearchOptions::new(n, 4096, TpStrategy::TwoD)) {
+        if let Some(e) = optimize(
+            &model.config,
+            &sys,
+            &SearchOptions::new(n, 4096, TpStrategy::TwoD),
+        ) {
             table.push([
                 n.to_string(),
                 format!("{}×{}", e.config.n1, e.config.n2),
@@ -74,11 +91,17 @@ fn main() {
     // 4) The paper's Outlook: linear attention removes the l² term and
     // with it most of the pressure.
     let lin = txmodel::vit_64k_linear_attention();
-    if let Some(e) =
-        optimize(&lin.config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::TwoD))
-    {
-        let quad = optimize(&model.config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::TwoD))
-            .unwrap();
+    if let Some(e) = optimize(
+        &lin.config,
+        &sys,
+        &SearchOptions::new(4096, 4096, TpStrategy::TwoD),
+    ) {
+        let quad = optimize(
+            &model.config,
+            &sys,
+            &SearchOptions::new(4096, 4096, TpStrategy::TwoD),
+        )
+        .unwrap();
         println!(
             "\nLinear-attention variant on 4096 B200: {:.2}s/iter vs {:.2}s quadratic ({:.1}× faster)",
             e.iteration_time,

@@ -8,9 +8,13 @@
 use fmperf::prelude::*;
 use report::{hbar, Table};
 
-fn days_for(model: &TransformerConfig, sys: &SystemSpec, strategy: TpStrategy, w: &TrainingWorkload) -> Option<f64> {
-    optimize(model, sys, &SearchOptions::new(8192, 4096, strategy))
-        .map(|e| training_days(w, &e))
+fn days_for(
+    model: &TransformerConfig,
+    sys: &SystemSpec,
+    strategy: TpStrategy,
+    w: &TrainingWorkload,
+) -> Option<f64> {
+    optimize(model, sys, &SearchOptions::new(8192, 4096, strategy)).map(|e| training_days(w, &e))
 }
 
 fn main() {
@@ -54,9 +58,11 @@ fn main() {
     for (name, g, v) in &results {
         table.push([
             name.clone(),
-            g.map(|d| format!("{d:.1}")).unwrap_or_else(|| "infeasible".into()),
+            g.map(|d| format!("{d:.1}"))
+                .unwrap_or_else(|| "infeasible".into()),
             g.map(|d| hbar(d, gmax, 20)).unwrap_or_default(),
-            v.map(|d| format!("{d:.2}")).unwrap_or_else(|| "infeasible".into()),
+            v.map(|d| format!("{d:.2}"))
+                .unwrap_or_else(|| "infeasible".into()),
             v.map(|d| hbar(d, vmax, 20)).unwrap_or_default(),
         ]);
     }

@@ -18,9 +18,14 @@ fn main() {
         let group = CommGroup::new(32, nvl);
         for v in [1e6, 64e6, 1e9, 8e9] {
             let ana = collective_time(Collective::AllGather, v, group, &sys);
-            let sim =
-                simulate_collective(Collective::AllGather, v, group, &sys, &SimOptions::default())
-                    .time;
+            let sim = simulate_collective(
+                Collective::AllGather,
+                v,
+                group,
+                &sys,
+                &SimOptions::default(),
+            )
+            .time;
             t.push([
                 nvl.to_string(),
                 format!("{:>6.0} MB", v / 1e6),
@@ -41,19 +46,34 @@ fn main() {
             "GPT3-175B",
             gpt3_175b().config,
             ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1),
-            Placement { v1: 4, v2: 1, vp: 1, vd: 1 },
+            Placement {
+                v1: 4,
+                v2: 1,
+                vp: 1,
+                vd: 1,
+            },
         ),
         (
             "GPT3-175B",
             gpt3_175b().config,
             ParallelConfig::new(TpStrategy::OneD, 16, 1, 8, 4, 1),
-            Placement { v1: 4, v2: 1, vp: 1, vd: 1 },
+            Placement {
+                v1: 4,
+                v2: 1,
+                vp: 1,
+                vd: 1,
+            },
         ),
         (
             "ViT-32K",
             vit_32k().config,
             ParallelConfig::new(TpStrategy::TwoD, 2, 4, 4, 16, 1),
-            Placement { v1: 2, v2: 2, vp: 1, vd: 1 },
+            Placement {
+                v1: 2,
+                v2: 2,
+                vp: 1,
+                vd: 1,
+            },
         ),
     ];
     for (name, model, cfg, pl) in cases {

@@ -1,0 +1,6 @@
+//! Facade alias so `cargo run --bin figures` works from the workspace
+//! root; the implementation lives in `paperbench` (`crates/bench`).
+
+fn main() {
+    paperbench::figures_main();
+}

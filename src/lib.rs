@@ -26,6 +26,16 @@
 //! .unwrap();
 //! println!("{}: {:.2} s/iter", best.config, best.iteration_time);
 //! ```
+//!
+//! # Building, testing, benchmarking
+//!
+//! * `cargo build --release` — builds the whole workspace (external deps
+//!   are vendored offline shims; see `vendor/README.md`).
+//! * `cargo test --workspace -q` — unit + integration + property tests.
+//! * `cargo run --release --example quickstart` — the path above, end to
+//!   end.
+//! * `cargo run --release --bin figures` / `cargo bench -p paperbench` —
+//!   regenerate the paper's figures and tables under `out/`.
 
 pub use collectives;
 pub use netsim;
@@ -43,7 +53,5 @@ pub mod prelude {
         Placement, SearchOptions, TpStrategy,
     };
     pub use systems::{perlmutter, system, GpuGeneration, NvsSize, SystemBuilder, SystemSpec};
-    pub use txmodel::{
-        gpt3_175b, gpt3_1t, vit_32k, vit_64k, TrainingWorkload, TransformerConfig,
-    };
+    pub use txmodel::{gpt3_175b, gpt3_1t, vit_32k, vit_64k, TrainingWorkload, TransformerConfig};
 }

@@ -1,0 +1,30 @@
+//! Smoke test for the README-facing `examples/quickstart.rs` path: runs
+//! the same search end-to-end and sanity-checks every quantity the
+//! example prints, so the quickstart cannot silently rot. (CI also runs
+//! the example binary itself via `cargo run --example quickstart`.)
+
+use fmperf::prelude::*;
+
+#[test]
+fn quickstart_path_end_to_end() {
+    let model = gpt3_1t();
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let opts = SearchOptions::new(1024, 4096, TpStrategy::OneD);
+
+    let best = optimize(&model.config, &sys, &opts).expect("a feasible configuration exists");
+
+    assert_eq!(best.config.total_gpus(), 1024);
+    assert!(best.feasible);
+    assert!(best.iteration_time > 0.0);
+    // Must fit in B200 HBM (the definition of feasible).
+    assert!(best.memory.total_gb() * 1e9 <= sys.gpu.hbm_capacity);
+    // The breakdown the example prints must sum to 100%.
+    let total_pct: f64 = best.breakdown.percentages().iter().map(|(_, p)| *p).sum();
+    assert!(
+        (total_pct - 100.0).abs() < 1e-6,
+        "breakdown sums to {total_pct}%"
+    );
+    // A 1T-token pre-training run lands in a physically sensible window.
+    let days = training_days(&TrainingWorkload::gpt3_1t_pretraining(), &best);
+    assert!(days > 1.0 && days < 1000.0, "training days: {days}");
+}

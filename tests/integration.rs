@@ -10,8 +10,12 @@ use trainsim::{compare, simulate_iteration, SimParams};
 fn end_to_end_gpt_plan_is_consistent() {
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
     let model = gpt3_1t().config;
-    let best = optimize(&model, &sys, &SearchOptions::new(2048, 4096, TpStrategy::OneD))
-        .expect("feasible");
+    let best = optimize(
+        &model,
+        &sys,
+        &SearchOptions::new(2048, 4096, TpStrategy::OneD),
+    )
+    .expect("feasible");
     // Re-evaluating the returned configuration + placement must give the
     // same numbers (the search reports real evaluations).
     let re = evaluate(&model, &best.config, &best.placement, 4096, &sys);
@@ -47,8 +51,10 @@ fn search_beats_every_handpicked_config() {
 #[test]
 fn analytic_collectives_track_the_simulator_across_shapes() {
     let opts = SimOptions::default();
-    for (gen, nvs) in [(GpuGeneration::A100, NvsSize::Nvs4), (GpuGeneration::B200, NvsSize::Nvs8)]
-    {
+    for (gen, nvs) in [
+        (GpuGeneration::A100, NvsSize::Nvs4),
+        (GpuGeneration::B200, NvsSize::Nvs8),
+    ] {
         let sys = system(gen, nvs);
         for (size, per_domain) in [(8u64, 4u64), (16, 4), (64, 4)] {
             let per_domain = per_domain.min(sys.nvs_size);
@@ -58,7 +64,13 @@ fn analytic_collectives_track_the_simulator_across_shapes() {
                 let ana = collective_time(coll, v, group, &sys);
                 let sim = simulate_collective(coll, v, group, &sys, &opts).time;
                 let err = (sim - ana).abs() / ana;
-                assert!(err < 0.2, "{:?} on {}x{}: err {err:.3}", coll, size, per_domain);
+                assert!(
+                    err < 0.2,
+                    "{:?} on {}x{}: err {err:.3}",
+                    coll,
+                    size,
+                    per_domain
+                );
             }
         }
     }
@@ -70,13 +82,29 @@ fn schedule_simulator_validates_the_model_on_the_paper_setting() {
     let sys = perlmutter(4);
     let model = gpt3_175b().config;
     let optimal = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
-    let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
-    let row = compare("opt", &model, &optimal, &pl, 1024, &sys, &SimParams::default());
+    let pl = Placement {
+        v1: 4,
+        v2: 1,
+        vp: 1,
+        vd: 1,
+    };
+    let row = compare(
+        "opt",
+        &model,
+        &optimal,
+        &pl,
+        1024,
+        &sys,
+        &SimParams::default(),
+    );
     assert!(row.rel_err() < 0.15, "optimal err {:.3}", row.rel_err());
 
     let sub = ParallelConfig::new(TpStrategy::OneD, 16, 1, 8, 4, 1);
     let sub_row = compare("sub", &model, &sub, &pl, 1024, &sys, &SimParams::default());
-    assert!(sub_row.analytic > row.analytic, "sub-optimal must predict slower");
+    assert!(
+        sub_row.analytic > row.analytic,
+        "sub-optimal must predict slower"
+    );
     assert!(sub_row.simulated > row.simulated, "and simulate slower");
 }
 
@@ -85,7 +113,12 @@ fn simulated_bubble_matches_analytic_bubble_share() {
     let sys = perlmutter(4);
     let model = gpt3_175b().config;
     let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
-    let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
+    let pl = Placement {
+        v1: 4,
+        v2: 1,
+        vp: 1,
+        vd: 1,
+    };
     let ana = evaluate(&model, &cfg, &pl, 1024, &sys);
     let sim = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::ideal());
     let ana_share = ana.breakdown.pp_bubble / ana.iteration_time;
@@ -102,14 +135,24 @@ fn paper_contrast_llm_vs_sciml() {
     // The paper's headline contrast, end to end: the LLM works with 1D TP
     // + pipelining; the long-sequence ViT needs 2D TP and rejects 1D.
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-    let gpt = optimize(&gpt3_1t().config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::OneD));
+    let gpt = optimize(
+        &gpt3_1t().config,
+        &sys,
+        &SearchOptions::new(4096, 4096, TpStrategy::OneD),
+    );
     assert!(gpt.is_some());
-    let vit_1d =
-        optimize(&vit_64k().config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::OneD));
+    let vit_1d = optimize(
+        &vit_64k().config,
+        &sys,
+        &SearchOptions::new(4096, 4096, TpStrategy::OneD),
+    );
     assert!(vit_1d.is_none());
-    let vit_2d =
-        optimize(&vit_64k().config, &sys, &SearchOptions::new(4096, 4096, TpStrategy::TwoD))
-            .expect("2D TP trains the ViT");
+    let vit_2d = optimize(
+        &vit_64k().config,
+        &sys,
+        &SearchOptions::new(4096, 4096, TpStrategy::TwoD),
+    )
+    .expect("2D TP trains the ViT");
     assert!(vit_2d.config.n2 >= 2);
     // ViT pins HBM; GPT at this scale does not.
     assert!(vit_2d.memory.total_gb() > gpt.unwrap().memory.total_gb());
@@ -118,8 +161,12 @@ fn paper_contrast_llm_vs_sciml() {
 #[test]
 fn training_days_compose_with_workloads() {
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-    let best = optimize(&gpt3_1t().config, &sys, &SearchOptions::new(16384, 4096, TpStrategy::OneD))
-        .unwrap();
+    let best = optimize(
+        &gpt3_1t().config,
+        &sys,
+        &SearchOptions::new(16384, 4096, TpStrategy::OneD),
+    )
+    .unwrap();
     let days = training_days(&TrainingWorkload::gpt3_1t_pretraining(), &best);
     // Paper Fig. 5a: O(3–5) days on 16K B200.
     assert!(days > 2.0 && days < 8.0, "got {days}");
@@ -131,6 +178,17 @@ fn placement_search_improves_on_trivial_placement() {
     let model = gpt3_1t().config;
     let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
     let best = best_placement_eval(&model, &cfg, 4096, &sys);
-    let trivial = evaluate(&model, &cfg, &Placement { v1: 1, v2: 1, vp: 1, vd: 1 }, 4096, &sys);
+    let trivial = evaluate(
+        &model,
+        &cfg,
+        &Placement {
+            v1: 1,
+            v2: 1,
+            vp: 1,
+            vd: 1,
+        },
+        4096,
+        &sys,
+    );
     assert!(best.iteration_time < trivial.iteration_time);
 }

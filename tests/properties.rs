@@ -24,7 +24,7 @@ proptest! {
         let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
         let size = 1u64 << size_log;
         let per = (1u64 << per_log).min(size).min(sys.nvs_size);
-        prop_assume!(size % per == 0);
+        prop_assume!(size.is_multiple_of(per));
         let g = CommGroup::new(size, per);
         for coll in [Collective::AllGather, Collective::ReduceScatter, Collective::AllReduce, Collective::Broadcast] {
             let a = collective_time(coll, v1, g, &sys);

@@ -1,0 +1,196 @@
+//! Offline shim for `criterion` (see `vendor/README.md`).
+//!
+//! A minimal wall-clock harness with criterion's call-site API: warm up,
+//! run batches until the measurement window closes, report the mean
+//! iteration time. No statistics, plots, or baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration + group factory.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(200),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// CLI flags (`--bench`, filters, …) are accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Group configuration starts from the parent's and is scoped to the
+    /// group (as in real criterion): overrides die with the group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            sample_size: self.sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.warm_up, self.measurement, self.sample_size, f);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.warm_up, self.measurement, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        deadline: Instant::now() + warm_up,
+        max_iters: u64::MAX,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up pass (discarded).
+    f(&mut b);
+    // `sample_size` caps the measured iterations (each iteration is one
+    // sample here): the window closes on whichever comes first, the time
+    // budget or the sample cap — so `sample_size(10)` genuinely trims
+    // slow benchmarks, as in real criterion.
+    b = Bencher {
+        deadline: Instant::now() + measurement,
+        max_iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("{label:<40} time: {mean:>12.2?}   ({} iterations)", b.iters);
+}
+
+/// Timing context handed to the closure of `bench_function`.
+pub struct Bencher {
+    deadline: Instant,
+    max_iters: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly until the measurement window closes or the
+    /// iteration cap is reached (always at least once).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= self.max_iters || Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Defines a runnable group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

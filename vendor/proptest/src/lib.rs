@@ -1,0 +1,245 @@
+//! Offline shim for `proptest` (see `vendor/README.md`).
+//!
+//! Random testing without shrinking: each `proptest!` function samples
+//! its strategies from a deterministic [`rand::rngs::StdRng`] for the
+//! configured number of cases. `prop_assume!` discards count as passes
+//! instead of being re-drawn; failures report the case number (re-runs
+//! are deterministic, so that is enough to reproduce).
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, RngCore, SeedableRng};
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Per-block configuration (`cases` is the only knob this shim honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of an associated type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut __rng::StdRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut __rng::StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Constant strategy (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut __rng::StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut __rng::StdRng) -> f64 {
+        use __rng::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut __rng::StdRng) -> $t {
+                use __rng::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut __rng::StdRng) -> $t {
+                use __rng::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+#[doc(hidden)]
+pub fn __seed(name: &str) -> u64 {
+    // FNV-1a over the test name: distinct deterministic streams per test.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Declares deterministic random test functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::__rng::StdRng as $crate::__rng::SeedableRng>::seed_from_u64(
+                $crate::__seed(stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("proptest case {case}/{} failed: {msg}", config.cases);
+                }
+            }
+        }
+    )*};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Fails the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pow2(max_log: u32) -> impl Strategy<Value = u64> {
+        (0..=max_log).prop_map(|e| 1u64 << e)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_sample_in_bounds(
+            x in 1u64..100,
+            f in 0.25f64..4.0,
+            p in pow2(6),
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((0.25..4.0).contains(&f), "f out of range: {f}");
+            prop_assert!(p.is_power_of_two() && p <= 64);
+            prop_assert_eq!(p.trailing_zeros(), p.ilog2());
+        }
+
+        #[test]
+        fn assume_discards_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..2) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

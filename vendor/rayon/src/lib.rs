@@ -1,0 +1,70 @@
+//! Offline shim for `rayon` (see `vendor/README.md`).
+//!
+//! `par_iter()` returns the plain sequential iterator, so every adapter
+//! chain (`map`, `filter`, `min_by`, `collect`, …) is just `std`'s
+//! iterator machinery. Call sites keep rayon's API, which makes swapping
+//! in the real crate — or upgrading this shim to a `std::thread::scope`
+//! fan-out — a manifest-only change. Single-threaded for now: that is a
+//! deliberate bootstrap trade-off, tracked on the ROADMAP.
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelExtend};
+}
+
+/// `rayon`'s by-reference entry point; here it yields `std` iterators.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::ParallelExtend`.
+pub trait ParallelExtend<T> {
+    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I);
+}
+
+impl<T> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![3, 1, 2];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let min = xs.par_iter().min_by(|a, b| a.cmp(b));
+        assert_eq!(min, Some(&1));
+    }
+
+    #[test]
+    fn par_extend_appends() {
+        let mut out = vec![0];
+        out.par_extend([1, 2]);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline shim for `serde` (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based data model, this shim serializes
+//! through a concrete JSON-like [`Value`] tree: `Serialize` lowers a
+//! type to a `Value`, `Deserialize` lifts it back. `serde_json` (the
+//! sibling shim) supplies the text encoding on top of `Value`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+#[doc(hidden)]
+pub use value::escape_into;
+pub use value::{Number, Value};
+
+/// Deserialization error: a message describing what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Lift a value back out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Object field lookup used by derived `Deserialize` impls.
+#[doc(hidden)]
+pub fn __field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, got {v}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {v}")))
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Number::from_f64(*self as f64).map(Value::Number).unwrap_or(Value::Null)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let f = v
+                    .as_f64()
+                    .ok_or_else(|| DeError::custom(format!("expected number, got {v}")))?;
+                // Reject fractional and out-of-range values instead of
+                // silently saturating through an `as` cast.
+                if f.fract() != 0.0 || f < <$t>::MIN as f64 || f > <$t>::MAX as f64 {
+                    return Err(DeError::custom(format!(
+                        "invalid value {f} for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(f as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Number::from_f64(*self as f64).map(Value::Number).unwrap_or(Value::Null)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let f = v
+                    .as_f64()
+                    .ok_or_else(|| DeError::custom(format!("expected number, got {v}")))?;
+                Ok(f as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}

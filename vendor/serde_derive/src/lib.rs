@@ -1,0 +1,401 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-rolled derives — the container has no `syn`/`quote`, so the item
+//! is parsed directly from the [`proc_macro::TokenStream`]. Supported
+//! shapes (everything this workspace derives on):
+//!
+//! * structs with named fields,
+//! * enums with unit, tuple, or struct variants.
+//!
+//! Generics, tuple structs and `#[serde(...)]` attributes are rejected
+//! with a compile-time panic. The encoding is serde's externally-tagged
+//! default: unit variants as `"Name"`, newtype variants as
+//! `{"Name": value}`, tuple variants as `{"Name": [..]}`, struct
+//! variants as `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.shape {
+        Shape::Struct(fields) => serialize_struct(fields),
+        Shape::Enum(variants) => serialize_enum(variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = input.name,
+    );
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.shape {
+        Shape::Struct(fields) => deserialize_struct(&input.name, fields),
+        Shape::Enum(variants) => deserialize_enum(&input.name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}",
+        name = input.name,
+    );
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Skips one `#[...]` attribute, rejecting `#[serde(...)]`: this shim
+/// implements no serde attribute, so honoring the doc contract means
+/// failing loudly rather than silently emitting unconfigured impls.
+fn skip_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    iter.next(); // the `#`
+    if let Some(TokenTree::Group(g)) = iter.next() {
+        if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+            if id.to_string() == "serde" {
+                panic!(
+                    "serde shim derive: #[serde(...)] attributes are not supported \
+                     (extend vendor/serde_derive if you need one)"
+                );
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // the visibility qualifier.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim derive: expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim derive: expected type name, got {t:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic types are not supported ({name})")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs are not supported ({name})")
+            }
+            Some(_) => continue,
+            None => panic!("serde shim derive: no body found for {name}"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body.stream(), &name)),
+        "enum" => Shape::Enum(parse_variants(body.stream(), &name)),
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+/// Splits a brace-group body at top-level commas, tracking `<...>` depth
+/// (parens/brackets/braces are already nested groups in the token tree,
+/// but generic argument lists are not).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    out.retain(|item| !item.is_empty());
+    out
+}
+
+/// Extracts field names from `{ attrs vis name: Type, ... }`.
+fn parse_named_fields(stream: TokenStream, ty: &str) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|item| {
+            let mut iter = item.into_iter().peekable();
+            loop {
+                match iter.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        iter.next();
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("serde shim derive: expected field name in {ty}, got {t:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Extracts `(variant name, tuple arity)` pairs; arity 0 is a unit variant.
+fn parse_variants(stream: TokenStream, ty: &str) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|item| {
+            let mut iter = item.into_iter().peekable();
+            loop {
+                match iter.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                    _ => break,
+                }
+            }
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("serde shim derive: expected variant name in {ty}, got {t:?}"),
+            };
+            let fields = match iter.next() {
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream(), ty))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde shim derive: explicit discriminants are not supported ({ty})")
+                }
+                t => panic!("serde shim derive: unexpected token after {ty}::{name}: {t:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ generation
+
+fn serialize_struct(fields: &[String]) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(",\n"))
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     ::serde::__field(obj, \"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::missing_field(\"{name}\", \"{f}\"))?\
+                 )?"
+            )
+        })
+        .collect();
+    format!(
+        "let obj = v.as_object().ok_or_else(|| \
+             ::serde::DeError::custom(format!(\"expected object for {name}, got {{v}}\")))?;\n\
+         ::std::result::Result::Ok(Self {{ {} }})",
+        inits.join(",\n")
+    )
+}
+
+fn serialize_enum(variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|var| {
+            let v = &var.name;
+            match &var.fields {
+                Fields::Unit => format!(
+                    "Self::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\"))"
+                ),
+                Fields::Tuple(1) => format!(
+                    "Self::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))])"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                        .collect();
+                    format!(
+                        "Self::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))])",
+                        binds.join(", "),
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "Self::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))])",
+                        pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0})", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|var| {
+            let v = &var.name;
+            match &var.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(1) => format!(
+                    "\"{v}\" => ::std::result::Result::Ok(\
+                         Self::{v}(::serde::Deserialize::from_value(payload)?))"
+                ),
+                Fields::Tuple(arity) => {
+                    let elems: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let arr = payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for {name}::{v}\"))?;\n\
+                             if arr.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(\
+                                     ::serde::DeError::custom(\"wrong arity for {name}::{v}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok(Self::{v}({elems}))\n\
+                         }}",
+                        elems = elems.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::__field(obj, \"{f}\")\
+                                         .ok_or_else(|| ::serde::DeError::missing_field(\
+                                             \"{name}::{v}\", \"{f}\"))?\
+                                 )?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let obj = payload.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok(Self::{v} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    let string_arm = format!(
+        "::serde::Value::String(s) => match s.as_str() {{\n{}\n\
+             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+         }}",
+        unit_arms
+            .iter()
+            .map(|a| format!("{a},"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let object_arm = format!(
+        "::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+             let (tag, payload) = &pairs[0];\n\
+             let _ = payload;\n\
+             match tag.as_str() {{\n{}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+             }}\n\
+         }}",
+        tagged_arms
+            .iter()
+            .map(|a| format!("{a},"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    format!(
+        "match v {{\n{string_arm},\n{object_arm},\n\
+             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"cannot deserialize {name} from {{other}}\"))),\n\
+         }}"
+    )
+}

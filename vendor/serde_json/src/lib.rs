@@ -1,0 +1,183 @@
+//! Offline shim for `serde_json` (see `vendor/README.md`).
+//!
+//! Serialization lowers through [`serde::Serialize`] into the shared
+//! [`Value`] tree and prints it; deserialization parses text into a
+//! [`Value`] and lifts it with [`serde::Deserialize`]. The parser is a
+//! complete JSON reader (strings with escapes, numbers, nested
+//! containers), so artifacts written by this crate round-trip exactly.
+
+pub use serde::{Number, Value};
+
+mod parse;
+
+/// Error raised by parsing or (never, in this shim) by serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.0)
+    }
+}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Lifts a [`Value`] tree into a concrete type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Parses JSON text into a concrete type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(o) if !o.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                serde::escape_into(out, k);
+                out.push_str(": ");
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Builds a [`Value`] from any expression convertible into one.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![$($crate::json!($elem)),*])
+    };
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Object(vec![
+            ("name".into(), json!("b200 \"nvs\"\n")),
+            (
+                "sizes".into(),
+                Value::Array(vec![json!(1), json!(2.5), Value::Null]),
+            ),
+            ("ok".into(), json!(true)),
+        ]);
+        let compact: Value = from_str(&v.to_string()).unwrap();
+        assert_eq!(compact, v);
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn parses_scientific_and_negative_numbers() {
+        let v: Value = from_str("[-1.5e3, 0.25, 1e-2, 42]").unwrap();
+        let nums: Vec<f64> = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(nums, vec![-1500.0, 0.25, 0.01, 42.0]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_malformed_ones_error() {
+        let v: Value = from_str("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // High surrogate followed by a non-low-surrogate escape must be
+        // an error, not a panic or a silently wrong character.
+        assert!(from_str::<Value>("\"\\uD800\\u0041\"").is_err());
+        assert!(from_str::<Value>("\"\\uD800x\"").is_err());
+        assert!(from_str::<Value>("\"\\uD800\"").is_err());
+    }
+
+    #[test]
+    fn integer_deserialization_is_strict() {
+        assert_eq!(from_str::<u64>("3").unwrap(), 3);
+        assert_eq!(from_str::<i32>("-8").unwrap(), -8);
+        // Out-of-range and fractional numbers error instead of saturating.
+        assert!(from_str::<u64>("-8").is_err());
+        assert!(from_str::<u64>("2.5").is_err());
+        assert!(from_str::<u8>("300").is_err());
+        // Floats still accept anything numeric.
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+    }
+}
