@@ -3,11 +3,17 @@
 //! `cargo bench` output contains the reproduced tables and figures.
 //!
 //! Groups map to DESIGN.md's experiment index:
-//! * `profile`   — S1 layer-profile construction (Tables I/II/A2 path)
-//! * `placement` — best-placement evaluation (Figs. 1–3 path)
-//! * `search`    — full S3 optimization (Figs. 4, 5, A3–A6 path)
-//! * `netsim`    — collective DES (Fig. A1 path)
-//! * `trainsim`  — 1F1B schedule simulation (§IV validation path)
+//! * `profile`        — S1 layer-profile construction (Tables I/II/A2 path)
+//! * `placement`      — best-placement evaluation (Figs. 1–3 path)
+//! * `search`         — full S3 optimization (Figs. 4, 5, A3–A6 path)
+//! * `search-scaling` — the same S3 search pinned to 1/2/4/8 pool threads
+//! * `netsim`         — collective DES (Fig. A1 path)
+//! * `trainsim`       — 1F1B schedule simulation (§IV validation path)
+//!
+//! Every measurement is additionally written to `out/bench.json`
+//! (schema `fmperf-bench-v1`) so the per-PR perf trajectory is
+//! machine-readable; pass `--quick` for a short CI smoke run that skips
+//! the artifact-regeneration preamble.
 
 use criterion::{criterion_group, Criterion};
 use perfmodel::partition::build_profile;
@@ -17,6 +23,63 @@ use perfmodel::{
 use std::time::Duration;
 use systems::{perlmutter, system, GpuGeneration, NvsSize};
 use txmodel::{gpt3_175b, gpt3_1t, vit_64k};
+
+fn bench_search_scaling(c: &mut Criterion) {
+    let gpt = gpt3_1t().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let mut g = c.benchmark_group("search-scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        g.bench_function(&format!("gpt_summa_n16384_t{threads}"), |b| {
+            b.iter(|| {
+                pool.install(|| {
+                    optimize(
+                        &gpt,
+                        &sys,
+                        &SearchOptions::new(16384, 4096, TpStrategy::Summa),
+                    )
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Writes every recorded measurement to `out/bench.json`, grouped by the
+/// `group/function` id prefix — the machine-readable perf trajectory CI
+/// uploads per PR.
+fn emit_bench_json(out: &std::path::Path) {
+    use serde_json::{json, Value};
+    let mut groups: Vec<(String, Value)> = Vec::new();
+    for r in criterion::take_results() {
+        let (group, name) = r.id.split_once('/').unwrap_or(("ungrouped", r.id.as_str()));
+        let cell = Value::Object(vec![
+            ("mean_ns".into(), json!(r.mean_ns)),
+            ("iterations".into(), json!(r.iterations)),
+        ]);
+        match groups.iter_mut().find(|(g, _)| g == group) {
+            Some((_, Value::Object(entries))) => entries.push((name.into(), cell)),
+            _ => groups.push((group.into(), Value::Object(vec![(name.into(), cell)]))),
+        }
+    }
+    let doc = Value::Object(vec![
+        ("schema".into(), json!("fmperf-bench-v1")),
+        ("groups".into(), Value::Object(groups)),
+    ]);
+    let path = out.join("bench.json");
+    match std::fs::create_dir_all(out).and_then(|()| {
+        serde_json::to_string_pretty(&doc)
+            .map_err(std::io::Error::from)
+            .and_then(|s| std::fs::write(&path, s))
+    }) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
 
 fn bench_profile(c: &mut Criterion) {
     let gpu = GpuGeneration::B200.gpu();
@@ -130,6 +193,7 @@ criterion_group!(
     bench_profile,
     bench_placement,
     bench_search,
+    bench_search_scaling,
     bench_netsim,
     bench_trainsim
 );
@@ -138,16 +202,21 @@ fn main() {
     // Regenerate every paper artifact first so `cargo bench` output is a
     // complete reproduction record (written to the workspace-level out/
     // as JSON + CSV; cargo runs benches with the package as cwd).
+    // `--quick` (the CI bench-smoke mode) skips the regeneration and only
+    // takes short measurements for the trajectory file.
+    let quick = std::env::args().any(|a| a == "--quick");
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../out");
-    for id in paperbench::ALL_IDS {
-        let t0 = std::time::Instant::now();
-        for art in paperbench::generate(id) {
-            println!("{}", art.render());
-            if let Err(e) = art.write(&out) {
-                eprintln!("warning: could not write {}: {e}", art.id);
+    if !quick {
+        for id in paperbench::ALL_IDS {
+            let t0 = std::time::Instant::now();
+            for art in paperbench::generate(id) {
+                println!("{}", art.render());
+                if let Err(e) = art.write(&out) {
+                    eprintln!("warning: could not write {}: {e}", art.id);
+                }
             }
+            println!("[{id}] regenerated in {:.2?}\n", t0.elapsed());
         }
-        println!("[{id}] regenerated in {:.2?}\n", t0.elapsed());
     }
 
     let mut c = Criterion::default()
@@ -157,7 +226,9 @@ fn main() {
     bench_profile(&mut c);
     bench_placement(&mut c);
     bench_search(&mut c);
+    bench_search_scaling(&mut c);
     bench_netsim(&mut c);
     bench_trainsim(&mut c);
     c.final_summary();
+    emit_bench_json(&out);
 }

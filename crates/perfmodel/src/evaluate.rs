@@ -165,6 +165,22 @@ pub fn evaluate_with_profile(
     global_batch: u64,
     sys: &SystemSpec,
 ) -> Evaluation {
+    let memory = memory_usage(profile, model, cfg, global_batch);
+    evaluate_placement(profile, model, cfg, placement, global_batch, sys, memory)
+}
+
+/// Core of [`evaluate_with_profile`] with the (placement-independent)
+/// memory accounting precomputed, so the search's per-candidate placement
+/// loop prices memory once instead of once per placement.
+pub(crate) fn evaluate_placement(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    global_batch: u64,
+    sys: &SystemSpec,
+    memory: MemoryUsage,
+) -> Evaluation {
     let m = cfg.num_microbatches(global_batch) as f64;
     let layers = (model.depth / cfg.np) as f64;
 
@@ -221,7 +237,6 @@ pub fn evaluate_with_profile(
         pp_comm,
     };
 
-    let memory = memory_usage(profile, model, cfg, global_batch);
     let feasible = memory.fits(sys.gpu.hbm_capacity);
 
     Evaluation {

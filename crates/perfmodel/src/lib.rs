@@ -52,9 +52,11 @@ pub use evaluate::{
     evaluate, evaluate_with_profile, evaluate_with_tp_overlap, stage_times, Evaluation,
 };
 pub use memory::MemoryUsage;
+pub use partition::{ProfileCache, ProfileKey};
 pub use placement::enumerate_placements;
 pub use search::{
-    best_placement_eval, enumerate_partitions, optimize, sweep_partitions, SearchOptions,
+    best_placement_eval, best_placement_eval_with_profile, enumerate_partitions, optimize,
+    sweep_partitions, SearchOptions,
 };
 pub use sensitivity::{elasticities, Elasticity, HardwareAxis};
 pub use training::training_days;

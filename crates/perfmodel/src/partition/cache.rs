@@ -1,0 +1,175 @@
+//! Profile memoization across partition candidates (the search's S1 → S2
+//! hand-off).
+//!
+//! A [`crate::plan::LayerProfile`] depends only on the TP tuple
+//! `(strategy, n1, n2, microbatch, summa_panels)` for a fixed model and
+//! GPU — not on `np`, `nd`, interleaving, ZeRO-3 or the NVS placement. The
+//! brute-force search therefore shares one profile across the whole
+//! `(np, nd, interleave, zero3, placement)` inner space instead of
+//! rebuilding it per candidate.
+//!
+//! # Cache-key invariants
+//!
+//! * `summa_panels` only reaches [`build_profile`] under
+//!   [`TpStrategy::Summa`]; keys normalize it to 1 for the other
+//!   strategies so aliases cannot produce duplicate cache entries.
+//! * `n2` is 1 for [`TpStrategy::OneD`] (enforced by
+//!   [`crate::ParallelConfig::validate`]); it is kept in the key verbatim.
+//! * The cache is built **once**, before the parallel fan-out, and is
+//!   read-only afterwards — lookups are lock-free `HashMap` reads shared
+//!   across worker threads.
+
+use super::build_profile;
+use crate::config::{ParallelConfig, TpStrategy};
+use crate::plan::LayerProfile;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use systems::GpuSpec;
+use txmodel::TransformerConfig;
+
+/// The exact subset of [`ParallelConfig`] a layer profile depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    pub strategy: TpStrategy,
+    pub n1: u64,
+    pub n2: u64,
+    pub microbatch: u64,
+    /// Normalized to 1 unless `strategy == TpStrategy::Summa`.
+    pub summa_panels: u64,
+}
+
+impl ProfileKey {
+    /// Canonical key of a configuration (see the module-level invariants).
+    pub fn of(cfg: &ParallelConfig) -> Self {
+        Self {
+            strategy: cfg.strategy,
+            n1: cfg.n1,
+            n2: cfg.n2,
+            microbatch: cfg.microbatch,
+            summa_panels: if cfg.strategy == TpStrategy::Summa {
+                cfg.summa_panels
+            } else {
+                1
+            },
+        }
+    }
+}
+
+/// Build-once, read-many store of layer profiles for one `(model, gpu)`.
+pub struct ProfileCache {
+    map: HashMap<ProfileKey, LayerProfile>,
+}
+
+impl ProfileCache {
+    /// Builds the profile for every distinct key among `cfgs`, fanning the
+    /// (placement-independent) constructions out over the rayon pool.
+    pub fn build(model: &TransformerConfig, gpu: &GpuSpec, cfgs: &[ParallelConfig]) -> Self {
+        let mut seen = HashSet::new();
+        let keys: Vec<ProfileKey> = cfgs
+            .iter()
+            .map(ProfileKey::of)
+            .filter(|k| seen.insert(*k))
+            .collect();
+        let profiles: Vec<LayerProfile> = keys
+            .par_iter()
+            .map(|k| {
+                build_profile(
+                    model,
+                    k.strategy,
+                    k.n1,
+                    k.n2,
+                    k.microbatch,
+                    k.summa_panels,
+                    gpu,
+                )
+            })
+            .collect();
+        Self {
+            map: keys.into_iter().zip(profiles).collect(),
+        }
+    }
+
+    /// The profile shared by every candidate with `cfg`'s TP tuple.
+    ///
+    /// Panics if `cfg` was not part of the slice the cache was built from
+    /// (a caller bug: the cache is keyed per enumeration, not global).
+    pub fn get(&self, cfg: &ParallelConfig) -> &LayerProfile {
+        self.map
+            .get(&ProfileKey::of(cfg))
+            .unwrap_or_else(|| panic!("no cached profile for {cfg}"))
+    }
+
+    /// Number of distinct profiles held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systems::GpuGeneration;
+    use txmodel::gpt3_1t;
+
+    fn cfg(strategy: TpStrategy, n1: u64, n2: u64, np: u64, nd: u64, bm: u64) -> ParallelConfig {
+        ParallelConfig::new(strategy, n1, n2, np, nd, bm)
+    }
+
+    #[test]
+    fn cache_holds_one_profile_per_key() {
+        let model = gpt3_1t().config;
+        let gpu = GpuGeneration::B200.gpu();
+        // Three configs, two distinct TP tuples.
+        let cfgs = [
+            cfg(TpStrategy::OneD, 8, 1, 64, 32, 1),
+            cfg(TpStrategy::OneD, 8, 1, 32, 64, 1),
+            cfg(TpStrategy::OneD, 16, 1, 64, 16, 1),
+        ];
+        let cache = ProfileCache::build(&model, &gpu, &cfgs);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        // Shared profiles are bit-identical to direct construction.
+        for c in &cfgs {
+            let direct = build_profile(
+                &model,
+                c.strategy,
+                c.n1,
+                c.n2,
+                c.microbatch,
+                c.summa_panels,
+                &gpu,
+            );
+            assert_eq!(cache.get(c), &direct);
+        }
+    }
+
+    #[test]
+    fn summa_panels_are_normalized_for_non_summa() {
+        let a = ProfileKey::of(&ParallelConfig {
+            summa_panels: 8,
+            ..cfg(TpStrategy::TwoD, 4, 4, 8, 16, 1)
+        });
+        let b = ProfileKey::of(&cfg(TpStrategy::TwoD, 4, 4, 8, 16, 1));
+        assert_eq!(a, b);
+        // But SUMMA keys keep the panel count.
+        let s8 = ProfileKey::of(&ParallelConfig {
+            summa_panels: 8,
+            ..cfg(TpStrategy::Summa, 4, 4, 8, 16, 1)
+        });
+        let s1 = ProfileKey::of(&cfg(TpStrategy::Summa, 4, 4, 8, 16, 1));
+        assert_ne!(s8, s1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cached profile")]
+    fn lookup_outside_build_set_panics() {
+        let model = gpt3_1t().config;
+        let gpu = GpuGeneration::B200.gpu();
+        let cache = ProfileCache::build(&model, &gpu, &[cfg(TpStrategy::OneD, 8, 1, 64, 32, 1)]);
+        let _ = cache.get(&cfg(TpStrategy::OneD, 4, 1, 64, 64, 1));
+    }
+}

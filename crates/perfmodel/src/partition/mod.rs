@@ -6,11 +6,13 @@
 //! the communication patterns with their volumes and groups, the stored
 //! activation bytes and the weight shard sizes.
 
+pub mod cache;
 mod common;
 pub mod summa;
 pub mod tp1d;
 pub mod tp2d;
 
+pub use cache::{ProfileCache, ProfileKey};
 pub use common::{FLASH_BWD_FACTOR, GEMM_BWD_FACTOR, VECTOR_BWD_FACTOR};
 
 use crate::config::TpStrategy;

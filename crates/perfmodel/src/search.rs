@@ -5,14 +5,32 @@
 //! enumerates every factorization `n = n1·n2·np·nd` obeying the
 //! divisibility constraints, every microbatch size dividing the local
 //! batch, every SUMMA panel count, and — for each candidate — every
-//! maximal NVS-domain placement. Profiles are built once per TP tuple and
-//! shared across the `(np, nd, placement)` inner loop; candidates are
-//! evaluated in parallel with rayon.
+//! maximal NVS-domain placement.
+//!
+//! Both entry points ([`optimize`] and [`sweep_partitions`]) flow through
+//! one shared evaluated-sweep path:
+//!
+//! 1. enumerate the candidates ([`enumerate_partitions`]);
+//! 2. build a [`ProfileCache`] holding **exactly one** [`LayerProfile`]
+//!    per distinct TP tuple `(strategy, n1, n2, bm, nb)` — see
+//!    [`crate::partition::cache`] for the key invariants — so the
+//!    `(np, nd, interleave, zero3, placement)` inner space reuses shared,
+//!    read-only profiles instead of rebuilding them per candidate;
+//! 3. fan the candidates out over the rayon pool; each evaluates its
+//!    placements against the cached profile. `optimize` additionally
+//!    prunes candidates whose (placement-independent) memory footprint
+//!    cannot fit HBM before enumerating any placement.
+//!
+//! Results are deterministic and bit-identical across thread counts: the
+//! pool preserves input order, every reduction runs over the ordered
+//! results, and sorting is stable.
 
 use crate::config::{ParallelConfig, TpStrategy};
-use crate::evaluate::{evaluate_with_profile, Evaluation};
-use crate::partition::build_profile;
+use crate::evaluate::{evaluate_placement, Evaluation};
+use crate::memory::memory_usage;
+use crate::partition::{build_profile, ProfileCache};
 use crate::placement::{divisors, enumerate_placements};
+use crate::plan::LayerProfile;
 use rayon::prelude::*;
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
@@ -153,11 +171,75 @@ pub fn best_placement_eval(
         cfg.summa_panels,
         &sys.gpu,
     );
+    best_placement_eval_with_profile(&profile, model, cfg, global_batch, sys)
+}
+
+/// [`best_placement_eval`] against an already-built layer profile (the
+/// search's hot path: the profile comes out of the [`ProfileCache`] and is
+/// shared by every candidate with the same TP tuple). The memory
+/// accounting is placement-independent, so it is priced once here rather
+/// than once per placement.
+pub fn best_placement_eval_with_profile(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    global_batch: u64,
+    sys: &SystemSpec,
+) -> Evaluation {
+    let memory = memory_usage(profile, model, cfg, global_batch);
+    best_placement_with_memory(profile, model, cfg, global_batch, sys, memory)
+}
+
+/// Placement loop of [`best_placement_eval_with_profile`] with the memory
+/// accounting already priced, so the sweep's prune check and the
+/// evaluation share one computation.
+fn best_placement_with_memory(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    global_batch: u64,
+    sys: &SystemSpec,
+    memory: crate::memory::MemoryUsage,
+) -> Evaluation {
     enumerate_placements(cfg, sys.nvs_size)
         .iter()
-        .map(|p| evaluate_with_profile(&profile, model, cfg, p, global_batch, sys))
+        .map(|p| evaluate_placement(profile, model, cfg, p, global_batch, sys, memory))
         .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
         .expect("at least the trivial placement exists")
+}
+
+/// The shared evaluated sweep behind [`optimize`] and
+/// [`sweep_partitions`]: enumerate once, build each profile once, fan the
+/// candidates out over the pool. With `prune_infeasible`, candidates whose
+/// memory footprint (placement-independent, exact) exceeds HBM are
+/// dropped *before* their placement space is enumerated — valid for
+/// [`optimize`], which discards infeasible evaluations anyway.
+fn evaluate_candidates(
+    model: &TransformerConfig,
+    sys: &SystemSpec,
+    opts: &SearchOptions,
+    prune_infeasible: bool,
+) -> Vec<Evaluation> {
+    let partitions = enumerate_partitions(model, opts);
+    let cache = ProfileCache::build(model, &sys.gpu, &partitions);
+    partitions
+        .par_iter()
+        .filter_map(|cfg| {
+            let profile = cache.get(cfg);
+            let memory = memory_usage(profile, model, cfg, opts.global_batch);
+            if prune_infeasible && !memory.fits(sys.gpu.hbm_capacity) {
+                return None;
+            }
+            Some(best_placement_with_memory(
+                profile,
+                model,
+                cfg,
+                opts.global_batch,
+                sys,
+                memory,
+            ))
+        })
+        .collect()
 }
 
 /// Best-placement evaluation of **every** partition in the space, sorted
@@ -168,11 +250,9 @@ pub fn sweep_partitions(
     sys: &SystemSpec,
     opts: &SearchOptions,
 ) -> Vec<Evaluation> {
-    let partitions = enumerate_partitions(model, opts);
-    let mut evals: Vec<Evaluation> = partitions
-        .par_iter()
-        .map(|cfg| best_placement_eval(model, cfg, opts.global_batch, sys))
-        .collect();
+    let mut evals = evaluate_candidates(model, sys, opts, false);
+    // Stable sort: equal iteration times keep enumeration order, so the
+    // output is identical for any thread count.
     evals.sort_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time));
     evals
 }
@@ -184,10 +264,8 @@ pub fn optimize(
     sys: &SystemSpec,
     opts: &SearchOptions,
 ) -> Option<Evaluation> {
-    let partitions = enumerate_partitions(model, opts);
-    partitions
-        .par_iter()
-        .map(|cfg| best_placement_eval(model, cfg, opts.global_batch, sys))
+    evaluate_candidates(model, sys, opts, true)
+        .into_iter()
         .filter(|e| e.feasible)
         .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
 }
@@ -311,6 +389,74 @@ mod tests {
         opts.max_interleave = 4;
         for cfg in enumerate_partitions(&model, &opts) {
             assert_eq!((model.depth / cfg.np) % cfg.interleave, 0);
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let opts = SearchOptions::new(256, 4096, TpStrategy::OneD);
+        let pool = |n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let seq = pool(1).install(|| sweep_partitions(&model, &sys, &opts));
+        assert!(!seq.is_empty());
+        for n in [2, 4, 8] {
+            let par = pool(n).install(|| sweep_partitions(&model, &sys, &opts));
+            // Full struct equality: same ordering, bit-identical
+            // iteration times, breakdowns and memory accounting.
+            assert_eq!(par, seq, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn optimize_is_bit_identical_across_thread_counts() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let opts = SearchOptions::new(512, 4096, TpStrategy::TwoD);
+        let pool = |n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let seq = pool(1).install(|| optimize(&model, &sys, &opts)).unwrap();
+        for n in [2, 8] {
+            let par = pool(n).install(|| optimize(&model, &sys, &opts)).unwrap();
+            assert_eq!(par, seq, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn memory_prune_is_exact() {
+        // The pruned optimize must agree exactly with the unpruned sweep's
+        // first feasible entry: the prune may only skip candidates the
+        // feasibility filter would have discarded.
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let opts = SearchOptions::new(512, 4096, TpStrategy::OneD);
+        let via_sweep = sweep_partitions(&model, &sys, &opts)
+            .into_iter()
+            .find(|e| e.feasible);
+        let direct = optimize(&model, &sys, &opts);
+        assert_eq!(direct, via_sweep);
+    }
+
+    #[test]
+    fn cached_path_matches_from_scratch_eval() {
+        // best_placement_eval (profile built ad hoc) and the cache-backed
+        // sweep must produce bit-identical evaluations per candidate.
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let opts = SearchOptions::new(64, 4096, TpStrategy::Summa);
+        let sweep = sweep_partitions(&model, &sys, &opts);
+        for e in sweep.iter().take(25) {
+            let scratch = best_placement_eval(&model, &e.config, 4096, &sys);
+            assert_eq!(&scratch, e);
         }
     }
 

@@ -3,10 +3,36 @@
 //! A minimal wall-clock harness with criterion's call-site API: warm up,
 //! run batches until the measurement window closes, report the mean
 //! iteration time. No statistics, plots, or baseline comparisons.
+//!
+//! Two shim extensions beyond the printed report:
+//! * every completed measurement is recorded in a process-wide registry
+//!   drained via [`take_results`], so bench binaries can emit
+//!   machine-readable trajectories (e.g. `out/bench.json`);
+//! * [`Criterion::configure_from_args`] honors criterion's `--quick` flag
+//!   (short warm-up/measurement windows, capped samples) for CI smoke
+//!   runs. Other flags are accepted and ignored.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One completed benchmark measurement (`id` is `"group/function"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    pub id: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Measured iterations contributing to the mean.
+    pub iterations: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every result recorded since the last call (in completion order).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results registry poisoned"))
+}
 
 /// Harness configuration + group factory.
 pub struct Criterion {
@@ -41,8 +67,14 @@ impl Criterion {
         self
     }
 
-    /// CLI flags (`--bench`, filters, …) are accepted and ignored.
-    pub fn configure_from_args(self) -> Self {
+    /// CLI flags (`--bench`, filters, …) are accepted and ignored, except
+    /// `--quick`, which shrinks the windows for CI smoke runs.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            self.warm_up = Duration::from_millis(50);
+            self.measurement = Duration::from_millis(200);
+            self.sample_size = self.sample_size.min(10);
+        }
         self
     }
 
@@ -131,6 +163,14 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         Duration::ZERO
     };
     println!("{label:<40} time: {mean:>12.2?}   ({} iterations)", b.iters);
+    RESULTS
+        .lock()
+        .expect("results registry poisoned")
+        .push(BenchResult {
+            id: label.to_string(),
+            mean_ns: mean.as_nanos() as f64,
+            iterations: b.iters,
+        });
 }
 
 /// Timing context handed to the closure of `bench_function`.
@@ -192,5 +232,25 @@ mod tests {
         let mut g = c.benchmark_group("shim");
         g.bench_function("noop", |b| b.iter(|| 1 + 1));
         g.finish();
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(3);
+        let mut g = c.benchmark_group("registry");
+        g.bench_function("spin", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        g.finish();
+        let results = take_results();
+        let r = results
+            .iter()
+            .find(|r| r.id == "registry/spin")
+            .expect("measurement recorded");
+        assert!(r.iterations >= 1 && r.iterations <= 3);
+        assert!(r.mean_ns >= 0.0);
+        // Drained: a second take returns nothing new for this id.
+        assert!(!take_results().iter().any(|r| r.id == "registry/spin"));
     }
 }

@@ -1,56 +1,495 @@
 //! Offline shim for `rayon` (see `vendor/README.md`).
 //!
-//! `par_iter()` returns the plain sequential iterator, so every adapter
-//! chain (`map`, `filter`, `min_by`, `collect`, …) is just `std`'s
-//! iterator machinery. Call sites keep rayon's API, which makes swapping
-//! in the real crate — or upgrading this shim to a `std::thread::scope`
-//! fan-out — a manifest-only change. Single-threaded for now: that is a
-//! deliberate bootstrap trade-off, tracked on the ROADMAP.
+//! Unlike the original sequential bootstrap shim, this is a *real*
+//! parallel executor behind rayon's call-site API. Work is executed on a
+//! `std::thread::scope` pool with chunked self-scheduling: the input index
+//! space is split into more chunks than workers and idle workers steal the
+//! next unclaimed chunk from a shared atomic counter, so uneven per-item
+//! costs (e.g. memory-pruned search candidates next to full placement
+//! sweeps) still load-balance.
+//!
+//! Determinism contract: every adapter chain produces results in **input
+//! order**, bit-identical to running the same chain on a sequential
+//! iterator, regardless of thread count. Workers only compute; all
+//! reductions (`collect`, `min_by`, …) happen on the ordered result
+//! vector, so ties break exactly as `std::iter::Iterator` breaks them.
+//!
+//! Thread-count resolution, highest priority first:
+//! 1. an enclosing [`ThreadPool::install`] scope (rayon's pool API);
+//! 2. the `RAYON_NUM_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of 1 (or a single-element input) falls back to the
+//! plain sequential loop — no threads are spawned. Worker panics are
+//! propagated to the caller with the original payload. Parallel calls
+//! nested *inside* a worker run sequentially by default (the outer
+//! fan-out already owns the thread budget); an explicit
+//! [`ThreadPool::install`] inside the worker overrides that.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelExtend};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelExtend, ParallelIterator,
+    };
 }
 
-/// `rayon`'s by-reference entry point; here it yields `std` iterators.
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel call started *now* would use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Builder for a fixed-size [`ThreadPool`] (rayon's configuration entry
+/// point; only `num_threads` is honored here).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "resolve from the environment".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Never fails in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count policy. The shim spawns fresh scoped threads per
+/// parallel call instead of keeping workers alive, so a "pool" is just the
+/// count that `install` puts in effect for its closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect for every
+    /// parallel call made (directly) inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
+        // Restore on unwind too, so a panicking `op` doesn't leak the
+        // override into unrelated code on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Chunks per worker thread: enough granularity for stealing to even out
+/// skewed workloads without drowning in per-chunk bookkeeping.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Runs `iter` to completion and returns its items in input order.
+///
+/// Chunked self-scheduling: the index space is cut into
+/// `threads × CHUNKS_PER_THREAD` contiguous chunks; each worker repeatedly
+/// claims the next chunk off a shared counter. Results are reassembled by
+/// chunk id, so the output order (and therefore every downstream
+/// reduction) is independent of scheduling.
+fn execute<P: ParallelIterator>(iter: &P) -> Vec<P::Item> {
+    let n = iter.pi_len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).filter_map(|i| iter.pi_get(i)).collect();
+    }
+    let chunks = (threads * CHUNKS_PER_THREAD).min(n);
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, Vec<P::Item>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // The fan-out already consumed the thread budget:
+                    // nested parallel calls made from inside this worker
+                    // run sequentially instead of oversubscribing C²
+                    // threads (an explicit `ThreadPool::install` in user
+                    // code still overrides this).
+                    POOL_THREADS.with(|c| c.set(Some(1)));
+                    let mut local = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        let lo = c * n / chunks;
+                        let hi = (c + 1) * n / chunks;
+                        local.push((c, (lo..hi).filter_map(|i| iter.pi_get(i)).collect()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(chunks);
+        let mut panic_payload = None;
+        for w in workers {
+            match w.join() {
+                Ok(local) => parts.extend(local),
+                Err(e) => panic_payload = Some(e),
+            }
+        }
+        if let Some(e) = panic_payload {
+            std::panic::resume_unwind(e);
+        }
+        parts
+    });
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut part) in parts.drain(..) {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// An index-addressable parallel computation. `pi_get` is called exactly
+/// once per index by the executor; `None` means the element was dropped
+/// by a `filter`/`filter_map` stage.
+pub trait ParallelIterator: Send + Sync + Sized {
+    type Item: Send;
+
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    #[doc(hidden)]
+    fn pi_get(&self, index: usize) -> Option<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, pred }
+    }
+
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let _ = execute(&self.map(f));
+    }
+
+    /// Parallel evaluation, sequential reduction over the ordered results:
+    /// ties resolve to the *first* minimum, exactly as
+    /// [`Iterator::min_by`].
+    fn min_by<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Send + Sync,
+    {
+        execute(&self).into_iter().min_by(compare)
+    }
+
+    fn count(self) -> usize {
+        execute(&self.map(|_| ())).len()
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        execute(&self).into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (rayon's `into_par_iter`).
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `rayon`'s by-reference entry point.
 pub trait IntoParallelRefIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
 
     fn par_iter(&'data self) -> Self::Iter;
 }
 
-impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SlicePar<'data, T>;
     type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.iter()
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
     }
 }
 
-impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SlicePar<'data, T>;
     type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.iter()
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
     }
 }
 
-/// Sequential stand-in for `rayon::iter::ParallelExtend`.
-pub trait ParallelExtend<T> {
-    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I);
+/// Parallel iterator over `&[T]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SlicePar<'data, T> {
+    slice: &'data [T],
 }
 
-impl<T> ParallelExtend<T> for Vec<T> {
-    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        self.extend(iter);
+impl<'data, T: Sync> ParallelIterator for SlicePar<'data, T> {
+    type Item = &'data T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, index: usize) -> Option<&'data T> {
+        Some(&self.slice[index])
+    }
+}
+
+/// Parallel iterator over an owned collection. Elements are parked in
+/// per-slot mutexes so workers can move them out through a shared `&self`
+/// without `unsafe`; each slot is taken exactly once.
+pub struct VecPar<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn pi_get(&self, index: usize) -> Option<T> {
+        self.slots[index].lock().expect("slot poisoned").take()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar {
+            slots: self.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+        }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Iter = VecPar<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        Vec::from(self).into_par_iter()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Every adapter/base is trivially its own parallel iterator.
+macro_rules! identity_into_par_iter {
+    ($($ty:ident<$($p:ident),*>: [$($bounds:tt)*]),+ $(,)?) => {$(
+        impl<$($p),*> IntoParallelIterator for $ty<$($p),*>
+        where
+            $ty<$($p),*>: ParallelIterator,
+            $($bounds)*
+        {
+            type Iter = Self;
+            type Item = <Self as ParallelIterator>::Item;
+
+            fn into_par_iter(self) -> Self {
+                self
+            }
+        }
+    )+};
+}
+
+identity_into_par_iter! {
+    Map<I, F>: [],
+    Filter<I, F>: [],
+    FilterMap<I, F>: [],
+}
+
+impl<'data, T: Sync> IntoParallelIterator for SlicePar<'data, T> {
+    type Iter = Self;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for VecPar<T> {
+    type Iter = Self;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+/// Output of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> Option<R> {
+        self.base.pi_get(index).map(&self.f)
+    }
+}
+
+/// Output of [`ParallelIterator::filter`].
+pub struct Filter<I, F> {
+    base: I,
+    pred: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> Option<I::Item> {
+        self.base.pi_get(index).filter(|x| (self.pred)(x))
+    }
+}
+
+/// Output of [`ParallelIterator::filter_map`].
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> Option<R> {
+        self.base.pi_get(index).and_then(&self.f)
+    }
+}
+
+/// Parallel counterpart of `Extend` (rayon's `par_extend`).
+pub trait ParallelExtend<T: Send> {
+    fn par_extend<I: IntoParallelIterator<Item = T>>(&mut self, par_iter: I);
+}
+
+impl<T: Send> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I: IntoParallelIterator<Item = T>>(&mut self, par_iter: I) {
+        self.extend(execute(&par_iter.into_par_iter()));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, ThreadPoolBuilder};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn pool(n: usize) -> super::ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn par_iter_matches_iter() {
@@ -66,5 +505,132 @@ mod tests {
         let mut out = vec![0];
         out.par_extend([1, 2]);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = xs.iter().map(|x| x * x + 1).collect();
+        for n in [1, 2, 3, 8, 64] {
+            let par: Vec<u64> = pool(n).install(|| xs.par_iter().map(|x| x * x + 1).collect());
+            assert_eq!(par, seq, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn filter_and_filter_map_match_sequential() {
+        let xs: Vec<i64> = (0..500).collect();
+        let seq: Vec<i64> = xs.iter().filter(|x| *x % 3 == 0).map(|x| x - 1).collect();
+        let par: Vec<i64> = pool(4).install(|| {
+            xs.par_iter()
+                .filter(|x| *x % 3 == 0)
+                .map(|x| x - 1)
+                .collect()
+        });
+        assert_eq!(par, seq);
+        let seq_fm: Vec<i64> = xs
+            .iter()
+            .filter_map(|x| (x % 7 == 0).then_some(x * 2))
+            .collect();
+        let par_fm: Vec<i64> = pool(4).install(|| {
+            xs.par_iter()
+                .filter_map(|x| (*x % 7 == 0).then_some(x * 2))
+                .collect()
+        });
+        assert_eq!(par_fm, seq_fm);
+    }
+
+    #[test]
+    fn min_by_ties_break_like_sequential() {
+        // Equal keys: both sequential and parallel must return the
+        // *first* minimum in input order.
+        let xs = vec![(5, 'a'), (1, 'b'), (1, 'c'), (4, 'd'), (1, 'e')];
+        let seq = xs.iter().min_by(|a, b| a.0.cmp(&b.0)).unwrap();
+        for n in [1, 2, 8] {
+            let par = pool(n)
+                .install(|| xs.par_iter().min_by(|a, b| a.0.cmp(&b.0)))
+                .unwrap();
+            assert!(std::ptr::eq(par, seq), "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = pool(4).install(|| xs.par_iter().map(|x| x + 1).collect());
+        assert!(out.is_empty());
+        assert_eq!(
+            pool(4).install(|| xs.par_iter().min_by(|a, b| a.cmp(b))),
+            None
+        );
+    }
+
+    #[test]
+    fn nested_par_iter_works() {
+        let rows: Vec<Vec<u32>> = (0..8)
+            .map(|r| (0..50).map(|c| r * 100 + c).collect())
+            .collect();
+        let seq: Vec<u32> = rows.iter().map(|r| r.iter().sum()).collect();
+        let par: Vec<u32> = pool(4).install(|| {
+            rows.par_iter()
+                .map(|r| pool(2).install(|| r.par_iter().map(|x| *x).collect::<Vec<_>>()))
+                .map(|r| r.into_iter().sum())
+                .collect()
+        });
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn nested_calls_default_to_sequential_in_workers() {
+        // The outer fan-out owns the thread budget: a nested parallel
+        // call inside a worker resolves to 1 thread unless explicitly
+        // overridden with `install`.
+        let xs: Vec<u32> = (0..8).collect();
+        let counts: Vec<usize> =
+            pool(4).install(|| xs.par_iter().map(|_| current_num_threads()).collect());
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let xs: Vec<u32> = (0..100).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool(4).install(|| {
+                xs.par_iter().for_each(|x| {
+                    if *x == 57 {
+                        panic!("boom at {x}");
+                    }
+                })
+            })
+        }));
+        assert!(result.is_err());
+        // The override must not leak out of the panicked install scope.
+        assert_eq!(pool(3).install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        assert_eq!(pool(1).install(current_num_threads), 1);
+        assert_eq!(pool(7).install(current_num_threads), 7);
+        // Nested installs: innermost wins, outer is restored.
+        let seen =
+            pool(5).install(|| (pool(2).install(current_num_threads), current_num_threads()));
+        assert_eq!(seen, (2, 5));
+    }
+
+    #[test]
+    fn owned_into_par_iter_moves_items() {
+        let xs: Vec<String> = (0..200).map(|i| i.to_string()).collect();
+        let expect = xs.clone();
+        let mut out: Vec<String> = Vec::new();
+        pool(4).install(|| out.par_extend(xs));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn count_counts_survivors() {
+        let xs: Vec<u32> = (0..100).collect();
+        let n = pool(4).install(|| xs.par_iter().filter(|x| *x % 2 == 0).count());
+        assert_eq!(n, 50);
     }
 }
