@@ -8,6 +8,8 @@
 //! * `search`         — full S3 optimization (Figs. 4, 5, A3–A6 path)
 //! * `search-scaling` — the same S3 search pinned to 1/2/4/8 pool threads
 //! * `netsim`         — collective DES (Fig. A1 path)
+//! * `netsim-algorithms` — ring vs tree vs hierarchical vs auto AllReduce
+//!   schedules in the DES (the algorithm-selection validation path)
 //! * `trainsim`       — 1F1B schedule simulation (§IV validation path)
 //!
 //! Every measurement is additionally written to `out/bench.json`
@@ -170,6 +172,24 @@ fn bench_netsim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_netsim_algorithms(c: &mut Criterion) {
+    use collectives::{Collective, CommGroup};
+    use netsim::{simulate_collective, Algorithm, SimOptions};
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let group = CommGroup::new(64, 8);
+    let mut g = c.benchmark_group("netsim-algorithms");
+    for algorithm in Algorithm::ALL {
+        let opts = SimOptions {
+            algorithm,
+            ..SimOptions::default()
+        };
+        g.bench_function(&format!("allreduce_1gb_64gpu_{}", algorithm.name()), |b| {
+            b.iter(|| simulate_collective(Collective::AllReduce, 1e9, group, &sys, &opts))
+        });
+    }
+    g.finish();
+}
+
 fn bench_trainsim(c: &mut Criterion) {
     use trainsim::{simulate_iteration, SimParams};
     let model = gpt3_175b().config;
@@ -195,6 +215,7 @@ criterion_group!(
     bench_search,
     bench_search_scaling,
     bench_netsim,
+    bench_netsim_algorithms,
     bench_trainsim
 );
 
@@ -228,6 +249,7 @@ fn main() {
     bench_search(&mut c);
     bench_search_scaling(&mut c);
     bench_netsim(&mut c);
+    bench_netsim_algorithms(&mut c);
     bench_trainsim(&mut c);
     c.final_summary();
     emit_bench_json(&out);

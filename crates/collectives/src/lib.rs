@@ -24,6 +24,13 @@
 //! All bandwidths are derated by the system's empirical efficiency factor
 //! (70% in the paper, validated on Perlmutter-style NCCL tests — in this
 //! repo, against the `netsim` discrete-event simulator; see Fig. A1).
+//!
+//! Beyond the paper's ring-only model, AllReduce additionally has
+//! latency-optimal tree ([`allreduce_tree_time`]) and two-level
+//! hierarchical ([`allreduce_hierarchical_time`]) estimates, selected per
+//! collective by [`Algorithm`] / [`allreduce_time`] — `Auto` mirrors
+//! NCCL's autotuner by taking the fastest. Every formula is
+//! cross-validated against the matching `netsim` schedule.
 
 use serde::{Deserialize, Serialize};
 use systems::SystemSpec;
@@ -46,6 +53,15 @@ pub enum Collective {
 }
 
 impl Collective {
+    /// Every collective, in paper-table order.
+    pub const ALL: [Collective; 5] = [
+        Collective::AllGather,
+        Collective::ReduceScatter,
+        Collective::AllReduce,
+        Collective::Broadcast,
+        Collective::Reduce,
+    ];
+
     /// Short name as used in the paper's tables.
     pub fn abbrev(self) -> &'static str {
         match self {
@@ -54,6 +70,48 @@ impl Collective {
             Collective::AllReduce => "AR",
             Collective::Broadcast => "B",
             Collective::Reduce => "Red",
+        }
+    }
+}
+
+/// AllReduce algorithm, mirroring NCCL's tunable `NCCL_ALGO` choices on
+/// the dual-bandwidth fabric.
+///
+/// Only AllReduce has non-ring algorithms (as in NCCL); AllGather,
+/// ReduceScatter, Broadcast and Reduce always run rings. [`Auto`] models
+/// NCCL's autotuner: the fastest algorithm for the given volume and
+/// placement is selected per collective.
+///
+/// [`Auto`]: Algorithm::Auto
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Bandwidth-optimal pipelined ring (the paper's baseline model).
+    Ring,
+    /// Latency-optimal binary tree (reduce-up + broadcast-down).
+    Tree,
+    /// Two-level algorithm: intra-domain RS/AG over NVS, inter-domain
+    /// AllReduce over the NICs.
+    Hierarchical,
+    /// NCCL-style auto-selection: the fastest of the three.
+    Auto,
+}
+
+impl Algorithm {
+    /// Every algorithm, ring first.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Ring,
+        Algorithm::Tree,
+        Algorithm::Hierarchical,
+        Algorithm::Auto,
+    ];
+
+    /// Name as used in figure legends and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Ring => "ring",
+            Algorithm::Tree => "tree",
+            Algorithm::Hierarchical => "hierarchical",
+            Algorithm::Auto => "auto",
         }
     }
 }
@@ -114,8 +172,17 @@ impl CommGroup {
     }
 }
 
-/// Ring-hop latency for one full ring traversal (`n−1` hops): slow hops
-/// between domains plus fast hops inside them.
+/// Ring-hop latency for one shard's `n−1`-hop traversal of the ring:
+/// slow hops between domains plus fast hops inside them.
+///
+/// **Per-shard-traversal semantics** (shared with
+/// `netsim::RingTopology::slow_hops`): a shard visits `n−1` of the ring's
+/// `n` links, skipping exactly the link that enters its origin. The
+/// canonical shard originates at a domain boundary, so the skipped link is
+/// slow and the traversal pays `domains − 1` slow hops and `n − domains`
+/// fast hops. A shard originating mid-domain crosses one extra slow
+/// boundary; the DES models that worst case explicitly, which is why its
+/// latency-dominated times sit `α_s − α_f` above this formula.
 fn ring_latency(group: CommGroup, sys: &SystemSpec) -> f64 {
     let domains = group.domains() as f64;
     let slow_hops = domains - 1.0;
@@ -184,14 +251,67 @@ pub fn allreduce_tree_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec
     2.0 * (lat + volume_bytes / bw)
 }
 
-/// AllReduce with NCCL-style algorithm selection: the faster of the ring
-/// and tree estimates.
+/// Hierarchical (two-level) AllReduce time: an intra-domain ReduceScatter
+/// over the fast tier, an inter-domain AllReduce of each GPU's `V/p` shard
+/// over the NICs (`p` concurrent rings — one per intra-domain rank index —
+/// each over its own NIC, sharing when `p > n_NIC`), and an intra-domain
+/// AllGather:
+///
+/// ```text
+/// t = 2·[α_f·(p−1) + (p−1)/p·V/β_f]                    intra RS + AG
+///   + 2·[α_s·(d−1) + (d−1)/d·(V/p)/(β_s·min(1, n_NIC/p))]   inter AR
+/// ```
+///
+/// Degenerates to the ring model for purely intra-domain groups (`d = 1`)
+/// and for one-GPU-per-domain placements (`p = 1`). Compared to the flat
+/// ring it trades the `n − d` fast latency hops for `p − 1`, which wins at
+/// many-domain scale; `netsim` simulates the same three phases.
+pub fn allreduce_hierarchical_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
+    if group.size() <= 1 || volume_bytes <= 0.0 {
+        return 0.0;
+    }
+    let p = group.per_domain();
+    let d = group.domains();
+    let mut t = 0.0;
+    if p > 1 {
+        let pf = p as f64;
+        t += 2.0
+            * (sys.network.nvs_latency * (pf - 1.0)
+                + (pf - 1.0) / pf * volume_bytes / sys.network.effective_nvs_bandwidth());
+    }
+    if d > 1 {
+        let df = d as f64;
+        let nic_share = sys.nics_per_node.min(p).max(1) as f64 / p as f64;
+        let bw = sys.network.effective_ib_bandwidth(1) * nic_share;
+        t += 2.0
+            * (sys.network.ib_latency * (df - 1.0)
+                + (df - 1.0) / df * (volume_bytes / p as f64) / bw);
+    }
+    t
+}
+
+/// AllReduce time under an explicit [`Algorithm`] choice; [`Algorithm::Auto`]
+/// dispatches to [`allreduce_auto_time`].
+pub fn allreduce_time(
+    algo: Algorithm,
+    volume_bytes: f64,
+    group: CommGroup,
+    sys: &SystemSpec,
+) -> f64 {
+    match algo {
+        Algorithm::Ring => collective_time(Collective::AllReduce, volume_bytes, group, sys),
+        Algorithm::Tree => allreduce_tree_time(volume_bytes, group, sys),
+        Algorithm::Hierarchical => allreduce_hierarchical_time(volume_bytes, group, sys),
+        Algorithm::Auto => allreduce_auto_time(volume_bytes, group, sys),
+    }
+}
+
+/// AllReduce with NCCL-style algorithm selection: the fastest of the ring,
+/// tree and hierarchical estimates.
 pub fn allreduce_auto_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
-    collective_time(Collective::AllReduce, volume_bytes, group, sys).min(allreduce_tree_time(
-        volume_bytes,
-        group,
-        sys,
-    ))
+    collective_time(Collective::AllReduce, volume_bytes, group, sys)
+        .min(allreduce_tree_time(volume_bytes, group, sys))
+        .min(allreduce_hierarchical_time(volume_bytes, group, sys))
 }
 
 /// Time in seconds for a point-to-point transfer of `volume_bytes` between
@@ -367,8 +487,88 @@ mod tests {
             let auto = allreduce_auto_time(v, g, &sys);
             let ring = collective_time(Collective::AllReduce, v, g, &sys);
             let tree = allreduce_tree_time(v, g, &sys);
-            assert_eq!(auto, ring.min(tree));
+            let hier = allreduce_hierarchical_time(v, g, &sys);
+            assert_eq!(auto, ring.min(tree).min(hier));
+            assert_eq!(auto, allreduce_time(Algorithm::Auto, v, g, &sys));
         }
+    }
+
+    #[test]
+    fn allreduce_time_dispatches_per_algorithm() {
+        let sys = b200_nvs8();
+        let g = CommGroup::new(64, 8);
+        let v = 1e8;
+        assert_eq!(
+            allreduce_time(Algorithm::Ring, v, g, &sys),
+            collective_time(Collective::AllReduce, v, g, &sys)
+        );
+        assert_eq!(
+            allreduce_time(Algorithm::Tree, v, g, &sys),
+            allreduce_tree_time(v, g, &sys)
+        );
+        assert_eq!(
+            allreduce_time(Algorithm::Hierarchical, v, g, &sys),
+            allreduce_hierarchical_time(v, g, &sys)
+        );
+    }
+
+    #[test]
+    fn hierarchical_degenerates_to_ring_at_the_edges() {
+        let sys = b200_nvs8();
+        // Purely intra-domain: hierarchical == ring AR (2·(lat + (p−1)/p·V/β_f)).
+        let intra = CommGroup::single_domain(8);
+        let v = 1e9;
+        let ring = collective_time(Collective::AllReduce, v, intra, &sys);
+        let hier = allreduce_hierarchical_time(v, intra, &sys);
+        assert!((hier - ring).abs() / ring < 1e-12, "{hier} vs {ring}");
+        // One GPU per domain: the inter phase IS the flat slow ring.
+        let flat = CommGroup::new(8, 1);
+        let ring = collective_time(Collective::AllReduce, v, flat, &sys);
+        let hier = allreduce_hierarchical_time(v, flat, &sys);
+        assert!((hier - ring).abs() / ring < 1e-12, "{hier} vs {ring}");
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_at_many_domain_latency_scale() {
+        // 1024 GPUs in 128 domains, small tensor: the flat ring pays
+        // ~896 fast hops of latency, the hierarchical algorithm 2·7.
+        let sys = b200_nvs8();
+        let g = CommGroup::new(1024, 8);
+        let v = 1e6;
+        let ring = collective_time(Collective::AllReduce, v, g, &sys);
+        let hier = allreduce_hierarchical_time(v, g, &sys);
+        assert!(hier < ring, "hier {hier} vs ring {ring}");
+    }
+
+    #[test]
+    fn hierarchical_nic_share_penalizes_undersupplied_domains() {
+        let mut sys = b200_nvs8();
+        let g = CommGroup::new(64, 8);
+        let v = 4e9;
+        let full = allreduce_hierarchical_time(v, g, &sys);
+        sys.nics_per_node = 2; // 8 concurrent inter-domain rings share 2 NICs
+        let shared = allreduce_hierarchical_time(v, g, &sys);
+        assert!(shared > full, "shared {shared} vs full {full}");
+    }
+
+    #[test]
+    fn hierarchical_trivial_cases() {
+        let sys = b200_nvs8();
+        assert_eq!(
+            allreduce_hierarchical_time(1e9, CommGroup::single_domain(1), &sys),
+            0.0
+        );
+        assert_eq!(
+            allreduce_hierarchical_time(0.0, CommGroup::new(8, 8), &sys),
+            0.0
+        );
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::Ring.name(), "ring");
+        assert_eq!(Algorithm::Auto.name(), "auto");
+        assert_eq!(Algorithm::ALL.len(), 4);
     }
 
     #[test]
@@ -399,12 +599,10 @@ mod serde_roundtrip {
 
     #[test]
     fn collective_and_group_survive_json() {
-        for coll in [
-            Collective::AllGather,
-            Collective::ReduceScatter,
-            Collective::AllReduce,
-            Collective::Broadcast,
-        ] {
+        // Sweep EVERY variant (a hand-written list once silently dropped
+        // `Reduce`); `Collective::ALL` keeps the sweep exhaustive by
+        // construction.
+        for coll in Collective::ALL {
             let back: Collective =
                 serde_json::from_str(&serde_json::to_string(&coll).unwrap()).unwrap();
             assert_eq!(back, coll);
@@ -412,5 +610,14 @@ mod serde_roundtrip {
         let g = CommGroup::new(64, 8);
         let back: CommGroup = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
         assert_eq!(back, g);
+    }
+
+    #[test]
+    fn algorithm_survives_json() {
+        for algo in Algorithm::ALL {
+            let back: Algorithm =
+                serde_json::from_str(&serde_json::to_string(&algo).unwrap()).unwrap();
+            assert_eq!(back, algo);
+        }
     }
 }

@@ -1,6 +1,8 @@
-//! The discrete-event engine: chunk transfers on serialized links.
+//! The discrete-event engine: pipelined piece transfers over serialized
+//! links, with cross-flow dependencies for reduction joins and broadcast
+//! chains.
 
-use crate::topology::RingTopology;
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -15,6 +17,15 @@ pub struct EventStats {
     pub requeues: u64,
 }
 
+impl EventStats {
+    /// Accumulates another phase's counters (ring AR = RS + AG phases,
+    /// hierarchical AR = three phases, ...).
+    pub(crate) fn merge(&mut self, other: EventStats) {
+        self.transfers += other.transfers;
+        self.requeues += other.requeues;
+    }
+}
+
 /// Result of one simulated collective.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -24,33 +35,74 @@ pub struct SimResult {
     pub stats: EventStats,
 }
 
-/// A data shard flowing around the ring: `origin` holds it at time 0 and
-/// it must traverse `hops` links, split into `pieces` pipeline pieces.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Shard {
-    pub origin: u64,
-    pub bytes: f64,
-    pub hops: u64,
+impl SimResult {
+    pub(crate) fn zero() -> Self {
+        SimResult {
+            time: 0.0,
+            stats: EventStats::default(),
+        }
+    }
+
+    /// Sequential composition of two phases.
+    pub(crate) fn then(mut self, next: SimResult) -> Self {
+        self.time += next.time;
+        self.stats.merge(next.stats);
+        self
+    }
 }
 
-/// One pending transfer: piece `piece` of shard `shard` over the link
-/// leaving ring position `(origin + hop) % size`.
+/// A pipelined movement of `bytes` along a path of links.
+///
+/// Pieces pipeline along the path: piece `p` may enter link `h + 1` as
+/// soon as it has left link `h`. Cross-flow dependencies model joins and
+/// chains: piece `p` may enter the flow's *first* link only once piece `p`
+/// of every flow in `deps` has left that flow's *last* link — a reduce
+/// tree's parent edge waits for both child edges (per piece), a broadcast
+/// tree's child edge waits for the parent edge.
+#[derive(Debug, Clone)]
+pub(crate) struct Flow {
+    /// Total bytes moved along the path (split into pipeline pieces).
+    pub bytes: f64,
+    /// Link ids, in traversal order. Must be non-empty.
+    pub path: Vec<u32>,
+    /// Indices (into the flow slice) of gating flows.
+    pub deps: Vec<u32>,
+}
+
+impl Flow {
+    /// An independent flow (no gating dependencies).
+    pub fn new(bytes: f64, path: Vec<u32>) -> Self {
+        Self {
+            bytes,
+            path,
+            deps: Vec::new(),
+        }
+    }
+
+    /// A flow gated (per piece) on the completion of `deps`.
+    pub fn after(bytes: f64, path: Vec<u32>, deps: Vec<u32>) -> Self {
+        Self { bytes, path, deps }
+    }
+}
+
+/// One pending transfer: piece `piece` of flow `flow` over the link at
+/// `path[hop]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Transfer {
     ready: f64,
-    shard: u32,
+    flow: u32,
     hop: u32,
     piece: u32,
 }
 
 // Total order for the heap: earliest ready time first, deterministic
-// tie-breaking on (shard, hop, piece).
+// tie-breaking on (flow, hop, piece).
 impl Eq for Transfer {}
 impl Ord for Transfer {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.ready
             .total_cmp(&other.ready)
-            .then(self.shard.cmp(&other.shard))
+            .then(self.flow.cmp(&other.flow))
             .then(self.hop.cmp(&other.hop))
             .then(self.piece.cmp(&other.piece))
     }
@@ -61,37 +113,53 @@ impl PartialOrd for Transfer {
     }
 }
 
-/// Simulates the pipelined flow of `shards` around one ring, with each
-/// shard split into `pieces` pieces. A piece may be forwarded as soon as
-/// it has been received; each link carries one piece at a time.
+/// Simulates the pipelined execution of `flows` over `topo`, with each
+/// flow split into `pieces` pieces. A piece may be forwarded as soon as it
+/// has been received (and its cross-flow dependencies have completed);
+/// each link carries one piece at a time.
 ///
 /// Returns the completion time of the last piece plus engine stats.
-pub(crate) fn simulate_flow(topo: &RingTopology, shards: &[Shard], pieces: u64) -> SimResult {
-    let pieces = pieces.max(1);
-    let n = topo.size;
-    let mut link_free = vec![0.0f64; n as usize];
+pub(crate) fn simulate_flows(topo: &Topology, flows: &[Flow], pieces: u64) -> SimResult {
+    let pieces = pieces.max(1) as usize;
+    let mut link_free = vec![0.0f64; topo.len()];
     let mut heap: BinaryHeap<Reverse<Transfer>> = BinaryHeap::new();
     let mut stats = EventStats::default();
     let mut finish = 0.0f64;
 
-    for (si, s) in shards.iter().enumerate() {
-        if s.hops == 0 || s.bytes <= 0.0 {
-            continue;
+    // Dependency bookkeeping: dependents[f] lists the flows gated on f;
+    // pending[g][p] counts unmet dependencies of piece p of flow g;
+    // gate[g][p] is the latest completion time among met dependencies.
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); flows.len()];
+    for (gi, g) in flows.iter().enumerate() {
+        debug_assert!(
+            !g.path.is_empty() && g.bytes > 0.0,
+            "degenerate flow {gi}: schedule builders must not emit empty \
+             paths or non-positive volumes"
+        );
+        for &d in &g.deps {
+            dependents[d as usize].push(gi as u32);
         }
-        for p in 0..pieces {
-            heap.push(Reverse(Transfer {
-                ready: 0.0,
-                shard: si as u32,
-                hop: 0,
-                piece: p as u32,
-            }));
+    }
+    let mut pending: Vec<Vec<usize>> = flows.iter().map(|f| vec![f.deps.len(); pieces]).collect();
+    let mut gate: Vec<Vec<f64>> = flows.iter().map(|_| vec![0.0f64; pieces]).collect();
+
+    for (fi, f) in flows.iter().enumerate() {
+        if f.deps.is_empty() {
+            for p in 0..pieces {
+                heap.push(Reverse(Transfer {
+                    ready: 0.0,
+                    flow: fi as u32,
+                    hop: 0,
+                    piece: p as u32,
+                }));
+            }
         }
     }
 
     while let Some(Reverse(t)) = heap.pop() {
-        let shard = &shards[t.shard as usize];
-        let from = (shard.origin + t.hop as u64) % n;
-        let start = t.ready.max(link_free[from as usize]);
+        let flow = &flows[t.flow as usize];
+        let link = flow.path[t.hop as usize];
+        let start = t.ready.max(link_free[link as usize]);
         if start > t.ready {
             // Link busy: requeue at the time it becomes free so ordering
             // stays chronological.
@@ -99,22 +167,36 @@ pub(crate) fn simulate_flow(topo: &RingTopology, shards: &[Shard], pieces: u64) 
             heap.push(Reverse(Transfer { ready: start, ..t }));
             continue;
         }
-        let (lat, bw) = topo.link_params(from);
-        let piece_bytes = shard.bytes / pieces as f64;
+        let (lat, bw) = topo.link_params(link);
+        let piece_bytes = flow.bytes / pieces as f64;
         // The link is occupied for the serialization time only; the hop
         // latency is propagation and delays arrival without blocking the
         // next piece from entering the wire.
         let end = start + lat + piece_bytes / bw;
-        link_free[from as usize] = start + piece_bytes / bw;
+        link_free[link as usize] = start + piece_bytes / bw;
         stats.transfers += 1;
         finish = finish.max(end);
-        if (t.hop as u64) + 1 < shard.hops {
+        if (t.hop as usize) + 1 < flow.path.len() {
             heap.push(Reverse(Transfer {
                 ready: end,
-                shard: t.shard,
                 hop: t.hop + 1,
-                piece: t.piece,
+                ..t
             }));
+        } else {
+            // The piece left the flow's last link: release dependents.
+            for &g in &dependents[t.flow as usize] {
+                let (gi, pi) = (g as usize, t.piece as usize);
+                gate[gi][pi] = gate[gi][pi].max(end);
+                pending[gi][pi] -= 1;
+                if pending[gi][pi] == 0 {
+                    heap.push(Reverse(Transfer {
+                        ready: gate[gi][pi],
+                        flow: g,
+                        hop: 0,
+                        piece: t.piece,
+                    }));
+                }
+            }
         }
     }
 
@@ -127,75 +209,54 @@ pub(crate) fn simulate_flow(topo: &RingTopology, shards: &[Shard], pieces: u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::RingTopology;
     use collectives::CommGroup;
     use systems::{system, GpuGeneration, NvsSize};
 
-    fn topo(size: u64, per_domain: u64) -> RingTopology {
+    fn topo(size: u64, per_domain: u64) -> Topology {
         let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
-        RingTopology::build(CommGroup::new(size, per_domain), &sys)
+        RingTopology::build(CommGroup::new(size, per_domain), &sys).topology()
+    }
+
+    /// Ring path starting at `origin` over `hops` consecutive links.
+    fn ring_path(n: u64, origin: u64, hops: u64) -> Vec<u32> {
+        (0..hops).map(|h| ((origin + h) % n) as u32).collect()
     }
 
     #[test]
     fn single_hop_single_piece() {
         let t = topo(4, 4);
-        let r = simulate_flow(
-            &t,
-            &[Shard {
-                origin: 0,
-                bytes: 1e6,
-                hops: 1,
-            }],
-            1,
-        );
-        let expect = t.fast_latency + 1e6 / t.fast_bandwidth;
+        let r = simulate_flows(&t, &[Flow::new(1e6, ring_path(4, 0, 1))], 1);
+        let (lat, bw) = t.link_params(0);
+        let expect = lat + 1e6 / bw;
         assert!((r.time - expect).abs() / expect < 1e-12);
         assert_eq!(r.stats.transfers, 1);
     }
 
     #[test]
     fn pipelining_hides_store_and_forward() {
-        // One shard over many hops: with many pieces the total approaches
+        // One flow over many hops: with many pieces the total approaches
         // bytes/bw + hops·lat instead of hops·bytes/bw.
         let t = topo(4, 4);
-        let shard = [Shard {
-            origin: 0,
-            bytes: 4e6,
-            hops: 3,
-        }];
-        let unpipelined = simulate_flow(&t, &shard, 1).time;
-        let pipelined = simulate_flow(&t, &shard, 64).time;
+        let flow = [Flow::new(4e6, ring_path(4, 0, 3))];
+        let unpipelined = simulate_flows(&t, &flow, 1).time;
+        let pipelined = simulate_flows(&t, &flow, 64).time;
         assert!(pipelined < 0.5 * unpipelined);
-        let floor = 3.0 * t.fast_latency + 4e6 / t.fast_bandwidth;
+        let (lat, bw) = t.link_params(0);
+        let floor = 3.0 * lat + 4e6 / bw;
         assert!(pipelined > floor * 0.99);
     }
 
     #[test]
     fn contention_serializes_a_link() {
-        // Two shards entering the same link at once must queue.
+        // Two flows entering the same link at once must queue.
         let t = topo(4, 4);
-        let one = simulate_flow(
-            &t,
-            &[Shard {
-                origin: 0,
-                bytes: 1e8,
-                hops: 1,
-            }],
-            1,
-        )
-        .time;
-        let both = simulate_flow(
+        let one = simulate_flows(&t, &[Flow::new(1e8, ring_path(4, 0, 1))], 1).time;
+        let both = simulate_flows(
             &t,
             &[
-                Shard {
-                    origin: 0,
-                    bytes: 1e8,
-                    hops: 1,
-                },
-                Shard {
-                    origin: 0,
-                    bytes: 1e8,
-                    hops: 1,
-                },
+                Flow::new(1e8, ring_path(4, 0, 1)),
+                Flow::new(1e8, ring_path(4, 0, 1)),
             ],
             1,
         );
@@ -206,61 +267,56 @@ mod tests {
     #[test]
     fn slow_hop_dominates_cross_domain() {
         let t = topo(8, 4); // one slow boundary at positions 3 and 7
-        let fast_only = simulate_flow(
-            &t,
-            &[Shard {
-                origin: 0,
-                bytes: 8e6,
-                hops: 3,
-            }],
-            1,
-        )
-        .time;
-        let with_slow = simulate_flow(
-            &t,
-            &[Shard {
-                origin: 0,
-                bytes: 8e6,
-                hops: 4,
-            }],
-            1,
-        )
-        .time;
-        let slow_hop = t.slow_latency + 8e6 / t.slow_bandwidth;
+        let fast_only = simulate_flows(&t, &[Flow::new(8e6, ring_path(8, 0, 3))], 1).time;
+        let with_slow = simulate_flows(&t, &[Flow::new(8e6, ring_path(8, 0, 4))], 1).time;
+        let (slow_lat, slow_bw) = t.link_params(3);
+        let slow_hop = slow_lat + 8e6 / slow_bw;
         assert!((with_slow - fast_only - slow_hop).abs() / slow_hop < 1e-9);
     }
 
     #[test]
-    fn empty_and_zero_shards_are_free() {
+    fn empty_flow_set_is_free() {
         let t = topo(4, 4);
-        assert_eq!(simulate_flow(&t, &[], 4).time, 0.0);
-        assert_eq!(
-            simulate_flow(
-                &t,
-                &[Shard {
-                    origin: 0,
-                    bytes: 0.0,
-                    hops: 2
-                }],
-                4
-            )
-            .time,
-            0.0
-        );
+        assert_eq!(simulate_flows(&t, &[], 4).time, 0.0);
+    }
+
+    #[test]
+    fn dependency_chains_serialize_per_piece() {
+        // Flow 1 depends on flow 0 over a disjoint link: with one piece
+        // the total is the sum; with many pieces the chain pipelines.
+        let t = topo(4, 4);
+        let flows = [Flow::new(8e6, vec![0]), Flow::after(8e6, vec![2], vec![0])];
+        let (lat, bw) = t.link_params(0);
+        let serial = simulate_flows(&t, &flows, 1).time;
+        let expect = 2.0 * (lat + 8e6 / bw);
+        assert!((serial - expect).abs() / expect < 1e-12);
+        let pipelined = simulate_flows(&t, &flows, 64).time;
+        assert!(pipelined < 0.6 * serial, "{pipelined} vs {serial}");
+    }
+
+    #[test]
+    fn dependency_joins_wait_for_the_slowest() {
+        // Flow 2 joins flows 0 (small) and 1 (large) on disjoint links:
+        // it cannot start before the larger input has fully arrived.
+        let t = topo(4, 4);
+        let flows = [
+            Flow::new(1e6, vec![0]),
+            Flow::new(64e6, vec![1]),
+            Flow::after(1e6, vec![2], vec![0, 1]),
+        ];
+        let r = simulate_flows(&t, &flows, 1);
+        let (lat, bw) = t.link_params(0);
+        let expect = (lat + 64e6 / bw) + (lat + 1e6 / bw);
+        assert!((r.time - expect).abs() / expect < 1e-12);
+        assert_eq!(r.stats.transfers, 3);
     }
 
     #[test]
     fn deterministic() {
         let t = topo(8, 4);
-        let shards: Vec<Shard> = (0..8)
-            .map(|o| Shard {
-                origin: o,
-                bytes: 3e6,
-                hops: 7,
-            })
-            .collect();
-        let a = simulate_flow(&t, &shards, 8);
-        let b = simulate_flow(&t, &shards, 8);
+        let flows: Vec<Flow> = (0..8).map(|o| Flow::new(3e6, ring_path(8, o, 7))).collect();
+        let a = simulate_flows(&t, &flows, 8);
+        let b = simulate_flows(&t, &flows, 8);
         assert_eq!(a, b);
     }
 }

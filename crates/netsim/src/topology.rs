@@ -1,10 +1,20 @@
-//! Ring topology construction over the two-tier fabric.
+//! Topology construction over the two-tier fabric.
+//!
+//! Algorithm-specific builders ([`RingTopology`], [`TreeTopology`]) know
+//! the *shape* of their schedule (which hop crosses a domain boundary,
+//! who a rank's tree parent is); both lower into the same flat, generic
+//! [`Topology`] — a list of directed [`Link`]s plus a rail count — which
+//! is all the event engine sees. Multi-rail (NCCL channel / NIC
+//! aggregation) is therefore expressed per-topology at lowering time:
+//! the `rails` concurrent schedules share the fast tier (per-rail fast
+//! bandwidth is `β_f/rails`) while each drives its own NIC at full slow
+//! bandwidth, and the collective's volume is split `1/rails`.
 
 use collectives::CommGroup;
 use serde::{Deserialize, Serialize};
 use systems::SystemSpec;
 
-/// Classification of one ring hop.
+/// Classification of one hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LinkKind {
     /// Intra-domain hop over NVSwitch/NVLink.
@@ -13,14 +23,87 @@ pub enum LinkKind {
     Slow,
 }
 
+/// One directed link of a lowered topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Which fabric tier the link belongs to.
+    pub kind: LinkKind,
+    /// Per-hop propagation latency, seconds.
+    pub latency: f64,
+    /// Per-rail serialization bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+/// A lowered, algorithm-agnostic interconnect: the directed links a
+/// schedule's flows traverse, plus the number of concurrent rails.
+///
+/// One rail is simulated (all rails are statistically identical — they
+/// differ only in which NIC they ride); callers split the collective's
+/// volume by [`Topology::rails`] before building flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    links: Vec<Link>,
+    /// Concurrent rails (NCCL rings/trees, one per engaged NIC).
+    pub rails: u64,
+}
+
+impl Topology {
+    /// An empty topology with the given rail count (at least 1).
+    pub fn new(rails: u64) -> Self {
+        Self {
+            links: Vec::new(),
+            rails: rails.max(1),
+        }
+    }
+
+    /// Appends a link, returning its id.
+    pub fn add_link(&mut self, kind: LinkKind, latency: f64, bandwidth: f64) -> u32 {
+        self.links.push(Link {
+            kind,
+            latency,
+            bandwidth,
+        });
+        (self.links.len() - 1) as u32
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The link with the given id.
+    pub fn link(&self, id: u32) -> Link {
+        self.links[id as usize]
+    }
+
+    /// (latency, bandwidth) of the link with the given id.
+    pub fn link_params(&self, id: u32) -> (f64, f64) {
+        let l = self.links[id as usize];
+        (l.latency, l.bandwidth)
+    }
+
+    /// Number of slow-tier links.
+    pub fn slow_links(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.kind == LinkKind::Slow)
+            .count()
+    }
+}
+
 /// A logical ring over the collective's GPUs, plus the link
 /// characteristics of each hop.
 ///
 /// GPUs are laid out `per_domain` at a time into NVS domains, matching the
 /// placement semantics of [`collectives::CommGroup`]. NCCL builds one ring
 /// per usable NIC; every ring visits all GPUs (rings differ in which NIC
-/// carries their inter-node hop, not in membership), so the simulator runs
-/// `num_rings` identical rings each carrying `1/num_rings` of the volume.
+/// carries their inter-node hop, not in membership). The bandwidths stored
+/// here are the *raw* effective tier bandwidths — rail sharing is applied
+/// when lowering to a [`Topology`], not baked into construction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RingTopology {
     /// Number of GPUs in the ring.
@@ -29,9 +112,9 @@ pub struct RingTopology {
     pub per_domain: u64,
     /// Concurrent rings (one per NIC engaged per domain).
     pub num_rings: u64,
-    /// Effective per-ring bandwidth of a fast hop, bytes/s.
+    /// Effective fast-tier bandwidth, bytes/s, before rail sharing.
     pub fast_bandwidth: f64,
-    /// Effective per-ring bandwidth of a slow hop, bytes/s.
+    /// Effective per-NIC slow-tier bandwidth, bytes/s.
     pub slow_bandwidth: f64,
     /// Per-hop latency of a fast hop, seconds.
     pub fast_latency: f64,
@@ -55,9 +138,7 @@ impl RingTopology {
             size: group.size(),
             per_domain: group.per_domain(),
             num_rings,
-            // The per-GPU NVLink bandwidth is shared by all concurrent
-            // rings passing through it.
-            fast_bandwidth: sys.network.nvs_bandwidth * eff / num_rings as f64,
+            fast_bandwidth: sys.network.nvs_bandwidth * eff,
             slow_bandwidth: sys.network.ib_bandwidth * eff,
             fast_latency: sys.network.nvs_latency,
             slow_latency: sys.network.ib_latency,
@@ -81,21 +162,144 @@ impl RingTopology {
         }
     }
 
-    /// (latency, bandwidth) of the hop leaving position `from`.
-    pub fn link_params(&self, from: u64) -> (f64, f64) {
-        match self.link_kind(from) {
-            LinkKind::Fast => (self.fast_latency, self.fast_bandwidth),
-            LinkKind::Slow => (self.slow_latency, self.slow_bandwidth),
-        }
-    }
-
-    /// Number of slow hops in one full ring traversal.
+    /// Number of slow hops in one shard's `n−1`-hop traversal of the ring,
+    /// for the canonical shard originating at a domain boundary — the same
+    /// per-shard-traversal semantics as `collectives`' ring latency term,
+    /// which charges `domains − 1` slow hops and `n − domains` fast hops.
+    ///
+    /// A shard visits `n−1` of the ring's `n` links, skipping exactly the
+    /// link entering its origin; a shard originating mid-domain therefore
+    /// crosses one extra slow boundary (`domains` in total), and the DES —
+    /// which takes the max over all shards — sits `α_s − α_f` above the
+    /// analytic latency in the latency-dominated regime.
     pub fn slow_hops(&self) -> u64 {
         if self.size <= self.per_domain {
             0
         } else {
-            self.size / self.per_domain
+            self.size / self.per_domain - 1
         }
+    }
+
+    /// Lowers the ring into the generic engine [`Topology`]: one link per
+    /// ring position (link `i` is the hop leaving position `i`), with the
+    /// fast tier shared across the `num_rings` rails.
+    pub fn topology(&self) -> Topology {
+        let mut t = Topology::new(self.num_rings);
+        let shared_fast = self.fast_bandwidth / self.num_rings as f64;
+        for i in 0..self.size {
+            match self.link_kind(i) {
+                LinkKind::Fast => t.add_link(LinkKind::Fast, self.fast_latency, shared_fast),
+                LinkKind::Slow => {
+                    t.add_link(LinkKind::Slow, self.slow_latency, self.slow_bandwidth)
+                }
+            };
+        }
+        t
+    }
+}
+
+/// A domain-major binary tree over the collective's GPUs (the simulated
+/// counterpart of [`collectives::allreduce_tree_time`]).
+///
+/// Rank 0 (the leader of domain 0) is the root. Within each domain the
+/// `per_domain` ranks form a binary heap under the domain leader (fast
+/// edges); the domain leaders form a binary heap over domain indices
+/// (slow edges). The deepest leaf→root path therefore crosses
+/// `⌊log2(per_domain)⌋` fast and `⌊log2(domains)⌋` slow levels — the
+/// `log2` latency scaling that makes trees win at large scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeTopology {
+    /// Number of GPUs in the tree.
+    pub size: u64,
+    /// GPUs per NVS domain.
+    pub per_domain: u64,
+    /// Concurrent trees (one per NIC engaged per domain).
+    pub rails: u64,
+    /// Effective fast-tier bandwidth, bytes/s, before rail sharing.
+    pub fast_bandwidth: f64,
+    /// Effective per-NIC slow-tier bandwidth, bytes/s.
+    pub slow_bandwidth: f64,
+    /// Per-hop latency of a fast edge, seconds.
+    pub fast_latency: f64,
+    /// Per-hop latency of a slow edge, seconds.
+    pub slow_latency: f64,
+}
+
+impl TreeTopology {
+    /// Builds the tree set for a collective over `group` on `sys`.
+    pub fn build(group: CommGroup, sys: &SystemSpec) -> Self {
+        let eff = sys.network.bandwidth_efficiency;
+        let rails = if group.is_intra_domain() {
+            1
+        } else {
+            group.per_domain().min(sys.nics_per_node).max(1)
+        };
+        TreeTopology {
+            size: group.size(),
+            per_domain: group.per_domain(),
+            rails,
+            fast_bandwidth: sys.network.nvs_bandwidth * eff,
+            slow_bandwidth: sys.network.ib_bandwidth * eff,
+            fast_latency: sys.network.nvs_latency,
+            slow_latency: sys.network.ib_latency,
+        }
+    }
+
+    /// Parent of `rank` in the reduce direction; `None` for the root.
+    pub fn parent(&self, rank: u64) -> Option<u64> {
+        let p = self.per_domain;
+        let (dom, loc) = (rank / p, rank % p);
+        if loc > 0 {
+            // Intra-domain heap under the leader (local index 0).
+            Some(dom * p + (loc - 1) / 2)
+        } else if dom > 0 {
+            // Domain leaders form a heap over domain indices.
+            Some(((dom - 1) / 2) * p)
+        } else {
+            None
+        }
+    }
+
+    /// Kind of the edge from a non-root `rank` up to its parent.
+    pub fn edge_kind(&self, rank: u64) -> LinkKind {
+        if rank.is_multiple_of(self.per_domain) {
+            LinkKind::Slow
+        } else {
+            LinkKind::Fast
+        }
+    }
+
+    /// Levels on the deepest leaf→root path.
+    pub fn depth(&self) -> u64 {
+        (0..self.size)
+            .map(|mut r| {
+                let mut d = 0;
+                while let Some(p) = self.parent(r) {
+                    r = p;
+                    d += 1;
+                }
+                d
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Lowers the tree into the generic engine [`Topology`]: link `r − 1`
+    /// is the edge between rank `r` and its parent (used upward in the
+    /// reduce phase, downward in the broadcast phase), with the fast tier
+    /// shared across the `rails` concurrent trees.
+    pub fn topology(&self) -> Topology {
+        let mut t = Topology::new(self.rails);
+        let shared_fast = self.fast_bandwidth / self.rails as f64;
+        for r in 1..self.size {
+            match self.edge_kind(r) {
+                LinkKind::Fast => t.add_link(LinkKind::Fast, self.fast_latency, shared_fast),
+                LinkKind::Slow => {
+                    t.add_link(LinkKind::Slow, self.slow_latency, self.slow_bandwidth)
+                }
+            };
+        }
+        t
     }
 }
 
@@ -113,6 +317,7 @@ mod tests {
         for i in 0..8 {
             assert_eq!(t.link_kind(i), LinkKind::Fast);
         }
+        assert_eq!(t.topology().slow_links(), 0);
     }
 
     #[test]
@@ -120,7 +325,10 @@ mod tests {
         let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
         let t = RingTopology::build(CommGroup::new(16, 4), &sys);
         assert_eq!(t.num_rings, 4);
-        assert_eq!(t.slow_hops(), 4);
+        // Per-shard-traversal semantics: a shard's n−1 hops cross
+        // domains − 1 = 3 slow boundaries (the full cycle has 4).
+        assert_eq!(t.slow_hops(), 3);
+        assert_eq!(t.topology().slow_links(), 4);
         // Hop out of each domain's last GPU is slow.
         assert_eq!(t.link_kind(3), LinkKind::Slow);
         assert_eq!(t.link_kind(15), LinkKind::Slow); // wrap-around
@@ -129,11 +337,31 @@ mod tests {
     }
 
     #[test]
-    fn fast_bandwidth_shared_across_rings() {
+    fn slow_hops_matches_analytic_ring_latency_semantics() {
+        // The cross-crate contract: slow_hops == the domains − 1 slow hops
+        // collectives::collective_time charges in its latency term.
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        for (size, per) in [(16u64, 4u64), (32, 4), (8, 1), (64, 2)] {
+            let g = CommGroup::new(size, per);
+            let t = RingTopology::build(g, &sys);
+            assert_eq!(t.slow_hops(), g.domains() - 1, "({size}, {per})");
+        }
+    }
+
+    #[test]
+    fn fast_bandwidth_shared_across_rails_at_lowering() {
+        // Rail sharing lives in the lowered topology, not the builder: the
+        // builder keeps the raw effective tier bandwidth.
         let sys = perlmutter(4);
         let t = RingTopology::build(CommGroup::new(32, 4), &sys);
+        assert!((t.fast_bandwidth - sys.network.nvs_bandwidth * 0.7).abs() < 1.0);
+        let lowered = t.topology();
+        assert_eq!(lowered.rails, 4);
         let expect = sys.network.nvs_bandwidth * 0.7 / 4.0;
-        assert!((t.fast_bandwidth - expect).abs() < 1.0);
+        assert!((lowered.link(0).bandwidth - expect).abs() < 1.0);
+        // Slow links keep the full per-NIC bandwidth (each rail has its own
+        // NIC).
+        assert!((lowered.link(3).bandwidth - sys.network.ib_bandwidth * 0.7).abs() < 1.0);
     }
 
     #[test]
@@ -148,9 +376,51 @@ mod tests {
     fn per_domain_one_is_all_slow_boundaries() {
         let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
         let t = RingTopology::build(CommGroup::new(8, 1), &sys);
-        assert_eq!(t.slow_hops(), 8);
+        assert_eq!(t.slow_hops(), 7);
         for i in 0..8 {
             assert_eq!(t.link_kind(i), LinkKind::Slow);
         }
+        assert_eq!(t.topology().slow_links(), 8);
+    }
+
+    #[test]
+    fn tree_parents_are_domain_major() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let t = TreeTopology::build(CommGroup::new(16, 4), &sys);
+        // Rank 0 is the root.
+        assert_eq!(t.parent(0), None);
+        // Intra-domain heap under each leader.
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(0));
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.edge_kind(3), LinkKind::Fast);
+        // Domain leaders 4, 8 hang off leader 0; leader 12 off leader 4.
+        assert_eq!(t.parent(4), Some(0));
+        assert_eq!(t.parent(8), Some(0));
+        assert_eq!(t.parent(12), Some(4));
+        assert_eq!(t.edge_kind(4), LinkKind::Slow);
+        assert_eq!(t.edge_kind(12), LinkKind::Slow);
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs8);
+        // 64 ranks, 8/domain → 8 domains: depth = log2(8) + log2(8) = 6,
+        // vs 63 hops for the flat ring traversal.
+        let t = TreeTopology::build(CommGroup::new(64, 8), &sys);
+        assert_eq!(t.depth(), 6);
+        let intra = TreeTopology::build(CommGroup::single_domain(8), &sys);
+        assert_eq!(intra.depth(), 3);
+    }
+
+    #[test]
+    fn tree_lowering_counts_slow_edges() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let t = TreeTopology::build(CommGroup::new(16, 4), &sys);
+        let lowered = t.topology();
+        // n − 1 edges; d − 1 = 3 of them are inter-domain.
+        assert_eq!(lowered.len(), 15);
+        assert_eq!(lowered.slow_links(), 3);
+        assert_eq!(lowered.rails, 4);
     }
 }

@@ -1,6 +1,7 @@
 //! Parallelization configurations and NVS-domain placements (the paper's
 //! design-space coordinates).
 
+use collectives::Algorithm;
 use serde::{Deserialize, Serialize};
 use txmodel::TransformerConfig;
 
@@ -64,6 +65,13 @@ pub struct ParallelConfig {
     /// Shrinks weight+gradient memory by `nd` but re-gathers weights
     /// every microbatch.
     pub zero3: bool,
+    /// AllReduce algorithm policy (NCCL-style `NCCL_ALGO` selection) used
+    /// when pricing the data-parallel gradient synchronization and any
+    /// exposed AllReduce pattern. [`Algorithm::Auto`] — the default, and
+    /// what NCCL's autotuner does — picks the fastest of
+    /// ring/tree/hierarchical per collective; AG/RS/Broadcast/Reduce
+    /// always run rings (as in NCCL).
+    pub comm_algo: Algorithm,
 }
 
 impl ParallelConfig {
@@ -79,6 +87,7 @@ impl ParallelConfig {
             summa_panels: 1,
             interleave: 1,
             zero3: false,
+            comm_algo: Algorithm::Auto,
         }
     }
 
@@ -344,6 +353,19 @@ mod tests {
             vd: 1,
         };
         assert!(bad.validate(&cfg, 8).is_err()); // 3 ∤ 8
+    }
+
+    #[test]
+    fn comm_algo_defaults_to_auto_and_round_trips() {
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+        assert_eq!(cfg.comm_algo, Algorithm::Auto);
+        for comm_algo in Algorithm::ALL {
+            let c = ParallelConfig { comm_algo, ..cfg };
+            c.validate(&gpt(), 4096).unwrap();
+            let back: ParallelConfig =
+                serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+            assert_eq!(back, c);
+        }
     }
 
     #[test]

@@ -20,8 +20,12 @@ use crate::breakdown::Breakdown;
 use crate::config::{ParallelConfig, Placement};
 use crate::memory::{memory_usage, MemoryUsage};
 use crate::partition::build_profile;
+use crate::partition::cache::{fnv, memo_f64, system_fingerprint};
 use crate::plan::{CommPattern, LayerProfile, TpGroup};
-use collectives::{collective_time, p2p_time, Collective, CommGroup};
+use collectives::{
+    allreduce_hierarchical_time, allreduce_time, allreduce_tree_time, collective_time, p2p_time,
+    Algorithm, Collective, CommGroup,
+};
 use serde::{Deserialize, Serialize};
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
@@ -54,18 +58,48 @@ fn comm_group(group: TpGroup, cfg: &ParallelConfig, placement: &Placement) -> Co
 }
 
 /// Exposed time of one communication pattern under a placement.
+///
+/// AllReduce patterns are priced under the configuration's
+/// [`Algorithm`] policy (`Auto` = NCCL-style fastest-of-three); every
+/// other collective runs rings, as in NCCL.
+///
+/// The heavyweight pricings — SUMMA panel schedules and policy-dispatched
+/// AllReduce — are memoized per thread on `(pattern, groups, system)`:
+/// the search prices the same pattern for every `(np, nd, interleave,
+/// placement)` candidate sharing a TP tuple, so hit rates are high and
+/// hits are bit-identical. Plain ring AG/RS/Broadcast formulas cost less
+/// than a cache probe and are computed directly. `sys_fp` is the caller's
+/// hoisted [`system_fingerprint`] (one fingerprint per placement
+/// evaluation, not per pattern).
 fn pattern_time(
     pattern: &CommPattern,
     cfg: &ParallelConfig,
     placement: &Placement,
     sys: &SystemSpec,
+    sys_fp: u64,
 ) -> f64 {
     match pattern {
         CommPattern::Exposed {
             coll,
             volume,
             group,
-        } => collective_time(*coll, *volume, comm_group(*group, cfg, placement), sys),
+        } => {
+            let grp = comm_group(*group, cfg, placement);
+            match coll {
+                Collective::AllReduce => {
+                    let key = fnv([
+                        0x45, // "E"xposed
+                        cfg.comm_algo as u64,
+                        volume.to_bits(),
+                        grp.size(),
+                        grp.per_domain(),
+                        sys_fp,
+                    ]);
+                    memo_f64(key, || allreduce_time(cfg.comm_algo, *volume, grp, sys))
+                }
+                _ => collective_time(*coll, *volume, grp, sys),
+            }
+        }
         CommPattern::SummaOverlapped {
             vol_a,
             group_a,
@@ -74,22 +108,38 @@ fn pattern_time(
             panels,
             panel_compute,
         } => {
-            let panels = (*panels).max(1) as f64;
-            // `vol_*` carry the (g−1)/g received factor; the broadcast of
-            // one panel moves the full panel tensor, so undo the factor.
-            let per_step = |vol: f64, g: TpGroup| -> f64 {
-                let grp = comm_group(g, cfg, placement);
-                if grp.size() <= 1 || vol <= 0.0 {
-                    return 0.0;
-                }
-                let n = grp.size() as f64;
-                let tensor = vol * n / (n - 1.0) / panels;
-                collective_time(Collective::Broadcast, tensor, grp, sys)
-            };
-            let step_comm = per_step(*vol_a, *group_a) + per_step(*vol_b, *group_b);
-            // Prologue (first panel fully exposed) + exposed remainder of
-            // each subsequent panel after overlapping with compute.
-            step_comm + (panels - 1.0) * (step_comm - panel_compute).max(0.0)
+            let grp_a = comm_group(*group_a, cfg, placement);
+            let grp_b = comm_group(*group_b, cfg, placement);
+            let key = fnv([
+                0x53, // "S"umma
+                vol_a.to_bits(),
+                vol_b.to_bits(),
+                *panels,
+                panel_compute.to_bits(),
+                grp_a.size(),
+                grp_a.per_domain(),
+                grp_b.size(),
+                grp_b.per_domain(),
+                sys_fp,
+            ]);
+            memo_f64(key, || {
+                let panels = (*panels).max(1) as f64;
+                // `vol_*` carry the (g−1)/g received factor; the broadcast
+                // of one panel moves the full panel tensor, so undo the
+                // factor.
+                let per_step = |vol: f64, grp: CommGroup| -> f64 {
+                    if grp.size() <= 1 || vol <= 0.0 {
+                        return 0.0;
+                    }
+                    let n = grp.size() as f64;
+                    let tensor = vol * n / (n - 1.0) / panels;
+                    collective_time(Collective::Broadcast, tensor, grp, sys)
+                };
+                let step_comm = per_step(*vol_a, grp_a) + per_step(*vol_b, grp_b);
+                // Prologue (first panel fully exposed) + exposed remainder
+                // of each subsequent panel after overlapping with compute.
+                step_comm + (panels - 1.0) * (step_comm - panel_compute).max(0.0)
+            })
         }
     }
 }
@@ -100,10 +150,11 @@ fn pass_comm_time(
     cfg: &ParallelConfig,
     placement: &Placement,
     sys: &SystemSpec,
+    sys_fp: u64,
 ) -> f64 {
     comms
         .iter()
-        .map(|p| pattern_time(p, cfg, placement, sys))
+        .map(|p| pattern_time(p, cfg, placement, sys, sys_fp))
         .sum()
 }
 
@@ -134,6 +185,30 @@ pub fn evaluate_with_tp_overlap(
     e
 }
 
+/// The single implementation behind [`stage_times`] and
+/// [`evaluate_placement`]: prices each pass's communication exactly once
+/// and returns `(fwd_comm, bwd_comm, tf, tb)` — the comm sums feed the
+/// breakdown's TP bucket, the stage times feed everything else. Keeping
+/// one definition means the analytic model and the `trainsim` simulator
+/// that validates it can never silently diverge on the stage formula.
+fn stage_parts(
+    profile: &LayerProfile,
+    layers: f64,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    sys: &SystemSpec,
+) -> (f64, f64, f64, f64) {
+    let sys_fp = system_fingerprint(sys);
+    let fwd_comm = layers * pass_comm_time(&profile.fwd.comms, cfg, placement, sys, sys_fp);
+    let bwd_comm = layers * pass_comm_time(&profile.bwd.comms, cfg, placement, sys, sys_fp);
+    (
+        fwd_comm,
+        bwd_comm,
+        layers * profile.fwd.time.total() + fwd_comm,
+        layers * profile.bwd.time.total() + bwd_comm,
+    )
+}
+
 /// Per-microbatch forward/backward times of one pipeline stage
 /// (layers-per-stage × per-layer device time + exposed TP communication).
 /// This is the quantity `tf`/`tb` in the paper's bubble formula; exposed
@@ -146,12 +221,8 @@ pub fn stage_times(
     sys: &SystemSpec,
 ) -> (f64, f64) {
     let layers = (model.depth / cfg.np) as f64;
-    let fwd_comm = layers * pass_comm_time(&profile.fwd.comms, cfg, placement, sys);
-    let bwd_comm = layers * pass_comm_time(&profile.bwd.comms, cfg, placement, sys);
-    (
-        layers * profile.fwd.time.total() + fwd_comm,
-        layers * profile.bwd.time.total() + bwd_comm,
-    )
+    let (_, _, tf, tb) = stage_parts(profile, layers, cfg, placement, sys);
+    (tf, tb)
 }
 
 /// Evaluates a configuration + placement using a precomputed layer
@@ -184,10 +255,9 @@ pub(crate) fn evaluate_placement(
     let m = cfg.num_microbatches(global_batch) as f64;
     let layers = (model.depth / cfg.np) as f64;
 
-    // Per-microbatch stage times.
-    let fwd_comm = layers * pass_comm_time(&profile.fwd.comms, cfg, placement, sys);
-    let bwd_comm = layers * pass_comm_time(&profile.bwd.comms, cfg, placement, sys);
-    let (tf, tb) = stage_times(profile, model, cfg, placement, sys);
+    // Per-microbatch stage times: one shared pricing of each pass's
+    // communication yields both the TP-comm bucket and tf/tb.
+    let (fwd_comm, bwd_comm, tf, tb) = stage_parts(profile, layers, cfg, placement, sys);
 
     // Steady-state + bubble. Interleaving the stage into `v` virtual
     // chunks divides the bubble by `v` (Narayanan et al. / paper
@@ -204,29 +274,7 @@ pub(crate) fn evaluate_placement(
         0.0
     };
 
-    // Data-parallel gradient ReduceScatter + weight AllGather over the
-    // combined nd × n2 group (2D TP folds the sequence-group weight-grad
-    // reduction into this collective — paper Appendix A).
-    let dp_size = cfg.nd * profile.dp_group_multiplier;
-    let dp_comm = if dp_size > 1 {
-        let per_domain = (placement.vd * placement.v2).min(dp_size);
-        let per_domain = largest_divisor_at_most(dp_size, per_domain);
-        let grp = CommGroup::new(dp_size, per_domain);
-        let vol = profile.weight_bytes * layers;
-        let t_rs = collective_time(Collective::ReduceScatter, vol, grp, sys);
-        let t_ag = collective_time(Collective::AllGather, vol, grp, sys);
-        if cfg.zero3 {
-            // ZeRO-3: weights are re-gathered for every microbatch's
-            // forward and backward and gradients reduce-scattered per
-            // microbatch; each microbatch's collectives can hide behind
-            // that microbatch's compute, the remainder is exposed.
-            m * (2.0 * t_ag + t_rs - (tf + tb)).max(0.0)
-        } else {
-            (t_rs - tb).max(0.0) + (t_ag - tf).max(0.0)
-        }
-    } else {
-        0.0
-    };
+    let dp_comm = dp_sync_time(profile, model, cfg, placement, global_batch, sys, tf, tb);
 
     let breakdown = Breakdown {
         compute: m * layers * (profile.fwd.time.compute + profile.bwd.time.compute),
@@ -247,6 +295,74 @@ pub(crate) fn evaluate_placement(
         breakdown,
         memory,
         feasible,
+    }
+}
+
+/// Exposed time of the data-parallel synchronization: the gradient
+/// ReduceScatter + weight AllGather over the combined `nd × n2` group
+/// (2D TP folds the sequence-group weight-grad reduction into this
+/// collective — paper Appendix A), after overlapping with the adjacent
+/// microbatch compute.
+///
+/// The configuration's [`Algorithm`] policy selects how the
+/// non-ZeRO-3 sync is executed:
+///
+/// * [`Algorithm::Ring`] — the paper's baseline: a ring ReduceScatter
+///   hidden behind the last microbatch's backward (`tb`) and a ring
+///   AllGather behind the first microbatch's forward (`tf`); only the
+///   remainders are charged.
+/// * [`Algorithm::Tree`] / [`Algorithm::Hierarchical`] — the pair is fused
+///   into one monolithic AllReduce of the gradient volume (NCCL's
+///   tree/hierarchical algorithms exist for AllReduce only), overlapped
+///   with the combined `tf + tb` window.
+/// * [`Algorithm::Auto`] — whichever of the three exposes the least time,
+///   as NCCL's autotuner + an overlap-aware scheduler would pick.
+///
+/// ZeRO-3 re-gathers weights per microbatch (AllGather/ReduceScatter
+/// only, which NCCL runs as rings regardless of policy), so its pricing
+/// is algorithm-independent.
+///
+/// Public so `trainsim` prices its DP tail with exactly the same policy
+/// as the analytic model it validates.
+#[allow(clippy::too_many_arguments)]
+pub fn dp_sync_time(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    global_batch: u64,
+    sys: &SystemSpec,
+    tf: f64,
+    tb: f64,
+) -> f64 {
+    let dp_size = cfg.nd * profile.dp_group_multiplier;
+    if dp_size <= 1 {
+        return 0.0;
+    }
+    let per_domain = (placement.vd * placement.v2).min(dp_size);
+    let per_domain = largest_divisor_at_most(dp_size, per_domain);
+    let grp = CommGroup::new(dp_size, per_domain);
+    let layers = (model.depth / cfg.np) as f64;
+    let vol = profile.weight_bytes * layers;
+    let t_rs = collective_time(Collective::ReduceScatter, vol, grp, sys);
+    let t_ag = collective_time(Collective::AllGather, vol, grp, sys);
+    if cfg.zero3 {
+        // ZeRO-3: weights are re-gathered for every microbatch's forward
+        // and backward and gradients reduce-scattered per microbatch; each
+        // microbatch's collectives can hide behind that microbatch's
+        // compute, the remainder is exposed.
+        let m = cfg.num_microbatches(global_batch) as f64;
+        return m * (2.0 * t_ag + t_rs - (tf + tb)).max(0.0);
+    }
+    let ring = (t_rs - tb).max(0.0) + (t_ag - tf).max(0.0);
+    let fused = |ar: f64| (ar - (tf + tb)).max(0.0);
+    match cfg.comm_algo {
+        Algorithm::Ring => ring,
+        Algorithm::Tree => fused(allreduce_tree_time(vol, grp, sys)),
+        Algorithm::Hierarchical => fused(allreduce_hierarchical_time(vol, grp, sys)),
+        Algorithm::Auto => ring
+            .min(fused(allreduce_tree_time(vol, grp, sys)))
+            .min(fused(allreduce_hierarchical_time(vol, grp, sys))),
     }
 }
 

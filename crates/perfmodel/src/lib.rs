@@ -47,9 +47,11 @@ pub mod timing;
 pub mod training;
 
 pub use breakdown::Breakdown;
+pub use collectives::Algorithm;
 pub use config::{ParallelConfig, Placement, TpStrategy};
 pub use evaluate::{
-    evaluate, evaluate_with_profile, evaluate_with_tp_overlap, stage_times, Evaluation,
+    dp_sync_time, evaluate, evaluate_with_profile, evaluate_with_tp_overlap, stage_times,
+    Evaluation,
 };
 pub use memory::MemoryUsage;
 pub use partition::{ProfileCache, ProfileKey};

@@ -23,8 +23,10 @@ use super::build_profile;
 use crate::config::{ParallelConfig, TpStrategy};
 use crate::plan::LayerProfile;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use systems::GpuSpec;
+use std::hash::{BuildHasherDefault, Hasher};
+use systems::{GpuSpec, SystemSpec};
 use txmodel::TransformerConfig;
 
 /// The exact subset of [`ParallelConfig`] a layer profile depends on.
@@ -109,6 +111,82 @@ impl ProfileCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Collective-time memoization (per-placement pricing hot path)
+// ---------------------------------------------------------------------------
+//
+// `evaluate`'s per-placement pricing (`pattern_time`) recomputes the same
+// collective times for every `(np, nd, bm, interleave, placement)`
+// candidate sharing a TP tuple — the SUMMA sweep alone prices millions of
+// `(collective, volume, group)` triples drawn from a few thousand distinct
+// ones. The memo below caches those scalar times per thread (the vendored
+// rayon pool gives each worker a contiguous chunk of candidates, so
+// thread-local hit rates match a shared cache without any locking), keyed
+// by an FNV-1a fold of the triple plus a fingerprint of the system's
+// network characteristics. Cache hits return bit-identical values, so
+// results are unchanged — memoization only affects speed.
+
+/// FNV-1a-style fold of a sequence of `u64` words into one key. Folding
+/// whole words (one xor + one widening multiply each) keeps the fold far
+/// cheaper than the collective-time computation it guards; the FNV prime
+/// diffuses every input word across the key, so distinct pricing tuples
+/// collide with negligible (~2⁻⁶⁴ pairwise) probability.
+pub(crate) fn fnv(parts: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in parts {
+        h = (h ^ p).wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Fingerprint of every [`SystemSpec`] field a collective time depends on.
+pub(crate) fn system_fingerprint(sys: &SystemSpec) -> u64 {
+    fnv([
+        sys.network.nvs_bandwidth.to_bits(),
+        sys.network.nvs_latency.to_bits(),
+        sys.network.ib_bandwidth.to_bits(),
+        sys.network.ib_latency.to_bits(),
+        sys.network.bandwidth_efficiency.to_bits(),
+        sys.nvs_size,
+        sys.nics_per_node,
+    ])
+}
+
+/// Pass-through hasher: the key is already an FNV fold.
+#[derive(Default)]
+pub(crate) struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("KeyHasher only hashes u64 keys");
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i;
+    }
+}
+
+thread_local! {
+    static COLLECTIVE_MEMO: RefCell<HashMap<u64, f64, BuildHasherDefault<KeyHasher>>> =
+        RefCell::new(HashMap::default());
+}
+
+/// Returns the memoized value for `key`, computing (and caching) it on the
+/// first request. The value must be a pure function of the key.
+pub(crate) fn memo_f64(key: u64, compute: impl FnOnce() -> f64) -> f64 {
+    COLLECTIVE_MEMO.with(|m| {
+        if let Some(&v) = m.borrow().get(&key) {
+            return v;
+        }
+        let v = compute();
+        m.borrow_mut().insert(key, v);
+        v
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +240,35 @@ mod tests {
         });
         let s1 = ProfileKey::of(&cfg(TpStrategy::Summa, 4, 4, 8, 16, 1));
         assert_ne!(s8, s1);
+    }
+
+    #[test]
+    fn memo_returns_cached_value_and_computes_once() {
+        let key = fnv([0xdead, 0xbeef, 42]);
+        let mut calls = 0;
+        let a = memo_f64(key, || {
+            calls += 1;
+            1.25
+        });
+        let b = memo_f64(key, || {
+            calls += 1;
+            f64::NAN // must not be recomputed
+        });
+        assert_eq!(a, 1.25);
+        assert_eq!(b, 1.25);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn system_fingerprint_separates_systems() {
+        use systems::{system, NvsSize};
+        let a = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let b = system(GpuGeneration::B200, NvsSize::Nvs8);
+        assert_ne!(system_fingerprint(&a), system_fingerprint(&b));
+        assert_eq!(system_fingerprint(&a), system_fingerprint(&a.clone()));
+        let mut fewer_nics = a.clone();
+        fewer_nics.nics_per_node = 1;
+        assert_ne!(system_fingerprint(&a), system_fingerprint(&fewer_nics));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::memory::memory_usage;
 use crate::partition::{build_profile, ProfileCache};
 use crate::placement::{divisors, enumerate_placements};
 use crate::plan::LayerProfile;
+use collectives::Algorithm;
 use rayon::prelude::*;
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
@@ -54,6 +55,11 @@ pub struct SearchOptions {
     pub max_interleave: u64,
     /// Also try ZeRO-3 weight sharding for every candidate.
     pub allow_zero3: bool,
+    /// AllReduce algorithm policy every candidate is priced under
+    /// (see [`crate::ParallelConfig::comm_algo`]). `Auto` — the default —
+    /// models NCCL's autotuner; `Ring` recovers the paper's ring-only
+    /// model.
+    pub comm_algo: Algorithm,
 }
 
 impl SearchOptions {
@@ -68,6 +74,7 @@ impl SearchOptions {
             max_microbatch: 16,
             max_interleave: 1,
             allow_zero3: false,
+            comm_algo: Algorithm::Auto,
         }
     }
 }
@@ -137,6 +144,7 @@ pub fn enumerate_partitions(
                                     summa_panels: nb,
                                     interleave: v,
                                     zero3,
+                                    comm_algo: opts.comm_algo,
                                 };
                                 if cfg.validate(model, b).is_ok() {
                                     out.push(cfg);
@@ -458,6 +466,51 @@ mod tests {
             let scratch = best_placement_eval(&model, &e.config, 4096, &sys);
             assert_eq!(&scratch, e);
         }
+    }
+
+    #[test]
+    fn auto_algorithm_policy_never_loses() {
+        // Auto only widens the per-collective algorithm choice, so the
+        // optimum under Auto can never be slower than under Ring.
+        let sys = b200_nvs8();
+        for (model, n, b, strategy) in [
+            (gpt3_1t().config, 1024, 4096, TpStrategy::OneD),
+            (vit_64k().config, 512, 4096, TpStrategy::TwoD),
+        ] {
+            let mut ring = SearchOptions::new(n, b, strategy);
+            ring.comm_algo = collectives::Algorithm::Ring;
+            let auto = SearchOptions::new(n, b, strategy);
+            let r = optimize(&model, &sys, &ring).unwrap();
+            let a = optimize(&model, &sys, &auto).unwrap();
+            assert!(
+                a.iteration_time <= r.iteration_time + 1e-12,
+                "{strategy:?} n={n}: auto {} vs ring {}",
+                a.iteration_time,
+                r.iteration_time
+            );
+        }
+    }
+
+    #[test]
+    fn auto_algorithm_policy_shifts_a_preset_optimum() {
+        // The acceptance experiment: NCCL-style auto-selection does not
+        // merely re-price the ring optimum — on GPT3-175B at 4096 B200
+        // (global batch 1024, a DP-heavy corner) the cheaper tree/
+        // hierarchical gradient sync moves the optimum to a wider DP
+        // microbatching split (ring: n1=8, nd=512, bm=2 → auto: n1=16,
+        // nd=256, bm=4).
+        let model = txmodel::gpt3_175b().config;
+        let sys = b200_nvs8();
+        let mut ring_opts = SearchOptions::new(4096, 1024, TpStrategy::OneD);
+        ring_opts.comm_algo = collectives::Algorithm::Ring;
+        let auto_opts = SearchOptions::new(4096, 1024, TpStrategy::OneD);
+        let ring = optimize(&model, &sys, &ring_opts).unwrap();
+        let auto = optimize(&model, &sys, &auto_opts).unwrap();
+        assert!(auto.iteration_time < ring.iteration_time);
+        let tuple = |e: &Evaluation| (e.config.n1, e.config.np, e.config.nd, e.config.microbatch);
+        assert_ne!(tuple(&auto), tuple(&ring), "optimum should move");
+        assert_eq!(tuple(&ring), (8, 1, 512, 2));
+        assert_eq!(tuple(&auto), (16, 1, 256, 4));
     }
 
     #[test]

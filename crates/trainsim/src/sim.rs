@@ -1,7 +1,7 @@
 //! Dependency-driven execution of the 1F1B schedule.
 
 use crate::schedule::{stage_schedule, WorkItem};
-use collectives::{collective_time, p2p_time, Collective, CommGroup};
+use collectives::p2p_time;
 use perfmodel::partition::build_profile;
 use perfmodel::{stage_times, ParallelConfig, Placement};
 use rand::rngs::StdRng;
@@ -200,23 +200,13 @@ pub fn simulate_iteration(
 
     let span = clock.iter().cloned().fold(0.0, f64::max);
 
-    // Data-parallel gradient RS + weight AG tail, overlapped with the last
-    // backward / first forward exactly as in the analytic model.
-    let dp_size = cfg.nd * profile.dp_group_multiplier;
-    let dp_tail = if dp_size > 1 {
-        let per_domain = perfmodel::evaluate::largest_divisor_at_most(
-            dp_size,
-            (placement.vd * placement.v2).min(dp_size),
-        );
-        let grp = CommGroup::new(dp_size, per_domain);
-        let layers = (model.depth / cfg.np) as f64;
-        let vol = profile.weight_bytes * layers;
-        let t_rs = collective_time(Collective::ReduceScatter, vol, grp, sys);
-        let t_ag = collective_time(Collective::AllGather, vol, grp, sys);
-        (t_rs - tb).max(0.0) + (t_ag - tf).max(0.0)
-    } else {
-        0.0
-    };
+    // Data-parallel sync tail, overlapped with the last backward / first
+    // forward exactly as in the analytic model — the shared helper also
+    // applies the configuration's AllReduce algorithm policy, so the
+    // simulator and the model it validates always price the tail
+    // identically.
+    let dp_tail =
+        perfmodel::dp_sync_time(&profile, model, cfg, placement, global_batch, sys, tf, tb);
 
     let iteration_time = span + dp_tail;
     let total_stage_seconds = span * np as f64;

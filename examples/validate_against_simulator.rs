@@ -37,6 +37,46 @@ fn main() {
     }
     println!("{}", t.render());
 
+    // --- Algorithm selection: ring vs tree vs hierarchical AllReduce ---
+    println!("AllReduce algorithms on 64 B200 (NVS8): analytic vs simulated\n");
+    let sys64 = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let group = CommGroup::new(64, 8);
+    let mut t = Table::new([
+        "volume",
+        "algorithm",
+        "analytic (ms)",
+        "simulated (ms)",
+        "err %",
+    ]);
+    for v in [64e3, 16e6, 4e9] {
+        for algo in [Algorithm::Ring, Algorithm::Tree, Algorithm::Hierarchical] {
+            let ana = allreduce_time(algo, v, group, &sys64);
+            let sim = netsim::simulate_collective(
+                Collective::AllReduce,
+                v,
+                group,
+                &sys64,
+                &SimOptions {
+                    algorithm: algo,
+                    pieces: 64,
+                    ..SimOptions::default()
+                },
+            )
+            .time;
+            let auto = allreduce_time(Algorithm::Auto, v, group, &sys64);
+            let marker = if (ana - auto).abs() < 1e-15 { " *" } else { "" };
+            t.push([
+                format!("{:>8.2} MB", v / 1e6),
+                format!("{}{}", algo.name(), marker),
+                format!("{:.4}", ana * 1e3),
+                format!("{:.4}", sim * 1e3),
+                format!("{:+.1}", 100.0 * (sim - ana) / ana),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("(* = what NCCL-style auto-selection picks at that volume)\n");
+
     // --- §IV analogue: iteration time vs the 1F1B schedule simulator ---
     println!("512-GPU Perlmutter iteration times: analytic vs 1F1B simulation\n");
     let sys = perlmutter(4);

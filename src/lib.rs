@@ -9,7 +9,8 @@
 //! * [`systems`] — hardware/network catalog (Table A3) and builders.
 //! * [`txmodel`] — transformer architectures, presets, FLOP/byte census.
 //! * [`collectives`] — analytic dual-network collective time model.
-//! * [`netsim`] — chunk-level discrete-event ring-collective simulator.
+//! * [`netsim`] — piece-level discrete-event collective simulator (ring,
+//!   tree and hierarchical schedules on a generic link topology).
 //! * [`perfmodel`] — the paper's performance model + brute-force search.
 //! * [`trainsim`] — 1F1B schedule simulator for model validation.
 //! * [`report`] — tables, ASCII charts, JSON/CSV artifacts.
@@ -47,7 +48,7 @@ pub use txmodel;
 
 /// Everything a typical planning session needs.
 pub mod prelude {
-    pub use collectives::{collective_time, Collective, CommGroup};
+    pub use collectives::{allreduce_time, collective_time, Algorithm, Collective, CommGroup};
     pub use perfmodel::{
         best_placement_eval, evaluate, optimize, training_days, Evaluation, ParallelConfig,
         Placement, SearchOptions, TpStrategy,

@@ -77,6 +77,52 @@ fn analytic_collectives_track_the_simulator_across_shapes() {
 }
 
 #[test]
+fn algorithm_selection_is_consistent_between_model_and_simulator() {
+    // NCCL-style algorithm auto-selection end to end: for each algorithm
+    // the DES tracks its analytic formula, and `auto` is the minimum in
+    // both worlds (the netsim-algorithms validation path).
+    use collectives::{allreduce_time, Algorithm};
+    let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+    let g = CommGroup::new(32, 4);
+    for v in [64e3, 16e6, 2e9] {
+        for algo in [Algorithm::Ring, Algorithm::Tree, Algorithm::Hierarchical] {
+            let opts = SimOptions {
+                algorithm: algo,
+                pieces: 64,
+                ..SimOptions::default()
+            };
+            let ana = allreduce_time(algo, v, g, &sys);
+            let sim = simulate_collective(Collective::AllReduce, v, g, &sys, &opts).time;
+            let err = (sim - ana).abs() / ana;
+            assert!(err < 0.35, "{algo:?} at {v:.0}: err {err:.3}");
+        }
+        let ana_auto = allreduce_time(Algorithm::Auto, v, g, &sys);
+        for algo in [Algorithm::Ring, Algorithm::Tree, Algorithm::Hierarchical] {
+            assert!(ana_auto <= allreduce_time(algo, v, g, &sys) + 1e-15);
+        }
+        let opts = SimOptions {
+            algorithm: Algorithm::Auto,
+            pieces: 64,
+            ..SimOptions::default()
+        };
+        let sim_auto = simulate_collective(Collective::AllReduce, v, g, &sys, &opts).time;
+        let sim_ring = simulate_collective(
+            Collective::AllReduce,
+            v,
+            g,
+            &sys,
+            &SimOptions {
+                algorithm: Algorithm::Ring,
+                pieces: 64,
+                ..SimOptions::default()
+            },
+        )
+        .time;
+        assert!(sim_auto <= sim_ring + 1e-15);
+    }
+}
+
+#[test]
 fn schedule_simulator_validates_the_model_on_the_paper_setting() {
     // §IV: 512 GPUs, batch 1024, GPT3-175B — optimal and one sub-optimal.
     let sys = perlmutter(4);
