@@ -6,6 +6,8 @@
 //! * `profile`        — S1 layer-profile construction (Tables I/II/A2 path)
 //! * `placement`      — best-placement evaluation (Figs. 1–3 path)
 //! * `search`         — full S3 optimization (Figs. 4, 5, A3–A6 path)
+//! * `moe-search`     — the joint `(tp, pp, dp, ep)` MoE search, tracked
+//!   alongside dense so expert parallelism's search-cost stays visible
 //! * `search-scaling` — the same S3 search pinned to 1/2/4/8 pool threads
 //! * `netsim`         — collective DES (Fig. A1 path)
 //! * `netsim-algorithms` — ring vs tree vs hierarchical vs auto AllReduce
@@ -24,7 +26,7 @@ use perfmodel::{
 };
 use std::time::Duration;
 use systems::{perlmutter, system, GpuGeneration, NvsSize};
-use txmodel::{gpt3_175b, gpt3_1t, vit_64k};
+use txmodel::{gpt3_175b, gpt3_175b_moe, gpt3_1t, moe_1t, vit_64k};
 
 fn bench_search_scaling(c: &mut Criterion) {
     let gpt = gpt3_1t().config;
@@ -89,13 +91,13 @@ fn bench_profile(c: &mut Criterion) {
     let vit = vit_64k().config;
     let mut g = c.benchmark_group("profile");
     g.bench_function("gpt_1d_nt8", |b| {
-        b.iter(|| build_profile(&gpt, TpStrategy::OneD, 8, 1, 1, 1, &gpu))
+        b.iter(|| build_profile(&gpt, TpStrategy::OneD, 8, 1, 1, 1, 1, &gpu))
     });
     g.bench_function("vit_2d_4x4", |b| {
-        b.iter(|| build_profile(&vit, TpStrategy::TwoD, 4, 4, 1, 1, &gpu))
+        b.iter(|| build_profile(&vit, TpStrategy::TwoD, 4, 4, 1, 1, 1, &gpu))
     });
     g.bench_function("gpt_summa_8x4_nb4", |b| {
-        b.iter(|| build_profile(&gpt, TpStrategy::Summa, 8, 4, 1, 4, &gpu))
+        b.iter(|| build_profile(&gpt, TpStrategy::Summa, 8, 4, 1, 4, 1, &gpu))
     });
     g.finish();
 }
@@ -156,6 +158,46 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// MoE search cost alongside dense: the expert-parallel dimension
+/// multiplies the candidate space, so this group tracks whether the
+/// ProfileCache/memo_f64 reuse keeps the joint `(tp, pp, dp, ep)` sweep
+/// in the same cost class as the dense searches above.
+fn bench_moe_search(c: &mut Criterion) {
+    let moe1t = moe_1t().config;
+    let moe175b = gpt3_175b_moe().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let mut g = c.benchmark_group("moe-search");
+    g.sample_size(10);
+    g.bench_function("moe1t_1d_n1024", |b| {
+        b.iter(|| {
+            optimize(
+                &moe1t,
+                &sys,
+                &SearchOptions::new(1024, 4096, TpStrategy::OneD),
+            )
+        })
+    });
+    g.bench_function("moe1t_1d_n16384", |b| {
+        b.iter(|| {
+            optimize(
+                &moe1t,
+                &sys,
+                &SearchOptions::new(16384, 4096, TpStrategy::OneD),
+            )
+        })
+    });
+    g.bench_function("gpt175b_moe8_n4096", |b| {
+        b.iter(|| {
+            optimize(
+                &moe175b,
+                &sys,
+                &SearchOptions::new(4096, 1024, TpStrategy::OneD),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_netsim(c: &mut Criterion) {
     use collectives::{Collective, CommGroup};
     use netsim::{simulate_collective, SimOptions};
@@ -203,7 +245,7 @@ fn bench_trainsim(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("trainsim");
     g.bench_function("gpt175b_512gpu_iteration", |b| {
-        b.iter(|| simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::default()))
+        b.iter(|| simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::default()).unwrap())
     });
     g.finish();
 }
@@ -213,6 +255,7 @@ criterion_group!(
     bench_profile,
     bench_placement,
     bench_search,
+    bench_moe_search,
     bench_search_scaling,
     bench_netsim,
     bench_netsim_algorithms,
@@ -247,6 +290,7 @@ fn main() {
     bench_profile(&mut c);
     bench_placement(&mut c);
     bench_search(&mut c);
+    bench_moe_search(&mut c);
     bench_search_scaling(&mut c);
     bench_netsim(&mut c);
     bench_netsim_algorithms(&mut c);

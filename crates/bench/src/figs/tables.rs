@@ -14,7 +14,7 @@ use txmodel::gpt3_1t;
 /// paper's Vol column in concrete megabytes.
 fn comm_table(id: &str, title: &str, strategy: TpStrategy, n1: u64, n2: u64, nb: u64) -> Artifact {
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-    let profile = build_profile(&gpt3_1t().config, strategy, n1, n2, 1, nb, &sys.gpu);
+    let profile = build_profile(&gpt3_1t().config, strategy, n1, n2, 1, nb, 1, &sys.gpu);
     let mut art = Artifact::new(
         id,
         title,
@@ -24,6 +24,7 @@ fn comm_table(id: &str, title: &str, strategy: TpStrategy, n1: u64, n2: u64, nb:
         let group_name = |g: &TpGroup| match g {
             TpGroup::N1 => format!("n1={n1}"),
             TpGroup::N2 => format!("n2={n2}"),
+            TpGroup::Ep => "ep".to_string(),
         };
         match c {
             CommPattern::Exposed {

@@ -82,7 +82,8 @@ pub fn generate() -> Artifact {
         ["config", "analytic_s", "simulated_s", "rel_err_pct"],
     );
     for (label, model, cfg, pl) in cases() {
-        let row = compare(&label, &model, &cfg, &pl, 1024, &sys, &SimParams::default());
+        let row = compare(&label, &model, &cfg, &pl, 1024, &sys, &SimParams::default())
+            .expect("every validation case runs the plain 1F1B schedule");
         art.push(vec![
             json!(label),
             num(row.analytic),

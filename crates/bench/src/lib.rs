@@ -4,8 +4,12 @@
 //! (see DESIGN.md §3 for the experiment index). Generators return
 //! [`report::Artifact`] values that the `figures` binary renders to the
 //! terminal and writes to `out/<id>.{json,csv}`; the Criterion benches in
-//! `benches/paper.rs` measure the underlying model machinery and print the
-//! regenerated rows into `cargo bench` output.
+//! `benches/paper.rs` measure the underlying model machinery — including
+//! the dense and MoE (`moe-search`) design-space searches, the multi-
+//! algorithm collective DES and the 1F1B schedule simulator — print the
+//! regenerated rows into `cargo bench` output, and emit the
+//! machine-readable perf trajectory to `out/bench.json`
+//! (schema `fmperf-bench-v1`, uploaded by CI per PR).
 
 pub mod common;
 pub mod figs;

@@ -29,8 +29,12 @@
 //! latency-optimal tree ([`allreduce_tree_time`]) and two-level
 //! hierarchical ([`allreduce_hierarchical_time`]) estimates, selected per
 //! collective by [`Algorithm`] / [`allreduce_time`] — `Auto` mirrors
-//! NCCL's autotuner by taking the fastest. Every formula is
-//! cross-validated against the matching `netsim` schedule.
+//! NCCL's autotuner by taking the fastest — and AllToAll (the MoE
+//! expert-dispatch collective) has store-and-forward ring
+//! ([`alltoall_ring_time`]) and direct pairwise-exchange
+//! ([`alltoall_pairwise_time`]) estimates behind [`alltoall_time`].
+//! Every formula is cross-validated against the matching `netsim`
+//! schedule.
 
 use serde::{Deserialize, Serialize};
 use systems::SystemSpec;
@@ -50,16 +54,21 @@ pub enum Collective {
     Broadcast,
     /// Reduce: all GPUs reduce onto one root (SUMMA transposed products).
     Reduce,
+    /// AllToAll (A2A): a distributed transpose — every GPU sends a
+    /// distinct `V/n²` chunk to every other GPU (MoE expert dispatch and
+    /// combine; beyond the paper's dense-model collective set).
+    AllToAll,
 }
 
 impl Collective {
-    /// Every collective, in paper-table order.
-    pub const ALL: [Collective; 5] = [
+    /// Every collective, paper-table order first, extensions after.
+    pub const ALL: [Collective; 6] = [
         Collective::AllGather,
         Collective::ReduceScatter,
         Collective::AllReduce,
         Collective::Broadcast,
         Collective::Reduce,
+        Collective::AllToAll,
     ];
 
     /// Short name as used in the paper's tables.
@@ -70,17 +79,21 @@ impl Collective {
             Collective::AllReduce => "AR",
             Collective::Broadcast => "B",
             Collective::Reduce => "Red",
+            Collective::AllToAll => "A2A",
         }
     }
 }
 
-/// AllReduce algorithm, mirroring NCCL's tunable `NCCL_ALGO` choices on
+/// Collective algorithm, mirroring NCCL's tunable `NCCL_ALGO` choices on
 /// the dual-bandwidth fabric.
 ///
-/// Only AllReduce has non-ring algorithms (as in NCCL); AllGather,
-/// ReduceScatter, Broadcast and Reduce always run rings. [`Auto`] models
-/// NCCL's autotuner: the fastest algorithm for the given volume and
-/// placement is selected per collective.
+/// AllReduce selects between ring, tree and hierarchical; AllToAll
+/// selects between the store-and-forward ring and the direct pairwise
+/// exchange (any non-ring choice maps to pairwise — see
+/// [`alltoall_time`]). AllGather, ReduceScatter, Broadcast and Reduce
+/// always run rings (as in NCCL). [`Auto`] models NCCL's autotuner: the
+/// fastest algorithm for the given volume and placement is selected per
+/// collective.
 ///
 /// [`Auto`]: Algorithm::Auto
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -223,6 +236,95 @@ pub fn collective_time(
         }
         Collective::AllReduce => 2.0 * (lat + (n - 1.0) / n * volume_bytes / bw),
         Collective::Broadcast | Collective::Reduce => lat + volume_bytes / bw,
+        Collective::AllToAll => alltoall_ring_time(volume_bytes, group, sys),
+    }
+}
+
+/// AllToAll over a store-and-forward ring: every GPU owns `V/n` and sends
+/// a distinct `V/n²` chunk to each peer, routed along the ring. The chunk
+/// for the peer at distance `d` traverses `d` links, so the total traffic
+/// is `n·Σ_d d·V/n² = V(n−1)/2` spread over the `n` links:
+///
+/// ```text
+/// t = t_ring_latency + (n − 1)/(2n)·V/bw
+/// ```
+///
+/// Forwarding through intermediates wastes bandwidth — the pairwise
+/// exchange moves `n/2`× fewer bytes per port — but the ring pays only
+/// `d − 1` slow-latency hops (one shard traversal) versus the pairwise
+/// exchange's `n − p` cross-domain rounds, so it wins for small tensors
+/// on many-domain placements. `V` is the total tensor (all GPUs' shards
+/// summed), matching [`collective_time`] semantics.
+pub fn alltoall_ring_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
+    if group.size() <= 1 || volume_bytes <= 0.0 {
+        return 0.0;
+    }
+    let n = group.size() as f64;
+    let bw = effective_bandwidth(group, sys);
+    ring_latency(group, sys) + (n - 1.0) / (2.0 * n) * volume_bytes / bw
+}
+
+/// AllToAll as a direct pairwise exchange (NCCL's point-to-point A2A):
+/// `n − 1` rounds, round `r` exchanging the `V/n²` chunk with the peer at
+/// offset `r`. On a domain-major layout `p − 1` rounds stay on the fast
+/// tier and `n − p` rounds cross domains, where the `p` GPUs of a domain
+/// share its `n_NIC` NICs:
+///
+/// ```text
+/// t = (p−1)·[α_f + (V/n²)/β_f] + (n−p)·[α_s + (V/n²)/(β_s·min(p, n_NIC)/p)]
+/// ```
+///
+/// No forwarding: each chunk moves exactly once, which wins on bandwidth
+/// at scale; the price is a per-round handshake latency on every one of
+/// the `n − p` cross-domain rounds.
+pub fn alltoall_pairwise_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
+    if group.size() <= 1 || volume_bytes <= 0.0 {
+        return 0.0;
+    }
+    let n = group.size();
+    let p = group.per_domain();
+    let chunk = volume_bytes / (n as f64 * n as f64);
+    let mut t = 0.0;
+    if p > 1 {
+        let intra_rounds = (p - 1) as f64;
+        t += intra_rounds
+            * (sys.network.nvs_latency + chunk / sys.network.effective_nvs_bandwidth());
+    }
+    if n > p {
+        let cross_rounds = (n - p) as f64;
+        let nics = sys.nics_per_node.min(p).max(1);
+        let bw = sys.network.effective_ib_bandwidth(nics) / p as f64;
+        t += cross_rounds * (sys.network.ib_latency + chunk / bw);
+    }
+    t
+}
+
+/// AllToAll with NCCL-style algorithm selection: the faster of the ring
+/// and pairwise-exchange estimates.
+pub fn alltoall_auto_time(volume_bytes: f64, group: CommGroup, sys: &SystemSpec) -> f64 {
+    alltoall_ring_time(volume_bytes, group, sys).min(alltoall_pairwise_time(
+        volume_bytes,
+        group,
+        sys,
+    ))
+}
+
+/// AllToAll time under an explicit [`Algorithm`] choice. [`Algorithm::Ring`]
+/// runs the store-and-forward ring; tree and hierarchical schedules do not
+/// exist for AllToAll, so any other explicit choice maps to the pairwise
+/// exchange (the NCCL default); [`Algorithm::Auto`] takes the fastest.
+pub fn alltoall_time(
+    algo: Algorithm,
+    volume_bytes: f64,
+    group: CommGroup,
+    sys: &SystemSpec,
+) -> f64 {
+    match algo {
+        Algorithm::Ring => alltoall_ring_time(volume_bytes, group, sys),
+        Algorithm::Tree | Algorithm::Hierarchical => {
+            alltoall_pairwise_time(volume_bytes, group, sys)
+        }
+        Algorithm::Auto => alltoall_auto_time(volume_bytes, group, sys),
     }
 }
 
@@ -582,6 +684,96 @@ mod tests {
     }
 
     #[test]
+    fn alltoall_trivial_cases() {
+        let sys = b200_nvs8();
+        for f in [
+            alltoall_ring_time as fn(f64, CommGroup, &SystemSpec) -> f64,
+            alltoall_pairwise_time,
+            alltoall_auto_time,
+        ] {
+            assert_eq!(f(1e9, CommGroup::single_domain(1), &sys), 0.0);
+            assert_eq!(f(0.0, CommGroup::new(8, 8), &sys), 0.0);
+        }
+    }
+
+    #[test]
+    fn alltoall_moves_less_than_allgather() {
+        // Same V: A2A redistributes V (each GPU ends with V/n), AG
+        // replicates it (each GPU ends with V) — A2A must be cheaper
+        // under both algorithms in the bandwidth regime.
+        let sys = b200_nvs8();
+        let g = CommGroup::new(32, 8);
+        let v = 4e9;
+        let ag = collective_time(Collective::AllGather, v, g, &sys);
+        assert!(alltoall_ring_time(v, g, &sys) < ag);
+        assert!(alltoall_pairwise_time(v, g, &sys) < ag);
+    }
+
+    #[test]
+    fn alltoall_pairwise_beats_ring_at_bandwidth_scale() {
+        // Large tensor: the ring forwards chunks through intermediates
+        // (V(n−1)/2 per link) while pairwise moves each chunk once.
+        let sys = b200_nvs8();
+        let g = CommGroup::new(64, 8);
+        let v = 8e9;
+        let ring = alltoall_ring_time(v, g, &sys);
+        let pw = alltoall_pairwise_time(v, g, &sys);
+        assert!(pw < ring, "pairwise {pw} vs ring {ring}");
+    }
+
+    #[test]
+    fn alltoall_ring_beats_pairwise_at_many_domain_latency_scale() {
+        // Tiny tensor, many domains: the ring pays d−1 slow hops, the
+        // pairwise exchange n−p cross-domain handshakes.
+        let sys = b200_nvs8();
+        let g = CommGroup::new(256, 8);
+        let v = 1024.0;
+        let ring = alltoall_ring_time(v, g, &sys);
+        let pw = alltoall_pairwise_time(v, g, &sys);
+        assert!(ring < pw, "ring {ring} vs pairwise {pw}");
+    }
+
+    #[test]
+    fn alltoall_auto_and_dispatch_pick_the_minimum() {
+        let sys = b200_nvs8();
+        for (size, per, v) in [(64u64, 8u64, 8e9), (256, 8, 1024.0), (8, 8, 1e8)] {
+            let g = CommGroup::new(size, per);
+            let ring = alltoall_ring_time(v, g, &sys);
+            let pw = alltoall_pairwise_time(v, g, &sys);
+            assert_eq!(alltoall_auto_time(v, g, &sys), ring.min(pw));
+            assert_eq!(alltoall_time(Algorithm::Ring, v, g, &sys), ring);
+            assert_eq!(alltoall_time(Algorithm::Tree, v, g, &sys), pw);
+            assert_eq!(alltoall_time(Algorithm::Hierarchical, v, g, &sys), pw);
+            assert_eq!(alltoall_time(Algorithm::Auto, v, g, &sys), ring.min(pw));
+            // The generic entry point prices the ring schedule.
+            assert_eq!(collective_time(Collective::AllToAll, v, g, &sys), ring);
+        }
+    }
+
+    #[test]
+    fn alltoall_pairwise_nic_share_penalizes_undersupplied_domains() {
+        let mut sys = b200_nvs8();
+        let g = CommGroup::new(64, 8);
+        let v = 4e9;
+        let full = alltoall_pairwise_time(v, g, &sys);
+        sys.nics_per_node = 2; // 8 GPUs' cross-domain rounds share 2 NICs
+        let shared = alltoall_pairwise_time(v, g, &sys);
+        assert!(shared > full, "shared {shared} vs full {full}");
+    }
+
+    #[test]
+    fn alltoall_intra_domain_pairwise_formula() {
+        // d = 1: (n−1)·(α_f + chunk/β_f) exactly.
+        let sys = b200_nvs8();
+        let g = CommGroup::single_domain(8);
+        let v = 1e9;
+        let t = alltoall_pairwise_time(v, g, &sys);
+        let expect =
+            7.0 * (sys.network.nvs_latency + v / 64.0 / sys.network.effective_nvs_bandwidth());
+        assert!((t - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
     fn monotone_in_volume_and_group_size() {
         let sys = b200_nvs8();
         let g = CommGroup::new(16, 8);
@@ -601,7 +793,9 @@ mod serde_roundtrip {
     fn collective_and_group_survive_json() {
         // Sweep EVERY variant (a hand-written list once silently dropped
         // `Reduce`); `Collective::ALL` keeps the sweep exhaustive by
-        // construction.
+        // construction — six variants since `AllToAll` joined for MoE.
+        assert_eq!(Collective::ALL.len(), 6);
+        assert!(Collective::ALL.contains(&Collective::AllToAll));
         for coll in Collective::ALL {
             let back: Collective =
                 serde_json::from_str(&serde_json::to_string(&coll).unwrap()).unwrap();

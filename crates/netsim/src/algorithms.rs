@@ -43,9 +43,12 @@ pub struct SimOptions {
     /// multi-hop path, so their store-and-forward error shrinks like
     /// `hops/pieces` — validate them with more pieces than ring AG/RS.
     pub pieces: u64,
-    /// AllReduce algorithm to execute. `Auto` simulates ring, tree and
-    /// hierarchical and reports the fastest, as NCCL's autotuner would
-    /// select. Non-AllReduce collectives always run rings (as in NCCL).
+    /// Collective algorithm to execute. For AllReduce, `Auto` simulates
+    /// ring, tree and hierarchical and reports the fastest, as NCCL's
+    /// autotuner would select. For AllToAll, `Ring` runs the
+    /// store-and-forward ring, any other explicit choice the direct
+    /// pairwise exchange, and `Auto` the faster of the two. The remaining
+    /// collectives always run rings (as in NCCL).
     pub algorithm: Algorithm,
     /// Root placement for Broadcast/Reduce.
     pub root: RootPosition,
@@ -156,6 +159,71 @@ fn hierarchical_allreduce(
     total
 }
 
+/// Ring AllToAll: every GPU owns `vol/n` and routes a distinct `vol/n²`
+/// chunk to each peer along the ring — one flow per `(origin, distance)`
+/// pair, store-and-forwarded over `distance` consecutive links. The
+/// engine's link serialization reproduces the `V(n−1)/2` aggregate
+/// traffic of the analytic [`collectives::alltoall_ring_time`] model, and
+/// the longest (distance `n−1`) flows reproduce its shard-traversal
+/// latency.
+///
+/// The `n²` chunks themselves are the pipeline granularity: each flow runs
+/// as a single piece (splitting every tiny chunk `pieces` further would
+/// multiply the event count by `pieces` for no added fidelity — the
+/// schedule already interleaves `n−1` chunks per link).
+fn ring_alltoall(topo: &Topology, n: u64, vol: f64) -> SimResult {
+    let chunk = vol / (n * n) as f64;
+    let flows: Vec<Flow> = (0..n)
+        .flat_map(|o| (1..n).map(move |dist| Flow::new(chunk, ring_path(n, o, dist))))
+        .collect();
+    simulate_flows(topo, &flows, 1)
+}
+
+/// Pairwise-exchange AllToAll: `n−1` rounds for a representative GPU
+/// (all GPUs are symmetric), round `r` exchanging the `vol/n²` chunk with
+/// the peer at offset `r` — direct over the fabric, no forwarding. On the
+/// domain-major layout rounds `1..p` stay intra-domain, the rest cross.
+///
+/// Each round is a two-hop flow: a private *handshake* link carrying the
+/// round's peer latency (infinite bandwidth — latency only), then the
+/// GPU's shared egress port for its tier (fast port at `β_f`; slow port
+/// at the domain's NIC aggregate divided by the `p` GPUs sharing it, as
+/// in the analytic model). Rounds are *blocking* — the classical
+/// synchronous pairwise exchange: round `r + 1` is dependency-gated on
+/// round `r`'s chunk fully arriving, so every round's handshake latency
+/// sits on the critical path and the shared ports serialize the
+/// bandwidth terms — the two effects
+/// [`collectives::alltoall_pairwise_time`] sums analytically. Each round
+/// moves one already-small `V/n²` chunk, so chunks are not split further.
+fn pairwise_alltoall(group: CommGroup, sys: &SystemSpec, volume: f64) -> SimResult {
+    let n = group.size();
+    let p = group.per_domain();
+    let chunk = volume / (n * n) as f64;
+    let eff = sys.network.bandwidth_efficiency;
+    let mut topo = Topology::new(1);
+    let fast_port = topo.add_link(LinkKind::Fast, 0.0, sys.network.nvs_bandwidth * eff);
+    let nics = sys.nics_per_node.min(p).max(1);
+    let slow_bw = sys.network.ib_bandwidth * eff * nics as f64 / p as f64;
+    let slow_port = topo.add_link(LinkKind::Slow, 0.0, slow_bw);
+    let flows: Vec<Flow> = (1..n)
+        .map(|r| {
+            let (kind, lat, port) = if r < p {
+                (LinkKind::Fast, sys.network.nvs_latency, fast_port)
+            } else {
+                (LinkKind::Slow, sys.network.ib_latency, slow_port)
+            };
+            let handshake = topo.add_link(kind, lat, f64::INFINITY);
+            let deps = if r == 1 {
+                Vec::new()
+            } else {
+                vec![r as u32 - 2]
+            };
+            Flow::after(chunk, vec![handshake, port], deps)
+        })
+        .collect();
+    simulate_flows(&topo, &flows, 1)
+}
+
 /// Rooted ring flow (Broadcast/Reduce): the full ring volume pipelined
 /// through `n−1` links, oriented so the flow leaves the root (Broadcast)
 /// or ends at it (Reduce is the time-reverse of Broadcast). The origin
@@ -256,6 +324,30 @@ pub fn simulate_collective(
             }
         };
     }
+    if collective == Collective::AllToAll {
+        return match opts.algorithm {
+            Algorithm::Ring => {
+                let ring = RingTopology::build(group, sys);
+                let topo = ring.topology();
+                ring_alltoall(&topo, n, volume / topo.rails as f64)
+            }
+            // Tree/hierarchical schedules do not exist for AllToAll; the
+            // non-ring schedule is the direct pairwise exchange (as in the
+            // analytic `alltoall_time` dispatch).
+            Algorithm::Tree | Algorithm::Hierarchical => pairwise_alltoall(group, sys, volume),
+            Algorithm::Auto => {
+                let ring = RingTopology::build(group, sys);
+                let topo = ring.topology();
+                let rr = ring_alltoall(&topo, n, volume / topo.rails as f64);
+                let pw = pairwise_alltoall(group, sys, volume);
+                if pw.time <= rr.time {
+                    pw
+                } else {
+                    rr
+                }
+            }
+        };
+    }
     let ring = RingTopology::build(group, sys);
     let topo = ring.topology();
     let rail_volume = volume / topo.rails as f64;
@@ -271,7 +363,7 @@ pub fn simulate_collective(
             opts.root,
             opts.pieces,
         ),
-        Collective::AllReduce => unreachable!("handled above"),
+        Collective::AllReduce | Collective::AllToAll => unreachable!("handled above"),
     }
 }
 
@@ -359,6 +451,58 @@ mod tests {
         let r = simulate_collective(Collective::AllReduce, 1e8, g, &sys, &opts);
         // (n−1) edges × pieces, up and down: 2·7·2 = 28 transfers.
         assert_eq!(r.stats.transfers, 28);
+    }
+
+    #[test]
+    fn alltoall_transfer_counts_match_schedules() {
+        let sys = a100_nvs4();
+        let g = CommGroup::new(4, 4);
+        let opts = SimOptions {
+            pieces: 2,
+            ..SimOptions::default()
+        };
+        let r = simulate_collective(Collective::AllToAll, 1e8, g, &sys, &opts);
+        // Ring routing (single-piece chunks): Σ over origins and
+        // distances of the distance = 4·(1+2+3) = 24 transfers.
+        assert_eq!(r.stats.transfers, 24);
+        let pw = simulate_collective(
+            Collective::AllToAll,
+            1e8,
+            g,
+            &sys,
+            &SimOptions {
+                algorithm: Algorithm::Tree,
+                ..opts
+            },
+        );
+        // Pairwise: n−1 blocking rounds × 2 hops (handshake + port) = 6.
+        assert_eq!(pw.stats.transfers, 6);
+    }
+
+    #[test]
+    fn alltoall_trivial_cases_are_free() {
+        let sys = a100_nvs4();
+        for algorithm in Algorithm::ALL {
+            let o = SimOptions {
+                algorithm,
+                ..SimOptions::default()
+            };
+            assert_eq!(
+                simulate_collective(
+                    Collective::AllToAll,
+                    1e9,
+                    CommGroup::single_domain(1),
+                    &sys,
+                    &o
+                )
+                .time,
+                0.0
+            );
+            assert_eq!(
+                simulate_collective(Collective::AllToAll, 0.0, CommGroup::new(8, 4), &sys, &o).time,
+                0.0
+            );
+        }
     }
 
     #[test]

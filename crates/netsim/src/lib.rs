@@ -19,7 +19,7 @@
 //!   rails are statistically identical, so one representative rail is
 //!   simulated (not one ring per NIC as the pre-generalization module doc
 //!   used to claim).
-//! * The engine ([`simulate_flows`] internally) executes *flows* — a
+//! * The engine (`simulate_flows` internally) executes *flows* — a
 //!   tensor pipelined in pieces along a path of links — with cross-flow
 //!   per-piece dependencies, which is enough to express ring pipelines,
 //!   reduce-tree joins and broadcast-tree chains in one event loop. Every
@@ -30,13 +30,13 @@
 //!   parents) and lower into the generic [`Topology`].
 //! * [`simulate_collective`] builds the flow schedule for a collective:
 //!   ring AG/RS/AR, rooted Broadcast/Reduce (with an explicit
-//!   [`RootPosition`]), tree AllReduce (reduce-up + broadcast-down) and
+//!   [`RootPosition`]), tree AllReduce (reduce-up + broadcast-down),
 //!   hierarchical AllReduce (intra-domain RS, inter-domain AR over the
-//!   NICs, intra-domain AG), selected by [`SimOptions::algorithm`] —
-//!   [`Algorithm::Auto`] executes all three AllReduce schedules and keeps
-//!   the fastest, as NCCL's autotuner would.
-//!
-//! [`simulate_flows`]: engine
+//!   NICs, intra-domain AG) and AllToAll (store-and-forward ring routing
+//!   or dependency-chained pairwise exchange — the MoE expert-dispatch
+//!   collective), selected by [`SimOptions::algorithm`] —
+//!   [`Algorithm::Auto`] executes every applicable schedule and keeps the
+//!   fastest, as NCCL's autotuner would.
 mod algorithms;
 mod engine;
 mod topology;
@@ -53,7 +53,8 @@ mod validation_tests {
     //! every algorithm and collective.
     use crate::{simulate_collective, Algorithm, RootPosition, SimOptions};
     use collectives::{
-        allreduce_hierarchical_time, allreduce_tree_time, collective_time, Collective, CommGroup,
+        allreduce_hierarchical_time, allreduce_tree_time, alltoall_pairwise_time,
+        alltoall_ring_time, collective_time, Collective, CommGroup,
     };
     use systems::{perlmutter, system, GpuGeneration, NvsSize};
 
@@ -207,6 +208,99 @@ mod validation_tests {
             for &v in &[64e3, 1e6] {
                 let e = rel_err_opts(coll, v, 32, 4, &opts);
                 assert!(e < 0.35, "{coll:?} volume {v:.0}: error {e:.3}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_alltoall_matches_analytic() {
+        // Same tolerance band as the PR-3 ring/tree/hier cross-validation:
+        // <15% bandwidth-dominated, <35% latency-dominated.
+        let opts = SimOptions::default(); // Ring
+        for &v in &[256e6, 2e9] {
+            let sys = perlmutter(4);
+            let group = CommGroup::new(32, 4);
+            let ana = alltoall_ring_time(v, group, &sys);
+            let sim = simulate_collective(Collective::AllToAll, v, group, &sys, &opts).time;
+            let e = (sim - ana).abs() / ana;
+            assert!(e < 0.15, "volume {v:.0}: error {e:.3}");
+        }
+        for &v in &[64e3, 1e6] {
+            let sys = perlmutter(4);
+            let group = CommGroup::new(32, 4);
+            let ana = alltoall_ring_time(v, group, &sys);
+            let sim = simulate_collective(Collective::AllToAll, v, group, &sys, &opts).time;
+            let e = (sim - ana).abs() / ana;
+            assert!(e < 0.35, "volume {v:.0}: error {e:.3}");
+        }
+    }
+
+    #[test]
+    fn pairwise_alltoall_matches_analytic() {
+        let opts = SimOptions {
+            algorithm: Algorithm::Hierarchical, // non-ring → pairwise
+            pieces: 64,
+            ..SimOptions::default()
+        };
+        let sys = perlmutter(4);
+        let group = CommGroup::new(32, 4);
+        for &v in &[256e6, 2e9] {
+            let ana = alltoall_pairwise_time(v, group, &sys);
+            let sim = simulate_collective(Collective::AllToAll, v, group, &sys, &opts).time;
+            let e = (sim - ana).abs() / ana;
+            assert!(e < 0.15, "volume {v:.0}: error {e:.3}");
+        }
+        for &v in &[64e3, 1e6] {
+            let ana = alltoall_pairwise_time(v, group, &sys);
+            let sim = simulate_collective(Collective::AllToAll, v, group, &sys, &opts).time;
+            let e = (sim - ana).abs() / ana;
+            assert!(e < 0.35, "volume {v:.0}: error {e:.3}");
+        }
+    }
+
+    #[test]
+    fn alltoall_auto_crossover_tracks_analytic() {
+        // The ring/pairwise crossover: pairwise wins the bandwidth regime
+        // (no forwarding), ring wins the many-domain latency regime (d−1
+        // slow hops vs n−p handshakes) — and simulated auto is never
+        // slower than either simulated schedule.
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let g = CommGroup::new(64, 8);
+        let base = SimOptions {
+            pieces: 64,
+            ..SimOptions::default()
+        };
+        for &v in &[4096.0, 1e6, 1e9, 8e9] {
+            let ring = simulate_collective(Collective::AllToAll, v, g, &sys, &base).time;
+            let pw = simulate_collective(
+                Collective::AllToAll,
+                v,
+                g,
+                &sys,
+                &SimOptions {
+                    algorithm: Algorithm::Hierarchical,
+                    ..base
+                },
+            )
+            .time;
+            let auto = simulate_collective(
+                Collective::AllToAll,
+                v,
+                g,
+                &sys,
+                &SimOptions {
+                    algorithm: Algorithm::Auto,
+                    ..base
+                },
+            )
+            .time;
+            assert!(auto <= ring.min(pw) + 1e-15, "volume {v:.0}");
+            let ana_ring = alltoall_ring_time(v, g, &sys);
+            let ana_pw = alltoall_pairwise_time(v, g, &sys);
+            if ana_pw < 0.8 * ana_ring {
+                assert!(pw < ring, "volume {v:.0}: analytic picks pairwise");
+            } else if ana_ring < 0.8 * ana_pw {
+                assert!(ring < pw, "volume {v:.0}: analytic picks ring");
             }
         }
     }

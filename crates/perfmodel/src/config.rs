@@ -48,6 +48,12 @@ pub struct ParallelConfig {
     pub np: u64,
     /// Data-parallel replicas (must divide the global batch).
     pub nd: u64,
+    /// Expert-parallel degree: `ep` GPUs *inside* the data-parallel
+    /// dimension share one copy of each MoE layer's expert set (so the
+    /// grid stays `n = n1·n2·np·nd` and `ep | nd`; each GPU hosts `E/ep`
+    /// experts and expert gradients synchronize over the `nd/ep`
+    /// replicas). Must be 1 for dense models; MoE requires 1D TP.
+    pub ep: u64,
     /// Microbatch size in samples (must divide the local batch `b/nd`).
     pub microbatch: u64,
     /// SUMMA panel count per GEMM (ignored for non-SUMMA strategies).
@@ -83,12 +89,20 @@ impl ParallelConfig {
             n2,
             np,
             nd,
+            ep: 1,
             microbatch,
             summa_panels: 1,
             interleave: 1,
             zero3: false,
             comm_algo: Algorithm::Auto,
         }
+    }
+
+    /// Builder-style expert-parallel degree (MoE models; see
+    /// [`Self::ep`]).
+    pub fn with_ep(mut self, ep: u64) -> Self {
+        self.ep = ep;
+        self
     }
 
     /// Total GPUs `n = n1·n2·np·nd`.
@@ -106,9 +120,11 @@ impl ParallelConfig {
         global_batch / self.nd / self.microbatch
     }
 
-    /// Checks every divisibility constraint of the paper's search (S3):
-    /// parallel degrees must evenly divide the tensor dimensions they
-    /// partition, `np | d`, `nd | b` and `bm | b/nd`.
+    /// Checks every divisibility constraint of the paper's search (S3),
+    /// extended with the expert-parallel constraints: parallel degrees
+    /// must evenly divide the tensor dimensions they partition, `np | d`,
+    /// `nd | b`, `bm | b/nd`, and for MoE models `ep | nd` and
+    /// `ep | experts` (dense models require `ep = 1`).
     pub fn validate(&self, model: &TransformerConfig, global_batch: u64) -> Result<(), String> {
         let Self {
             strategy,
@@ -116,6 +132,7 @@ impl ParallelConfig {
             n2,
             np,
             nd,
+            ep,
             microbatch,
             summa_panels,
             interleave,
@@ -125,6 +142,7 @@ impl ParallelConfig {
             || n2 == 0
             || np == 0
             || nd == 0
+            || ep == 0
             || microbatch == 0
             || summa_panels == 0
             || interleave == 0
@@ -133,6 +151,54 @@ impl ParallelConfig {
         }
         if strategy == TpStrategy::OneD && n2 != 1 {
             return Err(format!("1D TP requires n2 = 1, got {n2}"));
+        }
+        match model.moe {
+            None => {
+                if ep != 1 {
+                    return Err(format!(
+                        "expert parallelism (ep = {ep}) requires an MoE model"
+                    ));
+                }
+            }
+            Some(moe) => {
+                // Re-check the MoeConfig invariants here: `with_moe`
+                // enforces them at construction, but the fields are
+                // public and Deserialize, so a hand-edited or cached
+                // JSON config can bypass the builder.
+                if moe.experts < 2 {
+                    return Err(format!(
+                        "an MoE model needs at least 2 experts, got {}",
+                        moe.experts
+                    ));
+                }
+                if moe.top_k == 0 || moe.top_k > moe.experts {
+                    return Err(format!(
+                        "top_k ({}) must be in 1..=experts ({})",
+                        moe.top_k, moe.experts
+                    ));
+                }
+                if moe.capacity_pct < 100 {
+                    return Err(format!(
+                        "capacity factor below 1.0 ({}%) would drop tokens structurally",
+                        moe.capacity_pct
+                    ));
+                }
+                if strategy != TpStrategy::OneD {
+                    return Err(format!(
+                        "MoE models support 1D TP only, got {}",
+                        strategy.name()
+                    ));
+                }
+                if !nd.is_multiple_of(ep) {
+                    return Err(format!("ep ({ep}) must divide nd ({nd})"));
+                }
+                if !moe.experts.is_multiple_of(ep) {
+                    return Err(format!(
+                        "ep ({ep}) must divide the expert count ({})",
+                        moe.experts
+                    ));
+                }
+            }
         }
         if !model.depth.is_multiple_of(np) {
             return Err(format!("np ({np}) must divide depth ({})", model.depth));
@@ -252,14 +318,18 @@ impl std::fmt::Display for ParallelConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} (n1={}, n2={}, np={}, nd={}, bm={})",
+            "{} (n1={}, n2={}, np={}, nd={}, bm={}",
             self.strategy.name(),
             self.n1,
             self.n2,
             self.np,
             self.nd,
             self.microbatch
-        )
+        )?;
+        if self.ep > 1 {
+            write!(f, ", ep={}", self.ep)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -369,9 +439,88 @@ mod tests {
     }
 
     #[test]
+    fn expert_parallel_fields_round_trip() {
+        // The ep dimension sweep, in the Algorithm::ALL style: every
+        // valid ep of the MoE preset's nd divisors must survive JSON
+        // with the full struct intact (a silently-dropped field here
+        // would corrupt cached sweep artifacts).
+        let moe = txmodel::moe_1t().config;
+        let base = ParallelConfig::new(TpStrategy::OneD, 4, 1, 8, 16, 1);
+        for ep in [1u64, 2, 4, 8, 16] {
+            let c = base.with_ep(ep);
+            c.validate(&moe, 4096).unwrap();
+            let json = serde_json::to_string(&c).unwrap();
+            assert!(json.contains("\"ep\""), "ep field missing from {json}");
+            let back: ParallelConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+            assert_eq!(back.ep, ep);
+        }
+    }
+
+    #[test]
     fn display_format() {
         let cfg = ParallelConfig::new(TpStrategy::TwoD, 4, 4, 2, 8, 2);
         let s = format!("{cfg}");
         assert!(s.contains("2D TP") && s.contains("n1=4") && s.contains("bm=2"));
+        // Dense configs keep the pre-MoE rendering exactly (figure
+        // artifacts embed these strings); ep appears only when > 1.
+        assert!(!s.contains("ep="));
+        let moe = ParallelConfig::new(TpStrategy::OneD, 4, 1, 2, 16, 2).with_ep(8);
+        assert!(format!("{moe}").contains("ep=8"));
+    }
+
+    #[test]
+    fn expert_parallel_validation() {
+        let moe = txmodel::moe_1t().config; // 64 experts, depth 32
+        let gpt = gpt();
+        // Dense models must keep ep = 1.
+        let bad = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1).with_ep(2);
+        assert!(bad.validate(&gpt, 4096).unwrap_err().contains("MoE"));
+        // MoE: ep must divide both nd and the expert count.
+        let ok = ParallelConfig::new(TpStrategy::OneD, 4, 1, 8, 16, 1).with_ep(16);
+        ok.validate(&moe, 4096).unwrap();
+        let not_div_nd = ParallelConfig::new(TpStrategy::OneD, 4, 1, 8, 16, 1).with_ep(32);
+        assert!(not_div_nd
+            .validate(&moe, 4096)
+            .unwrap_err()
+            .contains("divide nd"));
+        let mut few_experts = moe;
+        few_experts.moe = Some(txmodel::MoeConfig {
+            experts: 8,
+            top_k: 1,
+            capacity_pct: 125,
+        });
+        let not_div_e = ParallelConfig::new(TpStrategy::OneD, 4, 1, 8, 16, 1).with_ep(16);
+        assert!(not_div_e
+            .validate(&few_experts, 4096)
+            .unwrap_err()
+            .contains("expert count"));
+        // MoE rejects non-1D strategies.
+        let twod = ParallelConfig::new(TpStrategy::TwoD, 4, 2, 8, 8, 1);
+        assert!(twod.validate(&moe, 4096).unwrap_err().contains("1D TP"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_moe_configs() {
+        // MoeConfig fields are public + Deserialize, so validate must
+        // re-check the invariants with_moe enforces at construction.
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 8, 16, 1);
+        let mut model = txmodel::moe_1t().config;
+        let moe = |experts, top_k, capacity_pct| txmodel::MoeConfig {
+            experts,
+            top_k,
+            capacity_pct,
+        };
+        for (bad, what) in [
+            (moe(0, 1, 125), "experts"),
+            (moe(1, 1, 125), "experts"),
+            (moe(64, 0, 125), "top_k"),
+            (moe(64, 65, 125), "top_k"),
+            (moe(64, 1, 50), "capacity"),
+        ] {
+            model.moe = Some(bad);
+            let err = cfg.validate(&model, 4096).unwrap_err();
+            assert!(err.contains(what), "{bad:?}: {err}");
+        }
     }
 }

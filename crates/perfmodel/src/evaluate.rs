@@ -23,8 +23,8 @@ use crate::partition::build_profile;
 use crate::partition::cache::{fnv, memo_f64, system_fingerprint};
 use crate::plan::{CommPattern, LayerProfile, TpGroup};
 use collectives::{
-    allreduce_hierarchical_time, allreduce_time, allreduce_tree_time, collective_time, p2p_time,
-    Algorithm, Collective, CommGroup,
+    allreduce_hierarchical_time, allreduce_time, allreduce_tree_time, alltoall_time,
+    collective_time, p2p_time, Algorithm, Collective, CommGroup,
 };
 use serde::{Deserialize, Serialize};
 use systems::SystemSpec;
@@ -49,11 +49,21 @@ pub struct Evaluation {
     pub feasible: bool,
 }
 
-/// Resolves a TP group reference to its communication placement.
+/// Resolves a parallel-group reference to its communication placement.
+///
+/// The expert-parallel group lives inside the data-parallel dimension, so
+/// its per-domain share is bounded by the DP co-residency `vd` (the
+/// largest divisor of `ep` that fits — EP ranks are laid out contiguously
+/// within the DP group, the placement-favorable convention the search
+/// optimizes over).
 fn comm_group(group: TpGroup, cfg: &ParallelConfig, placement: &Placement) -> CommGroup {
     match group {
         TpGroup::N1 => CommGroup::new(cfg.n1, placement.v1),
         TpGroup::N2 => CommGroup::new(cfg.n2, placement.v2),
+        TpGroup::Ep => CommGroup::new(
+            cfg.ep,
+            largest_divisor_at_most(cfg.ep, placement.vd.min(cfg.ep)),
+        ),
     }
 }
 
@@ -96,6 +106,19 @@ fn pattern_time(
                         sys_fp,
                     ]);
                     memo_f64(key, || allreduce_time(cfg.comm_algo, *volume, grp, sys))
+                }
+                Collective::AllToAll => {
+                    // MoE dispatch/combine: ring vs pairwise under the same
+                    // policy knob (Auto = fastest, as NCCL would pick).
+                    let key = fnv([
+                        0x41, // "A"lltoall
+                        cfg.comm_algo as u64,
+                        volume.to_bits(),
+                        grp.size(),
+                        grp.per_domain(),
+                        sys_fp,
+                    ]);
+                    memo_f64(key, || alltoall_time(cfg.comm_algo, *volume, grp, sys))
                 }
                 _ => collective_time(*coll, *volume, grp, sys),
             }
@@ -322,6 +345,18 @@ pub(crate) fn evaluate_placement(
 /// only, which NCCL runs as rings regardless of policy), so its pricing
 /// is algorithm-independent.
 ///
+/// MoE expert weights synchronize separately: expert FFNs are *not*
+/// tensor-parallel-sharded (each of the `n1` TP ranks pushes its own
+/// sequence shard through full expert weights), so one expert shard is
+/// replicated on `n1 · nd/ep` GPUs — the `n1` TP ranks (whose expert
+/// gradients come from disjoint token shards and must be reduced) times
+/// the `nd/ep` data-parallel replicas. Its (large) gradient volume runs
+/// over that group instead of the full `nd` group, vanishing entirely at
+/// `n1 = 1, ep = nd` — the communication saving that makes expert
+/// parallelism attractive beyond its memory relief. Both collectives
+/// share the same overlap windows, so their times add before the
+/// remainder is taken.
+///
 /// Public so `trainsim` prices its DP tail with exactly the same policy
 /// as the analytic model it validates.
 #[allow(clippy::too_many_arguments)]
@@ -335,17 +370,42 @@ pub fn dp_sync_time(
     tf: f64,
     tb: f64,
 ) -> f64 {
+    let layers = (model.depth / cfg.np) as f64;
+    // (group, volume) parts: dense weights over the full `nd × n2` group,
+    // expert weights over the `n1 × nd/ep` replica group. A fixed
+    // two-slot array — this sits on the search's per-placement hot path,
+    // so no heap allocation.
+    let mut parts: [Option<(CommGroup, f64)>; 2] = [None, None];
     let dp_size = cfg.nd * profile.dp_group_multiplier;
-    if dp_size <= 1 {
+    if dp_size > 1 && profile.weight_bytes > 0.0 {
+        let per_domain = (placement.vd * placement.v2).min(dp_size);
+        let per_domain = largest_divisor_at_most(dp_size, per_domain);
+        parts[0] = Some((
+            CommGroup::new(dp_size, per_domain),
+            profile.weight_bytes * layers,
+        ));
+    }
+    let replicas = cfg.n1 * (cfg.nd / cfg.ep);
+    if replicas > 1 && profile.expert_weight_bytes > 0.0 {
+        let per_domain =
+            largest_divisor_at_most(replicas, (placement.v1 * placement.vd).min(replicas));
+        parts[1] = Some((
+            CommGroup::new(replicas, per_domain),
+            profile.expert_weight_bytes * layers,
+        ));
+    }
+    if parts.iter().all(Option::is_none) {
         return 0.0;
     }
-    let per_domain = (placement.vd * placement.v2).min(dp_size);
-    let per_domain = largest_divisor_at_most(dp_size, per_domain);
-    let grp = CommGroup::new(dp_size, per_domain);
-    let layers = (model.depth / cfg.np) as f64;
-    let vol = profile.weight_bytes * layers;
-    let t_rs = collective_time(Collective::ReduceScatter, vol, grp, sys);
-    let t_ag = collective_time(Collective::AllGather, vol, grp, sys);
+    let sum = |coll: Collective| -> f64 {
+        parts
+            .iter()
+            .flatten()
+            .map(|&(grp, vol)| collective_time(coll, vol, grp, sys))
+            .sum()
+    };
+    let t_rs = sum(Collective::ReduceScatter);
+    let t_ag = sum(Collective::AllGather);
     if cfg.zero3 {
         // ZeRO-3: weights are re-gathered for every microbatch's forward
         // and backward and gradients reduce-scattered per microbatch; each
@@ -355,14 +415,21 @@ pub fn dp_sync_time(
         return m * (2.0 * t_ag + t_rs - (tf + tb)).max(0.0);
     }
     let ring = (t_rs - tb).max(0.0) + (t_ag - tf).max(0.0);
-    let fused = |ar: f64| (ar - (tf + tb)).max(0.0);
+    let fused_ar = |algo: fn(f64, CommGroup, &SystemSpec) -> f64| -> f64 {
+        let ar: f64 = parts
+            .iter()
+            .flatten()
+            .map(|&(grp, vol)| algo(vol, grp, sys))
+            .sum();
+        (ar - (tf + tb)).max(0.0)
+    };
     match cfg.comm_algo {
         Algorithm::Ring => ring,
-        Algorithm::Tree => fused(allreduce_tree_time(vol, grp, sys)),
-        Algorithm::Hierarchical => fused(allreduce_hierarchical_time(vol, grp, sys)),
+        Algorithm::Tree => fused_ar(allreduce_tree_time),
+        Algorithm::Hierarchical => fused_ar(allreduce_hierarchical_time),
         Algorithm::Auto => ring
-            .min(fused(allreduce_tree_time(vol, grp, sys)))
-            .min(fused(allreduce_hierarchical_time(vol, grp, sys))),
+            .min(fused_ar(allreduce_tree_time))
+            .min(fused_ar(allreduce_hierarchical_time)),
     }
 }
 
@@ -407,6 +474,7 @@ pub fn evaluate(
         cfg.n2,
         cfg.microbatch,
         cfg.summa_panels,
+        cfg.ep,
         &sys.gpu,
     );
     evaluate_with_profile(&profile, model, cfg, placement, global_batch, sys)

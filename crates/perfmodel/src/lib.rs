@@ -1,23 +1,33 @@
 //! The paper's primary contribution: an analytical, parameterized
-//! performance model of 4D-parallel transformer training and a brute-force
-//! design-space search over parallelization configurations, microbatch
-//! sizes and GPU-to-NVSwitch-domain assignments.
+//! performance model of multi-dimensionally parallel transformer training
+//! and a brute-force design-space search over parallelization
+//! configurations, microbatch sizes and GPU-to-NVSwitch-domain
+//! assignments — extended beyond the paper with NCCL-style collective-
+//! algorithm selection ([`ParallelConfig::comm_algo`], default
+//! [`Algorithm::Auto`]) and first-class Mixture-of-Experts support (an
+//! expert-parallel degree [`ParallelConfig::ep`] whose AllToAll
+//! dispatch/combine and expert-replica gradient sync are priced through
+//! the same machinery).
 //!
 //! # Pipeline (paper §III.A)
 //!
 //! 1. **(S1) Counting** — [`partition`] builds a [`plan::LayerProfile`] for
 //!    one transformer block under a chosen tensor-parallel strategy
 //!    ([`TpStrategy`]): FLOPs, HBM bytes, communication volumes and stored
-//!    activation bytes, per microbatch.
+//!    activation bytes, per microbatch. MoE blocks add the router GEMM,
+//!    the capacity-padded grouped expert GEMMs and two AllToAlls over the
+//!    expert-parallel group.
 //! 2. **(S2) Timing** — [`timing`] converts counts into time with a
-//!    roofline model; [`evaluate`] assembles layer times, pipeline bubbles,
-//!    point-to-point and data-parallel communication into an iteration time
-//!    with a [`Breakdown`] by bucket, plus a [`MemoryUsage`] feasibility
-//!    check.
+//!    roofline model; [`evaluate`](mod@evaluate) assembles layer times, pipeline bubbles,
+//!    point-to-point and data/expert-parallel communication into an
+//!    iteration time with a [`Breakdown`] by bucket, plus a
+//!    [`MemoryUsage`] feasibility check.
 //! 3. **(S3) Search** — [`search`] enumerates every factorization
-//!    `n = n1·n2·np·nd`, microbatch size, NVS placement and SUMMA panel
-//!    count, in parallel with rayon, returning the fastest feasible
-//!    configuration.
+//!    `n = n1·n2·np·nd` together with the microbatch size, NVS placement,
+//!    SUMMA panel count, expert-parallel degree `ep | nd`, interleaving
+//!    and ZeRO-3 knobs — one joint space, fanned out over the rayon pool
+//!    against a build-once [`ProfileCache`] — returning the fastest
+//!    feasible configuration.
 //!
 //! ```
 //! use perfmodel::{optimize, SearchOptions, TpStrategy};
@@ -86,7 +96,7 @@ mod serde_roundtrip {
         let model = gpt3_1t().config;
         let gpu = GpuGeneration::B200.gpu();
         for (strategy, n1, n2, nb) in [(TpStrategy::OneD, 8, 1, 1), (TpStrategy::Summa, 4, 2, 4)] {
-            let profile = partition::build_profile(&model, strategy, n1, n2, 1, nb, &gpu);
+            let profile = partition::build_profile(&model, strategy, n1, n2, 1, nb, 1, &gpu);
             let json = serde_json::to_string(&profile.fwd.comms).unwrap();
             let back: Vec<plan::CommPattern> = serde_json::from_str(&json).unwrap();
             assert_eq!(back, profile.fwd.comms);

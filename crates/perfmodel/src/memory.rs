@@ -75,12 +75,23 @@ pub fn memory_usage(
     } else {
         0.0
     };
-    // ZeRO-3 shards weights and gradients over the DP group.
-    let weight_shard = if cfg.zero3 { cfg.nd as f64 } else { 1.0 };
+    // ZeRO-3 shards weights and gradients over their replica groups: the
+    // full DP group for dense weights, the nd/ep expert replicas for
+    // expert weights (expert parallelism already sharded the expert set
+    // E/ep-ways, which is MoE's first-order memory relief).
+    let expert_replicas = (cfg.nd / cfg.ep.max(1)).max(1) as f64;
+    let (dense_shard, expert_shard) = if cfg.zero3 {
+        (cfg.nd as f64, expert_replicas)
+    } else {
+        (1.0, 1.0)
+    };
+    let weight_bytes = profile.weight_bytes * layers / dense_shard
+        + profile.expert_weight_bytes * layers / expert_shard;
     MemoryUsage {
-        weights: profile.weight_bytes * layers / weight_shard,
-        gradients: profile.weight_bytes * layers / weight_shard,
-        optimizer: profile.weight_params * layers * 12.0 / cfg.nd as f64,
+        weights: weight_bytes,
+        gradients: weight_bytes,
+        optimizer: profile.weight_params * layers * 12.0 / cfg.nd as f64
+            + profile.expert_weight_params * layers * 12.0 / expert_replicas,
         activations: profile.stored_activation_bytes * layers * in_flight + boundary_buffers,
         framework: FRAMEWORK_RESERVE_BYTES,
     }
@@ -104,6 +115,7 @@ mod tests {
             cfg.n2,
             cfg.microbatch,
             cfg.summa_panels,
+            cfg.ep,
             &GpuGeneration::B200.gpu(),
         );
         memory_usage(&profile, &model, &cfg, 4096)
@@ -165,7 +177,7 @@ mod tests {
             }
             let cfg = ParallelConfig::new(TpStrategy::OneD, 32, 1, np, 4, 1);
             cfg.validate(&model, 4096).unwrap();
-            let profile = build_profile(&model, TpStrategy::OneD, 32, 1, 1, 1, &gpu);
+            let profile = build_profile(&model, TpStrategy::OneD, 32, 1, 1, 1, 1, &gpu);
             let u = memory_usage(&profile, &model, &cfg, 4096);
             assert!(!u.fits(192e9), "np={np} gave {} GB", u.total_gb());
         }
@@ -177,7 +189,7 @@ mod tests {
         let gpu = GpuGeneration::B200.gpu();
         let cfg = ParallelConfig::new(TpStrategy::TwoD, 4, 4, 2, 64, 1);
         cfg.validate(&model, 4096).unwrap();
-        let profile = build_profile(&model, TpStrategy::TwoD, 4, 4, 1, 1, &gpu);
+        let profile = build_profile(&model, TpStrategy::TwoD, 4, 4, 1, 1, 1, &gpu);
         let u = memory_usage(&profile, &model, &cfg, 4096);
         assert!(u.fits(192e9), "got {} GB", u.total_gb());
     }

@@ -38,6 +38,10 @@ pub struct ProfileKey {
     pub microbatch: u64,
     /// Normalized to 1 unless `strategy == TpStrategy::Summa`.
     pub summa_panels: u64,
+    /// Expert-parallel degree (1 for dense models, enforced by
+    /// [`crate::ParallelConfig::validate`]; MoE profiles depend on it via
+    /// the AllToAll volumes and the local-expert shard).
+    pub ep: u64,
 }
 
 impl ProfileKey {
@@ -53,6 +57,7 @@ impl ProfileKey {
             } else {
                 1
             },
+            ep: cfg.ep,
         }
     }
 }
@@ -82,6 +87,7 @@ impl ProfileCache {
                     k.n2,
                     k.microbatch,
                     k.summa_panels,
+                    k.ep,
                     gpu,
                 )
             })
@@ -219,6 +225,7 @@ mod tests {
                 c.n2,
                 c.microbatch,
                 c.summa_panels,
+                c.ep,
                 &gpu,
             );
             assert_eq!(cache.get(c), &direct);

@@ -27,31 +27,34 @@ pub fn bytes_of(elems: f64) -> f64 {
 /// Incrementally builds a [`LayerProfile`], adding each op's forward time
 /// and the matching backward time/communication in one call.
 ///
-/// The builder knows the TP grid (`n1`, `n2`) so collectives over
-/// single-GPU groups are dropped at construction time — a pure-DP
+/// The builder knows the parallel grid (`n1`, `n2`, `ep`) so collectives
+/// over single-GPU groups are dropped at construction time — a pure-DP
 /// configuration produces an empty communication list.
 pub struct LayerBuilder<'a> {
     gpu: &'a GpuSpec,
     n1: u64,
     n2: u64,
+    ep: u64,
     profile: LayerProfile,
 }
 
 impl<'a> LayerBuilder<'a> {
-    pub fn new(gpu: &'a GpuSpec, n1: u64, n2: u64) -> Self {
+    pub fn new(gpu: &'a GpuSpec, n1: u64, n2: u64, ep: u64) -> Self {
         Self {
             gpu,
             n1: n1.max(1),
             n2: n2.max(1),
+            ep: ep.max(1),
             profile: LayerProfile::default(),
         }
     }
 
-    /// Size of the given TP group on this builder's grid.
+    /// Size of the given parallel group on this builder's grid.
     fn group_size(&self, group: TpGroup) -> u64 {
         match group {
             TpGroup::N1 => self.n1,
             TpGroup::N2 => self.n2,
+            TpGroup::Ep => self.ep,
         }
     }
 
@@ -211,6 +214,14 @@ impl<'a> LayerBuilder<'a> {
         });
     }
 
+    /// Records the per-GPU expert-FFN parameter shard of an MoE layer
+    /// (kept separate from the dense weights because its gradients
+    /// synchronize over `nd/ep` replicas, not the full DP group).
+    pub fn set_expert_params(&mut self, expert_weight_params: f64) {
+        self.profile.expert_weight_params = expert_weight_params;
+        self.profile.expert_weight_bytes = bytes_of(expert_weight_params);
+    }
+
     /// Sets the bookkeeping fields and finishes the profile.
     /// `stored_activation_bytes` and `boundary_bytes` are raw byte counts
     /// (builders mix FP16 tensors, 1-byte dropout masks and FP32 softmax
@@ -250,7 +261,7 @@ mod tests {
     #[test]
     fn gemm_backward_is_double() {
         let g = gpu();
-        let mut b = LayerBuilder::new(&g, 4, 4);
+        let mut b = LayerBuilder::new(&g, 4, 4, 1);
         b.gemm(1024, 1024, 1024);
         let p = b.finish(0.0, 0.0, 0.0, 1);
         // Compute parts: bwd has 2 launches vs 1, and 2× flops.
@@ -262,7 +273,7 @@ mod tests {
     #[test]
     fn collective_pair_conjugates() {
         let g = gpu();
-        let mut b = LayerBuilder::new(&g, 4, 4);
+        let mut b = LayerBuilder::new(&g, 4, 4, 1);
         b.collective_pair(Collective::AllGather, 100.0, TpGroup::N1);
         b.collective_pair(Collective::AllReduce, 50.0, TpGroup::N2);
         let p = b.finish(0.0, 0.0, 0.0, 1);
@@ -289,7 +300,7 @@ mod tests {
         // Fused L/A must not include the b·h·l·l logit matrix in HBM
         // traffic.
         let g = gpu();
-        let mut b = LayerBuilder::new(&g, 4, 4);
+        let mut b = LayerBuilder::new(&g, 4, 4, 1);
         b.flash_attention(16, 2048, 2048, 128, false);
         let p = b.finish(0.0, 0.0, 0.0, 1);
         // io bytes = 16 · (2048·128·4) · 2 = 33.5 MB; the logit matrix
@@ -303,12 +314,12 @@ mod tests {
     fn linear_attention_flops_scale_with_l_not_l_squared() {
         let g = gpu();
         let quad_time = {
-            let mut b = LayerBuilder::new(&g, 4, 4);
+            let mut b = LayerBuilder::new(&g, 4, 4, 1);
             b.flash_attention(1, 65536, 65536, 128, false);
             b.fwd_time().total()
         };
         let lin_time = {
-            let mut b = LayerBuilder::new(&g, 4, 4);
+            let mut b = LayerBuilder::new(&g, 4, 4, 1);
             b.flash_attention(1, 65536, 65536, 128, true);
             b.fwd_time().total()
         };
@@ -319,7 +330,7 @@ mod tests {
     fn summa_panels_add_launch_overhead() {
         let g = gpu();
         let t = |nb: u64| {
-            let mut b = LayerBuilder::new(&g, 4, 4);
+            let mut b = LayerBuilder::new(&g, 4, 4, 1);
             b.summa_gemm(4096, 4096, 4096, nb, 1e6, TpGroup::N1, 1e6, TpGroup::N2);
             b.fwd_time().total()
         };
@@ -329,7 +340,7 @@ mod tests {
     #[test]
     fn summa_pattern_records_panel_compute() {
         let g = gpu();
-        let mut b = LayerBuilder::new(&g, 4, 4);
+        let mut b = LayerBuilder::new(&g, 4, 4, 1);
         b.summa_gemm(1024, 1024, 1024, 4, 8e5, TpGroup::N1, 8e5, TpGroup::N2);
         let fwd_t = b.fwd_time().total();
         let p = b.finish(0.0, 0.0, 0.0, 1);
@@ -349,7 +360,7 @@ mod tests {
     #[test]
     fn finish_clamps_dp_multiplier() {
         let g = gpu();
-        let p = LayerBuilder::new(&g, 1, 1).finish(10.0, 20.0, 5.0, 0);
+        let p = LayerBuilder::new(&g, 1, 1, 1).finish(10.0, 20.0, 5.0, 0);
         assert_eq!(p.dp_group_multiplier, 1);
         assert_eq!(p.stored_activation_bytes, 10.0);
         assert_eq!(p.weight_bytes, 40.0);

@@ -21,10 +21,13 @@ use systems::GpuSpec;
 use txmodel::TransformerConfig;
 
 /// Builds the placement-independent layer profile for one microbatch of
-/// size `bm` under `(strategy, n1, n2)` with `nb` SUMMA panels.
+/// size `bm` under `(strategy, n1, n2)` with `nb` SUMMA panels and `ep`
+/// expert-parallel GPUs (1 for dense models; MoE is supported under 1D TP
+/// only).
 ///
 /// Divisibility must have been checked via
 /// [`crate::ParallelConfig::validate`]; this function debug-asserts it.
+#[allow(clippy::too_many_arguments)] // mirrors the ParallelConfig axes
 pub fn build_profile(
     model: &TransformerConfig,
     strategy: TpStrategy,
@@ -32,6 +35,7 @@ pub fn build_profile(
     n2: u64,
     bm: u64,
     nb: u64,
+    ep: u64,
     gpu: &GpuSpec,
 ) -> LayerProfile {
     debug_assert_eq!(model.heads % n1, 0);
@@ -41,10 +45,16 @@ pub fn build_profile(
     match strategy {
         TpStrategy::OneD => {
             debug_assert_eq!(n2, 1, "1D TP uses a single tensor dimension");
-            tp1d::build(model, n1, bm, gpu)
+            tp1d::build(model, n1, bm, ep, gpu)
         }
-        TpStrategy::TwoD => tp2d::build(model, n1, n2, bm, gpu),
-        TpStrategy::Summa => summa::build(model, n1, n2, bm, nb, gpu),
+        TpStrategy::TwoD => {
+            debug_assert_eq!(ep, 1, "MoE/expert parallelism requires 1D TP");
+            tp2d::build(model, n1, n2, bm, gpu)
+        }
+        TpStrategy::Summa => {
+            debug_assert_eq!(ep, 1, "MoE/expert parallelism requires 1D TP");
+            summa::build(model, n1, n2, bm, nb, gpu)
+        }
     }
 }
 
@@ -64,9 +74,9 @@ mod tests {
         // (SUMMA with nb = 1 adds no panel overhead and no comm).
         let m = gpt3_1t().config;
         let g = gpu();
-        let a = build_profile(&m, TpStrategy::OneD, 1, 1, 1, 1, &g);
-        let b = build_profile(&m, TpStrategy::TwoD, 1, 1, 1, 1, &g);
-        let c = build_profile(&m, TpStrategy::Summa, 1, 1, 1, 1, &g);
+        let a = build_profile(&m, TpStrategy::OneD, 1, 1, 1, 1, 1, &g);
+        let b = build_profile(&m, TpStrategy::TwoD, 1, 1, 1, 1, 1, &g);
+        let c = build_profile(&m, TpStrategy::Summa, 1, 1, 1, 1, 1, &g);
         let t = a.local_time();
         assert!((b.local_time() - t).abs() / t < 1e-9);
         assert!((c.local_time() - t).abs() / t < 1e-9);
@@ -80,8 +90,8 @@ mod tests {
         // accordingly (modulo the fixed launch latencies).
         let m = gpt3_1t().config;
         let g = gpu();
-        let p1 = build_profile(&m, TpStrategy::OneD, 1, 1, 1, 1, &g);
-        let p8 = build_profile(&m, TpStrategy::OneD, 8, 1, 1, 1, &g);
+        let p1 = build_profile(&m, TpStrategy::OneD, 1, 1, 1, 1, 1, &g);
+        let p8 = build_profile(&m, TpStrategy::OneD, 8, 1, 1, 1, 1, &g);
         assert!(p8.local_time() < p1.local_time() / 4.0);
     }
 
@@ -101,8 +111,8 @@ mod tests {
                 })
                 .sum()
         };
-        let p4 = build_profile(&m, TpStrategy::OneD, 4, 1, 1, 1, &g);
-        let p16 = build_profile(&m, TpStrategy::OneD, 16, 1, 1, 1, &g);
+        let p4 = build_profile(&m, TpStrategy::OneD, 4, 1, 1, 1, 1, &g);
+        let p16 = build_profile(&m, TpStrategy::OneD, 16, 1, 1, 1, 1, &g);
         let (v4, v16) = (sum_vol(&p4), sum_vol(&p16));
         assert!((v4 - v16).abs() / v4 < 1e-12, "v4 {v4} v16 {v16}");
     }
@@ -113,8 +123,8 @@ mod tests {
         // for the long-sequence ViT (paper Q2(iv)).
         let m = vit_64k().config;
         let g = gpu();
-        let p1d = build_profile(&m, TpStrategy::OneD, 16, 1, 1, 1, &g);
-        let p2d = build_profile(&m, TpStrategy::TwoD, 4, 4, 1, 1, &g);
+        let p1d = build_profile(&m, TpStrategy::OneD, 16, 1, 1, 1, 1, &g);
+        let p2d = build_profile(&m, TpStrategy::TwoD, 4, 4, 1, 1, 1, &g);
         assert!(p1d.stored_activation_bytes > 1.5 * p2d.stored_activation_bytes);
     }
 
@@ -122,8 +132,8 @@ mod tests {
     fn summa_weights_are_fully_sharded() {
         let m = gpt3_1t().config;
         let g = gpu();
-        let p2d = build_profile(&m, TpStrategy::TwoD, 4, 4, 1, 1, &g);
-        let ps = build_profile(&m, TpStrategy::Summa, 4, 4, 1, 4, &g);
+        let p2d = build_profile(&m, TpStrategy::TwoD, 4, 4, 1, 1, 1, &g);
+        let ps = build_profile(&m, TpStrategy::Summa, 4, 4, 1, 4, 1, &g);
         assert!(
             ps.weight_bytes < p2d.weight_bytes,
             "SUMMA {} 2D {}",

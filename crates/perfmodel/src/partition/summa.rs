@@ -51,7 +51,7 @@ pub fn build(
 ) -> LayerProfile {
     let (l, e, f, h) = (model.seq_len, model.embed, model.hidden, model.heads);
     let eh = model.head_dim();
-    let mut b = LayerBuilder::new(gpu, n1, n2);
+    let mut b = LayerBuilder::new(gpu, n1, n2, 1);
 
     let v_ln = bytes_of((bm * l / n2 * e) as f64);
     let v_kv = bytes_of((bm * l * e / n1) as f64);

@@ -12,6 +12,29 @@
 //! Memory note (paper §III): the gathered `X̃`, `Ỹ` tensors are *replicated*
 //! on every GPU of the group and stored for the backward pass, which is the
 //! 1D-TP memory pressure that makes long-sequence models infeasible.
+//!
+//! # Mixture-of-Experts (workload-breadth extension)
+//!
+//! When the model carries a [`txmodel::MoeConfig`], the dense MLP is
+//! replaced by a routed expert layer over the `ep` expert-parallel GPUs
+//! (a subgroup of the data-parallel dimension, each holding `E/ep`
+//! complete expert FFNs):
+//!
+//! 1. the router gate scores the *local sequence shard* (`(b·l/nt, e) ×
+//!    (e, E)` GEMM + softmax) — no AllGather: dispatch operates on the
+//!    sequence-parallel shard, Megatron-style;
+//! 2. an **AllToAll** over the EP group moves each token (replicated
+//!    `top_k` times, padded to the capacity factor) to the GPUs hosting
+//!    its experts;
+//! 3. the local experts run as a grouped GEMM pair over their
+//!    capacity-padded token batches (expert weights are *not* `nt`-
+//!    sharded — the token count is already down by `nt` via the sequence
+//!    shard);
+//! 4. a second AllToAll returns expert outputs to token order.
+//!
+//! Both AllToAlls are their own conjugates in the backward pass (the
+//! transpose of a distributed transpose), so the backward replays them at
+//! equal volume.
 
 use super::common::{bytes_of, LayerBuilder};
 use crate::plan::{LayerProfile, TpGroup};
@@ -19,11 +42,12 @@ use collectives::Collective;
 use systems::GpuSpec;
 use txmodel::{TransformerConfig, VectorOpKind};
 
-/// Builds the 1D TP layer profile for microbatch size `bm` on `nt` GPUs.
-pub fn build(model: &TransformerConfig, nt: u64, bm: u64, gpu: &GpuSpec) -> LayerProfile {
+/// Builds the 1D TP layer profile for microbatch size `bm` on `nt` GPUs,
+/// with expert layers (if any) sharded over `ep` expert-parallel GPUs.
+pub fn build(model: &TransformerConfig, nt: u64, bm: u64, ep: u64, gpu: &GpuSpec) -> LayerProfile {
     let (l, e, f, h) = (model.seq_len, model.embed, model.hidden, model.heads);
     let eh = model.head_dim();
-    let mut b = LayerBuilder::new(gpu, nt, 1);
+    let mut b = LayerBuilder::new(gpu, nt, 1, ep);
 
     // Full (b, l, e) tensor bytes: the Table I collective volume.
     let v_ble = bytes_of((bm * l * e) as f64);
@@ -43,33 +67,81 @@ pub fn build(model: &TransformerConfig, nt: u64, bm: u64, gpu: &GpuSpec) -> Laye
     // Residual add on the shard.
     b.vector(VectorOpKind::Add, shard_elems);
 
-    // ---- MLP block ----
+    // ---- MLP / MoE block ----
     b.vector(VectorOpKind::LayerNorm, shard_elems);
-    b.collective_pair(Collective::AllGather, v_ble, TpGroup::N1);
-    b.gemm(bm * l, e, f / nt);
-    b.vector(VectorOpKind::Gelu, (bm * l * f / nt) as f64);
-    b.gemm(bm * l, f / nt, e);
-    b.collective_pair(Collective::ReduceScatter, v_ble, TpGroup::N1);
+    // Extra stored activations and weight params of the MLP variant.
+    let (mlp_stored_bytes, mlp_params, expert_params);
+    match model.moe {
+        None => {
+            b.collective_pair(Collective::AllGather, v_ble, TpGroup::N1);
+            b.gemm(bm * l, e, f / nt);
+            b.vector(VectorOpKind::Gelu, (bm * l * f / nt) as f64);
+            b.gemm(bm * l, f / nt, e);
+            b.collective_pair(Collective::ReduceScatter, v_ble, TpGroup::N1);
+            // Stored: the gathered Ỹ (replicated) plus Z, GeLU(Z) shards.
+            mlp_stored_bytes =
+                bytes_of((bm * l * e) as f64 + 2.0 * (bm * l * f) as f64 / nt as f64);
+            mlp_params = (2 * e * f + f) as f64 / nt as f64;
+            expert_params = 0.0;
+        }
+        Some(moe) => {
+            let shard_tokens = bm * l / nt;
+            // Router gate on the local shard + softmax over the experts.
+            b.gemm(shard_tokens, e, moe.experts);
+            b.vector(VectorOpKind::Softmax, (shard_tokens * moe.experts) as f64);
+            // AllToAll dispatch over the EP group: each GPU exchanges its
+            // top-k-replicated, capacity-padded shard. Volume follows
+            // `collective_time` semantics (total tensor = ep × per-GPU).
+            let v_disp = ep as f64 * moe.dispatch_factor() * bytes_of((shard_tokens * e) as f64);
+            b.collective_pair(Collective::AllToAll, v_disp, TpGroup::Ep);
+            // Local experts: E/ep complete FFNs, each processing its
+            // capacity-padded token batch (a grouped GEMM pair — every
+            // expert's weights stream from HBM once per pass).
+            let local_experts = moe.experts / ep;
+            let cap_tokens =
+                (moe.dispatch_factor() * shard_tokens as f64 / local_experts as f64).ceil() as u64;
+            b.batched_gemm(local_experts, cap_tokens, e, f);
+            b.vector(VectorOpKind::Gelu, (local_experts * cap_tokens * f) as f64);
+            b.batched_gemm(local_experts, cap_tokens, f, e);
+            // AllToAll combine back to token order.
+            b.collective_pair(Collective::AllToAll, v_disp, TpGroup::Ep);
+            // Stored: dispatched inputs, Z, GeLU(Z) (all capacity-padded)
+            // plus the router logits kept for the backward.
+            let cap_elems = (local_experts * cap_tokens) as f64;
+            mlp_stored_bytes = bytes_of(
+                cap_elems * e as f64
+                    + 2.0 * cap_elems * f as f64
+                    + (shard_tokens * moe.experts) as f64,
+            );
+            // Router in the dense bucket (replicated, synced over full DP);
+            // expert FFNs in the expert bucket (synced over nd/ep).
+            mlp_params = (e * moe.experts) as f64;
+            expert_params = local_experts as f64 * (2 * e * f + f + e) as f64;
+        }
+    }
     b.vector(VectorOpKind::Add, shard_elems);
 
     // ---- Stored activations (per microbatch, per layer, per GPU) ----
     // FP16 tensors — sharded: X, Y (LN inputs), Q, K, V, S (flash
-    // inputs/output), Z, GeLU(Z); replicated: the gathered X̃ and Ỹ.
-    // Plus the two residual-dropout masks (1 byte/element on the sequence
-    // shard) and the FlashAttention softmax statistics (two FP32 rows per
-    // query per head), all of which Megatron keeps for the backward pass.
+    // inputs/output); replicated: the gathered X̃ (attention) plus the
+    // MLP variant's tensors from above. Plus the two residual-dropout
+    // masks (1 byte/element on the sequence shard) and the FlashAttention
+    // softmax statistics (two FP32 rows per query per head), all of which
+    // Megatron keeps for the backward pass.
     let le = (bm * l * e) as f64;
-    let fp16 = 2.0 * le                        // X̃, Ỹ replicated (full)
+    let fp16 = le                              // X̃ replicated (full)
         + 2.0 * le / nt as f64                 // X, Y shards
-        + 4.0 * le / nt as f64                 // Q, K, V, S
-        + 2.0 * (bm * l * f) as f64 / nt as f64; // Z, GeLU(Z)
+        + 4.0 * le / nt as f64; // Q, K, V, S
     let masks = 2.0 * (bm * l / nt * e) as f64; // 1 B/elem × 2 dropouts
     let stats = 8.0 * (bm * h / nt * l) as f64; // 2 × FP32 per query-head
-    let stored = bytes_of(fp16) + masks + stats;
+    let stored = bytes_of(fp16) + mlp_stored_bytes + masks + stats;
 
     // ---- Weights per layer per GPU ----
-    // 4e² (QKV + proj) + 2ef (MLP) + biases/LN params, all sharded by nt.
-    let params = (4 * e * e + 2 * e * f + f + 5 * e) as f64 / nt as f64;
+    // 4e² (QKV + proj) + biases/LN params sharded by nt, plus the MLP
+    // variant's parameters (dense MLP sharded by nt; router replicated;
+    // expert FFNs accounted separately via the expert bucket).
+    let params = (4 * e * e + 5 * e) as f64 / nt as f64 + mlp_params;
+    b.set_expert_params(expert_params);
 
     // Pipeline boundary tensor: the residual-stream shard (b, l/nt, e).
     let boundary = bytes_of((bm * l / nt * e) as f64);
@@ -85,7 +157,17 @@ mod tests {
     use txmodel::gpt3_1t;
 
     fn profile(nt: u64, bm: u64) -> LayerProfile {
-        build(&gpt3_1t().config, nt, bm, &GpuGeneration::B200.gpu())
+        build(&gpt3_1t().config, nt, bm, 1, &GpuGeneration::B200.gpu())
+    }
+
+    fn moe_profile(nt: u64, ep: u64) -> LayerProfile {
+        build(
+            &txmodel::moe_1t().config,
+            nt,
+            1,
+            ep,
+            &GpuGeneration::B200.gpu(),
+        )
     }
 
     #[test]
@@ -183,5 +265,94 @@ mod tests {
     #[test]
     fn dp_multiplier_is_one() {
         assert_eq!(profile(8, 1).dp_group_multiplier, 1);
+    }
+
+    #[test]
+    fn dense_profiles_have_no_expert_weights() {
+        let p = profile(8, 1);
+        assert_eq!(p.expert_weight_bytes, 0.0);
+        assert_eq!(p.expert_weight_params, 0.0);
+    }
+
+    #[test]
+    fn moe_emits_two_alltoalls_per_direction_over_ep() {
+        let p = moe_profile(4, 8);
+        let a2a = |comms: &[CommPattern]| {
+            comms
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c,
+                        CommPattern::Exposed {
+                            coll: Collective::AllToAll,
+                            group: TpGroup::Ep,
+                            ..
+                        }
+                    )
+                })
+                .count()
+        };
+        assert_eq!(a2a(&p.fwd.comms), 2, "dispatch + combine");
+        assert_eq!(a2a(&p.bwd.comms), 2, "A2A is its own conjugate");
+        // ep = 1 hosts every expert locally: no AllToAll at all.
+        let local = moe_profile(4, 1);
+        assert_eq!(a2a(&local.fwd.comms), 0);
+        assert!(local.expert_weight_params > 8.0 * p.expert_weight_params * 0.99);
+    }
+
+    #[test]
+    fn moe_expert_weights_shard_with_ep_not_nt() {
+        let e1 = moe_profile(4, 1);
+        let e8 = moe_profile(4, 8);
+        assert!((e1.expert_weight_params / e8.expert_weight_params - 8.0).abs() < 1e-9);
+        // nt does not shard expert FFNs (the token count shards instead).
+        let nt8 = moe_profile(8, 8);
+        assert_eq!(nt8.expert_weight_params, e8.expert_weight_params);
+    }
+
+    #[test]
+    fn moe_dispatch_volume_scales_with_capacity() {
+        let m = txmodel::moe_1t().config;
+        let gpu = GpuGeneration::B200.gpu();
+        let vol_of = |cfg: &txmodel::TransformerConfig| -> f64 {
+            build(cfg, 4, 1, 8, &gpu)
+                .fwd
+                .comms
+                .iter()
+                .filter_map(|c| match c {
+                    CommPattern::Exposed {
+                        coll: Collective::AllToAll,
+                        volume,
+                        ..
+                    } => Some(*volume),
+                    _ => None,
+                })
+                .sum()
+        };
+        let base = vol_of(&m);
+        let mut wider = m;
+        wider.moe = Some(txmodel::MoeConfig {
+            top_k: 2,
+            ..m.moe.unwrap()
+        });
+        let doubled = vol_of(&wider);
+        assert!((doubled / base - 2.0).abs() < 1e-9, "{doubled} vs {base}");
+    }
+
+    #[test]
+    fn moe_compute_tracks_dispatch_factor_not_expert_count() {
+        // Per-GPU expert FLOPs depend on k·c (tokens processed), not on E:
+        // the sparsity that makes MoE attractive.
+        let dense_like = {
+            // A "1-expert-worth" reference: same geometry, dense MLP.
+            let mut c = txmodel::moe_1t().config;
+            c.moe = None;
+            build(&c, 4, 1, 1, &GpuGeneration::B200.gpu())
+        };
+        let moe = moe_profile(4, 8);
+        // Top-1 at capacity 1.25 → at most ~25% more MLP-side compute
+        // (plus the tiny router); attention dominates both equally.
+        let ratio = moe.fwd.time.compute / dense_like.fwd.time.compute;
+        assert!(ratio > 0.95 && ratio < 1.6, "ratio {ratio}");
     }
 }

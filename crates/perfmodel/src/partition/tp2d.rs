@@ -24,7 +24,7 @@ use txmodel::{TransformerConfig, VectorOpKind};
 pub fn build(model: &TransformerConfig, n1: u64, n2: u64, bm: u64, gpu: &GpuSpec) -> LayerProfile {
     let (l, e, f, h) = (model.seq_len, model.embed, model.hidden, model.heads);
     let eh = model.head_dim();
-    let mut b = LayerBuilder::new(gpu, n1, n2);
+    let mut b = LayerBuilder::new(gpu, n1, n2, 1);
 
     // Table II volumes: LN gathers move b·(l/n2)·e over n1; K,V gathers
     // move b·l·(e/n1) over n2.
@@ -169,7 +169,7 @@ mod tests {
         let m = gpt3_1t().config;
         let g = GpuGeneration::B200.gpu();
         let p2 = build(&m, 8, 1, 1, &g);
-        let p1 = super::super::tp1d::build(&m, 8, 1, &g);
+        let p1 = super::super::tp1d::build(&m, 8, 1, 1, &g);
         let t1 = p1.local_time();
         assert!((p2.local_time() - t1).abs() / t1 < 1e-9);
         assert_eq!(p2.fwd.comms.len(), 4); // zero-volume K/V gathers dropped

@@ -14,13 +14,17 @@ use crate::timing::OpTime;
 use collectives::Collective;
 use serde::{Deserialize, Serialize};
 
-/// Which tensor-parallel GPU group a collective runs over.
+/// Which parallel GPU group a collective runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TpGroup {
     /// The `n1` group (weights / heads / hidden partition).
     N1,
     /// The `n2` group (sequence partition).
     N2,
+    /// The expert-parallel group (`ep` GPUs inside the data-parallel
+    /// dimension sharing one copy of the expert set — MoE AllToAll
+    /// dispatch/combine runs here).
+    Ep,
 }
 
 /// A communication event in the forward or backward pass of one layer,
@@ -93,11 +97,22 @@ pub struct LayerProfile {
     /// (inputs kept for the backward pass; FlashAttention intermediates
     /// are recomputed, not stored).
     pub stored_activation_bytes: f64,
-    /// Weight bytes per layer on one GPU (FP16).
+    /// Weight bytes per layer on one GPU (FP16) for the *densely
+    /// replicated* parameters — attention, LayerNorms and (for MoE) the
+    /// router; their gradients synchronize over the full data-parallel
+    /// group.
     pub weight_bytes: f64,
     /// Weight parameters per layer on one GPU (for optimizer-state
     /// accounting at `12/nd` bytes each).
     pub weight_params: f64,
+    /// Expert FFN bytes per layer on one GPU (FP16): the `E/ep` local
+    /// experts of an MoE layer. Zero for dense models. Expert gradients
+    /// synchronize over the `nd/ep` replicas of this GPU's expert shard,
+    /// not the full DP group.
+    pub expert_weight_bytes: f64,
+    /// Expert FFN parameters per layer on one GPU (optimizer states are
+    /// ZeRO-sharded over the `nd/ep` expert replicas).
+    pub expert_weight_params: f64,
     /// Bytes of the layer's output activation shard — the tensor a
     /// pipeline stage boundary must send per microbatch.
     pub boundary_bytes: f64,

@@ -4,15 +4,17 @@
 //! Given `n` GPUs, a global batch size and a TP strategy, the search
 //! enumerates every factorization `n = n1·n2·np·nd` obeying the
 //! divisibility constraints, every microbatch size dividing the local
-//! batch, every SUMMA panel count, and — for each candidate — every
-//! maximal NVS-domain placement.
+//! batch, every SUMMA panel count, every expert-parallel degree `ep | nd`
+//! (MoE models — so `(tp, pp, dp, ep)` plus interleaving and ZeRO-3 are
+//! swept **jointly** in one space, not per-config), and — for each
+//! candidate — every maximal NVS-domain placement.
 //!
 //! Both entry points ([`optimize`] and [`sweep_partitions`]) flow through
 //! one shared evaluated-sweep path:
 //!
 //! 1. enumerate the candidates ([`enumerate_partitions`]);
 //! 2. build a [`ProfileCache`] holding **exactly one** [`LayerProfile`]
-//!    per distinct TP tuple `(strategy, n1, n2, bm, nb)` — see
+//!    per distinct TP tuple `(strategy, n1, n2, bm, nb, ep)` — see
 //!    [`crate::partition::cache`] for the key invariants — so the
 //!    `(np, nd, interleave, zero3, placement)` inner space reuses shared,
 //!    read-only profiles instead of rebuilding them per candidate;
@@ -55,6 +57,11 @@ pub struct SearchOptions {
     pub max_interleave: u64,
     /// Also try ZeRO-3 weight sharding for every candidate.
     pub allow_zero3: bool,
+    /// Largest expert-parallel degree tried for MoE models (every valid
+    /// divisor of `nd` up to this bound that also divides the expert
+    /// count; dense models always search `ep = 1` only). The default —
+    /// `u64::MAX` — sweeps the whole `(tp, pp, dp, ep)` space jointly.
+    pub max_expert_parallel: u64,
     /// AllReduce algorithm policy every candidate is priced under
     /// (see [`crate::ParallelConfig::comm_algo`]). `Auto` — the default —
     /// models NCCL's autotuner; `Ring` recovers the paper's ring-only
@@ -74,6 +81,7 @@ impl SearchOptions {
             max_microbatch: 16,
             max_interleave: 1,
             allow_zero3: false,
+            max_expert_parallel: u64::MAX,
             comm_algo: Algorithm::Auto,
         }
     }
@@ -126,28 +134,42 @@ pub fn enumerate_partitions(
                 if !b.is_multiple_of(nd) {
                     continue;
                 }
+                // Expert-parallel degrees: every divisor of nd compatible
+                // with the model's expert count (dense models: ep = 1).
+                let ep_choices: Vec<u64> = match model.moe {
+                    None => vec![1],
+                    Some(moe) => divisors(nd)
+                        .into_iter()
+                        .filter(|&ep| {
+                            ep <= opts.max_expert_parallel && moe.experts.is_multiple_of(ep)
+                        })
+                        .collect(),
+                };
                 let local_batch = b / nd;
                 for bm in divisors(local_batch) {
                     if bm > opts.max_microbatch {
                         continue;
                     }
                     for &nb in &panel_choices {
-                        for &v in &interleave_choices {
-                            for &zero3 in zero3_choices {
-                                let cfg = ParallelConfig {
-                                    strategy: opts.strategy,
-                                    n1,
-                                    n2,
-                                    np,
-                                    nd,
-                                    microbatch: bm,
-                                    summa_panels: nb,
-                                    interleave: v,
-                                    zero3,
-                                    comm_algo: opts.comm_algo,
-                                };
-                                if cfg.validate(model, b).is_ok() {
-                                    out.push(cfg);
+                        for &ep in &ep_choices {
+                            for &v in &interleave_choices {
+                                for &zero3 in zero3_choices {
+                                    let cfg = ParallelConfig {
+                                        strategy: opts.strategy,
+                                        n1,
+                                        n2,
+                                        np,
+                                        nd,
+                                        ep,
+                                        microbatch: bm,
+                                        summa_panels: nb,
+                                        interleave: v,
+                                        zero3,
+                                        comm_algo: opts.comm_algo,
+                                    };
+                                    if cfg.validate(model, b).is_ok() {
+                                        out.push(cfg);
+                                    }
                                 }
                             }
                         }
@@ -177,6 +199,7 @@ pub fn best_placement_eval(
         cfg.n2,
         cfg.microbatch,
         cfg.summa_panels,
+        cfg.ep,
         &sys.gpu,
     );
     best_placement_eval_with_profile(&profile, model, cfg, global_batch, sys)
@@ -511,6 +534,93 @@ mod tests {
         assert_ne!(tuple(&auto), tuple(&ring), "optimum should move");
         assert_eq!(tuple(&ring), (8, 1, 512, 2));
         assert_eq!(tuple(&auto), (16, 1, 256, 4));
+    }
+
+    #[test]
+    fn moe_enumeration_respects_expert_divisibility() {
+        let model = txmodel::moe_1t().config; // 64 experts
+        let opts = SearchOptions::new(256, 4096, TpStrategy::OneD);
+        let parts = enumerate_partitions(&model, &opts);
+        assert!(!parts.is_empty());
+        let mut eps = std::collections::HashSet::new();
+        for p in &parts {
+            assert_eq!(p.nd % p.ep, 0, "{p}");
+            assert_eq!(64 % p.ep, 0, "{p}");
+            eps.insert(p.ep);
+        }
+        // The joint sweep really explores the ep dimension.
+        assert!(eps.len() > 2, "only {eps:?}");
+        // Dense models never leave ep = 1.
+        let dense = enumerate_partitions(&gpt3_1t().config, &opts);
+        assert!(dense.iter().all(|p| p.ep == 1));
+    }
+
+    #[test]
+    fn moe_optimum_selects_expert_parallelism() {
+        // The acceptance experiment: on MoE-1T @ 512 B200 (batch 4096)
+        // the jointly-searched (tp, pp, dp, ep) optimum lands on a
+        // nontrivial ep > 1 placement — expert weights are sharded
+        // rather than replicated, and the expert-gradient sync shrinks to
+        // the nd/ep replica group (pinned: n1=1, np=8, nd=64, ep=8).
+        let model = txmodel::moe_1t().config;
+        let sys = b200_nvs8();
+        let best = optimize(
+            &model,
+            &sys,
+            &SearchOptions::new(512, 4096, TpStrategy::OneD),
+        )
+        .expect("512 B200s can train MoE-1T");
+        assert!(best.config.ep > 1, "got {}", best.config);
+        assert_eq!(
+            (
+                best.config.n1,
+                best.config.np,
+                best.config.nd,
+                best.config.ep
+            ),
+            (1, 8, 64, 8),
+            "got {}",
+            best.config
+        );
+    }
+
+    #[test]
+    fn expert_parallelism_beats_pinned_ep1() {
+        // Ablation: restricting the sweep to ep = 1 (experts fully
+        // replicated per DP rank) must cost real iteration time — the
+        // MoE-1T expert set alone is ~2.2 TB of FP16 weights.
+        let model = txmodel::moe_1t().config;
+        let sys = b200_nvs8();
+        let joint = SearchOptions::new(512, 4096, TpStrategy::OneD);
+        let mut pinned = joint;
+        pinned.max_expert_parallel = 1;
+        let best = optimize(&model, &sys, &joint).unwrap();
+        let no_ep = optimize(&model, &sys, &pinned).unwrap();
+        assert!(
+            best.iteration_time < 0.5 * no_ep.iteration_time,
+            "joint {} vs ep=1 {}",
+            best.iteration_time,
+            no_ep.iteration_time
+        );
+    }
+
+    #[test]
+    fn moe_search_reuses_profiles_like_dense() {
+        // Search-cost guard: the ProfileCache still collapses the
+        // (np, nd, interleave, zero3, placement) inner space — the
+        // distinct-profile count is bounded by (n1 choices) × (bm
+        // choices) × (ep choices), orders of magnitude below the
+        // candidate count.
+        let model = txmodel::moe_1t().config;
+        let opts = SearchOptions::new(512, 4096, TpStrategy::OneD);
+        let parts = enumerate_partitions(&model, &opts);
+        let cache = ProfileCache::build(&model, &b200_nvs8().gpu, &parts);
+        assert!(
+            cache.len() * 4 < parts.len(),
+            "{} profiles for {} candidates",
+            cache.len(),
+            parts.len()
+        );
     }
 
     #[test]

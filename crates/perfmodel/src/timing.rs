@@ -9,7 +9,7 @@
 //! where `λfh` is the tensor-core rate for GEMMs and the vector rate for
 //! everything else, `λmh` the HBM bandwidth and `t_sf` the fixed FLOPs
 //! latency that models small-matrix inefficiency to first order (paper
-//! Appendix, after [55]).
+//! Appendix, after ref. \[55\]).
 //!
 //! For breakdown purposes the time is split into a *compute* part
 //! (`t_sf + λf/λfh`) and a *memory-excess* part

@@ -8,10 +8,11 @@
 //! collective can drive.
 //!
 //! Everything here is plain data; the time formulas live in the
-//! `collectives` and `perfmodel` crates. Keeping the data separate makes the
-//! co-design sweeps of Figs. A5/A6 (scaling FLOP rate, capacity and
-//! bandwidth independently) trivial: they are ordinary struct updates via
-//! [`SystemBuilder`].
+//! `collectives` and `perfmodel` crates, and the `netsim` discrete-event
+//! simulator lowers the same [`NetworkSpec`] numbers into link
+//! topologies. Keeping the data separate makes the co-design sweeps of
+//! Figs. A5/A6 (scaling FLOP rate, capacity and bandwidth independently)
+//! trivial: they are ordinary struct updates via [`SystemBuilder`].
 
 mod builder;
 mod catalog;

@@ -19,6 +19,15 @@
 //! The headline experiment ([`compare`]) runs the analytic model and the
 //! simulator on the same configuration and reports the relative error —
 //! the same quantity the paper's validation section tabulates.
+//!
+//! The simulator executes the *non-interleaved, ZeRO-1* 1F1B schedule;
+//! configurations outside that envelope (interleaved virtual stages,
+//! ZeRO-3 weight sharding — both part of the joint S3 search space)
+//! return a typed [`UnsupportedConfig`] error instead of aborting, so
+//! sweeping cross-checks skip them. MoE configurations are fully
+//! supported: stage times price the expert AllToAlls through the same
+//! shared `stage_times`/`dp_sync_time` helpers as the analytic model, so
+//! the two can never silently diverge.
 
 mod report;
 mod schedule;
@@ -26,7 +35,7 @@ mod sim;
 
 pub use report::{compare, ValidationRow};
 pub use schedule::{stage_schedule, WorkItem};
-pub use sim::{simulate_iteration, IterationReport, SimParams};
+pub use sim::{simulate_iteration, IterationReport, SimParams, UnsupportedConfig};
 
 #[cfg(test)]
 mod serde_roundtrip {

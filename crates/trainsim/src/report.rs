@@ -1,6 +1,6 @@
 //! Analytic-vs-simulated comparison rows (the §IV validation table).
 
-use crate::sim::{simulate_iteration, SimParams};
+use crate::sim::{simulate_iteration, SimParams, UnsupportedConfig};
 use perfmodel::{evaluate, ParallelConfig, Placement};
 use serde::{Deserialize, Serialize};
 use systems::SystemSpec;
@@ -28,7 +28,9 @@ impl ValidationRow {
     }
 }
 
-/// Runs both models on one configuration.
+/// Runs both models on one configuration. Configurations the simulator
+/// cannot model (see [`UnsupportedConfig`]) are reported as a typed
+/// error so sweeping callers can skip them.
 pub fn compare(
     label: impl Into<String>,
     model: &TransformerConfig,
@@ -37,15 +39,15 @@ pub fn compare(
     global_batch: u64,
     sys: &SystemSpec,
     params: &SimParams,
-) -> ValidationRow {
+) -> Result<ValidationRow, UnsupportedConfig> {
     let ana = evaluate(model, cfg, placement, global_batch, sys);
-    let sim = simulate_iteration(model, cfg, placement, global_batch, sys, params);
-    ValidationRow {
+    let sim = simulate_iteration(model, cfg, placement, global_batch, sys, params)?;
+    Ok(ValidationRow {
         label: label.into(),
         config: *cfg,
         analytic: ana.iteration_time,
         simulated: sim.iteration_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -80,7 +82,8 @@ mod tests {
             1024,
             &perlmutter_sys(),
             &SimParams::default(),
-        );
+        )
+        .unwrap();
         assert!(row.rel_err() < 0.15, "error {:.3}", row.rel_err());
     }
 
@@ -105,7 +108,7 @@ mod tests {
             .iter()
             .map(|c| {
                 let pl = if c.n1 >= 4 { pl4 } else { Placement::trivial() };
-                compare("sub", &model, c, &pl, 1024, &sys, &SimParams::default())
+                compare("sub", &model, c, &pl, 1024, &sys, &SimParams::default()).unwrap()
             })
             .collect();
         // Sort by analytic prediction; simulated times must be sorted too
@@ -146,7 +149,8 @@ mod tests {
             1024,
             &perlmutter_sys(),
             &SimParams::default(),
-        );
+        )
+        .unwrap();
         assert!(row.rel_err() < 0.15, "error {:.3}", row.rel_err());
     }
 

@@ -56,6 +56,44 @@ impl SimParams {
     }
 }
 
+/// A configuration the schedule simulator cannot model (the analytic
+/// model can): the caller should *skip* the cross-check, not crash.
+///
+/// The joint S3 search sweeps interleaving and ZeRO-3 alongside the rest
+/// of the space; when its candidates are cross-validated against this
+/// simulator, unsupported corners surface as this typed error (they were
+/// hard `assert!`s before, which aborted whole sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnsupportedConfig {
+    /// `interleave > 1`: trainsim executes the plain 1F1B order only.
+    Interleaved {
+        /// The configuration's virtual-stage count.
+        interleave: u64,
+    },
+    /// ZeRO-3 weight sharding: per-microbatch weight gathers are not in
+    /// the simulated schedule.
+    Zero3,
+}
+
+impl std::fmt::Display for UnsupportedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnsupportedConfig::Interleaved { interleave } => write!(
+                f,
+                "trainsim models the non-interleaved 1F1B schedule only \
+                 (configuration interleaves {interleave} virtual stages)"
+            ),
+            UnsupportedConfig::Zero3 => write!(
+                f,
+                "trainsim models the baseline ZeRO-1 optimizer sharding only \
+                 (configuration enables ZeRO-3)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnsupportedConfig {}
+
 /// Outcome of one simulated iteration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationReport {
@@ -72,8 +110,11 @@ pub struct IterationReport {
 
 /// Simulates one training iteration of `cfg` on `sys`.
 ///
-/// Panics on invalid configurations (validate first, as with
-/// [`perfmodel::evaluate`]).
+/// Returns [`UnsupportedConfig`] for schedule features the simulator
+/// does not model (interleaved pipelines, ZeRO-3) so joint-search
+/// cross-checks can skip those candidates; panics on configurations that
+/// are outright *invalid* (validate first, as with
+/// [`perfmodel::evaluate()`]).
 pub fn simulate_iteration(
     model: &TransformerConfig,
     cfg: &ParallelConfig,
@@ -81,17 +122,17 @@ pub fn simulate_iteration(
     global_batch: u64,
     sys: &SystemSpec,
     params: &SimParams,
-) -> IterationReport {
+) -> Result<IterationReport, UnsupportedConfig> {
     cfg.validate(model, global_batch)
         .expect("invalid configuration");
-    assert_eq!(
-        cfg.interleave, 1,
-        "trainsim models the non-interleaved 1F1B schedule only"
-    );
-    assert!(
-        !cfg.zero3,
-        "trainsim models the baseline ZeRO-1 optimizer sharding only"
-    );
+    if cfg.interleave > 1 {
+        return Err(UnsupportedConfig::Interleaved {
+            interleave: cfg.interleave,
+        });
+    }
+    if cfg.zero3 {
+        return Err(UnsupportedConfig::Zero3);
+    }
     let np = cfg.np as usize;
     let m = cfg.num_microbatches(global_batch) as usize;
     assert!(m >= 1, "at least one microbatch required");
@@ -103,6 +144,7 @@ pub fn simulate_iteration(
         cfg.n2,
         cfg.microbatch,
         cfg.summa_panels,
+        cfg.ep,
         &sys.gpu,
     );
     let (tf, tb) = stage_times(&profile, model, cfg, placement, sys);
@@ -212,7 +254,7 @@ pub fn simulate_iteration(
     let total_stage_seconds = span * np as f64;
     let busy_sum: f64 = busy.iter().sum();
 
-    IterationReport {
+    Ok(IterationReport {
         iteration_time,
         stage_busy: busy,
         bubble_fraction: if total_stage_seconds > 0.0 {
@@ -221,7 +263,7 @@ pub fn simulate_iteration(
             0.0
         },
         items_executed: executed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -252,7 +294,7 @@ mod tests {
     #[test]
     fn executes_every_item() {
         let (model, cfg, pl) = cfg_175b();
-        let r = simulate_iteration(&model, &cfg, &pl, 1024, &sys(), &SimParams::ideal());
+        let r = simulate_iteration(&model, &cfg, &pl, 1024, &sys(), &SimParams::ideal()).unwrap();
         // m = 128, np = 16 → 2·128·16 items.
         assert_eq!(r.items_executed, 2 * 128 * 16);
         assert!(r.iteration_time > 0.0);
@@ -271,7 +313,7 @@ mod tests {
             vd: 1,
         };
         let s = sys();
-        let sim = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal());
+        let sim = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal()).unwrap();
         let ana = perfmodel::evaluate(&model, &cfg, &pl, 1024, &s);
         let err = (sim.iteration_time - ana.iteration_time).abs() / ana.iteration_time;
         assert!(err < 1e-9, "err {err}");
@@ -284,7 +326,7 @@ mod tests {
         // agreement within a few percent.
         let (model, cfg, pl) = cfg_175b();
         let s = sys();
-        let sim = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal());
+        let sim = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal()).unwrap();
         let ana = perfmodel::evaluate(&model, &cfg, &pl, 1024, &s);
         let err = (sim.iteration_time - ana.iteration_time).abs() / ana.iteration_time;
         assert!(err < 0.08, "err {err}");
@@ -293,7 +335,7 @@ mod tests {
     #[test]
     fn bubble_emerges_with_pipelining() {
         let (model, cfg, pl) = cfg_175b();
-        let r = simulate_iteration(&model, &cfg, &pl, 1024, &sys(), &SimParams::ideal());
+        let r = simulate_iteration(&model, &cfg, &pl, 1024, &sys(), &SimParams::ideal()).unwrap();
         // (np−1)/(m+np−1) ≈ 15/143 ≈ 10%.
         assert!(
             r.bubble_fraction > 0.05 && r.bubble_fraction < 0.2,
@@ -306,8 +348,8 @@ mod tests {
     fn jitter_and_overhead_slow_things_down() {
         let (model, cfg, pl) = cfg_175b();
         let s = sys();
-        let ideal = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal());
-        let real = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::default());
+        let ideal = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal()).unwrap();
+        let real = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::default()).unwrap();
         assert!(real.iteration_time > ideal.iteration_time);
         // ...but not catastrophically (< 30% for these settings).
         assert!(real.iteration_time < 1.3 * ideal.iteration_time);
@@ -317,8 +359,8 @@ mod tests {
     fn deterministic_given_seed() {
         let (model, cfg, pl) = cfg_175b();
         let s = sys();
-        let a = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::default());
-        let b = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::default());
+        let a = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::default()).unwrap();
+        let b = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::default()).unwrap();
         assert_eq!(a, b);
         let c = simulate_iteration(
             &model,
@@ -330,21 +372,44 @@ mod tests {
                 seed: 7,
                 ..SimParams::default()
             },
-        );
+        )
+        .unwrap();
         assert_ne!(a.iteration_time, c.iteration_time);
+    }
+
+    #[test]
+    fn unsupported_configs_return_typed_errors_not_panics() {
+        let (model, cfg, pl) = cfg_175b();
+        let s = sys();
+        let interleaved = ParallelConfig {
+            interleave: 2,
+            ..cfg
+        };
+        assert_eq!(
+            simulate_iteration(&model, &interleaved, &pl, 1024, &s, &SimParams::ideal()),
+            Err(UnsupportedConfig::Interleaved { interleave: 2 })
+        );
+        let zero3 = ParallelConfig { zero3: true, ..cfg };
+        assert_eq!(
+            simulate_iteration(&model, &zero3, &pl, 1024, &s, &SimParams::ideal()),
+            Err(UnsupportedConfig::Zero3)
+        );
+        // The error is a real std error with a skippable message.
+        let e = UnsupportedConfig::Interleaved { interleave: 4 };
+        assert!(e.to_string().contains("1F1B"));
     }
 
     #[test]
     fn straggler_stage_slows_the_whole_pipeline() {
         let (model, cfg, pl) = cfg_175b();
         let s = sys();
-        let base = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal());
+        let base = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal()).unwrap();
         let params = SimParams {
             straggler_stage: Some(7),
             straggler_factor: 1.5,
             ..SimParams::ideal()
         };
-        let slow = simulate_iteration(&model, &cfg, &pl, 1024, &s, &params);
+        let slow = simulate_iteration(&model, &cfg, &pl, 1024, &s, &params).unwrap();
         // The steady-state rate is set by the slowest stage: a 1.5×
         // straggler inflates the iteration by roughly 1.5× (minus bubble
         // edges), and every *other* stage now idles more.
@@ -357,20 +422,20 @@ mod tests {
     fn straggler_factor_below_one_is_clamped() {
         let (model, cfg, pl) = cfg_175b();
         let s = sys();
-        let base = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal());
+        let base = simulate_iteration(&model, &cfg, &pl, 1024, &s, &SimParams::ideal()).unwrap();
         let params = SimParams {
             straggler_stage: Some(0),
             straggler_factor: 0.5,
             ..SimParams::ideal()
         };
-        let same = simulate_iteration(&model, &cfg, &pl, 1024, &s, &params);
+        let same = simulate_iteration(&model, &cfg, &pl, 1024, &s, &params).unwrap();
         assert!((same.iteration_time - base.iteration_time).abs() < 1e-12);
     }
 
     #[test]
     fn stage_busy_is_balanced_for_uniform_layers() {
         let (model, cfg, pl) = cfg_175b();
-        let r = simulate_iteration(&model, &cfg, &pl, 1024, &sys(), &SimParams::ideal());
+        let r = simulate_iteration(&model, &cfg, &pl, 1024, &sys(), &SimParams::ideal()).unwrap();
         let max = r.stage_busy.iter().cloned().fold(0.0, f64::max);
         let min = r.stage_busy.iter().cloned().fold(f64::MAX, f64::min);
         assert!((max - min) / max < 1e-9);

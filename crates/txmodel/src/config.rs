@@ -2,13 +2,51 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Sparsely-activated (Mixture-of-Experts) block parameters.
+///
+/// When present, the dense MLP of every block is replaced by `experts`
+/// independent expert FFNs behind a learned router: each token is
+/// dispatched to its `top_k` highest-scoring experts, and every expert
+/// processes at most `capacity_factor · top_k · tokens / experts` tokens
+/// (the Switch/GLaM capacity discipline — overflowing tokens are dropped,
+/// underfull slots are padded, so compute and communication are priced at
+/// the capacity, not the ideal load).
+///
+/// The capacity factor is stored in percent (`125` = 1.25×) so the
+/// configuration stays `Eq + Hash` (it keys profile caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MoeConfig {
+    /// Number of experts `E` per MoE layer.
+    pub experts: u64,
+    /// Experts each token is routed to (1 = Switch, 2 = GLaM).
+    pub top_k: u64,
+    /// Capacity factor in percent: 125 means each expert is provisioned
+    /// for 1.25× its ideal share of the dispatched tokens.
+    pub capacity_pct: u64,
+}
+
+impl MoeConfig {
+    /// Capacity factor as a fraction (`capacity_pct / 100`).
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_pct as f64 / 100.0
+    }
+
+    /// Average dispatched copies per token: `top_k · capacity_factor`.
+    /// Expert compute and AllToAll volumes scale by this factor relative
+    /// to a dense MLP over the same tokens.
+    pub fn dispatch_factor(&self) -> f64 {
+        self.top_k as f64 * self.capacity_factor()
+    }
+}
+
 /// Transformer architecture hyperparameters (paper §III notation).
 ///
 /// The transformer processes an input `X ∈ R^{b×l×e}` through `depth`
 /// repeated blocks of self-attention (S/A) and MLP, each preceded by a
 /// LayerNorm. `hidden` is the MLP hidden dimension `f` (typically `4e`);
 /// `heads` is the attention head count `h`, with head dimension
-/// `e_h = e/h`.
+/// `e_h = e/h`. An optional [`MoeConfig`] turns the MLP of every block
+/// into a sparsely-activated expert layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TransformerConfig {
     /// Sequence length `l` (tokens or image patches).
@@ -25,6 +63,10 @@ pub struct TransformerConfig {
     /// with `O(l·e_h²)` cost per head instead of `O(l²·e_h)` (paper Outlook
     /// extension; all presets default to false).
     pub linear_attention: bool,
+    /// Mixture-of-Experts parameters; `None` is a dense transformer
+    /// (every paper preset). `Some` replaces each block's MLP with a
+    /// routed expert layer (workload-breadth extension beyond the paper).
+    pub moe: Option<MoeConfig>,
 }
 
 impl TransformerConfig {
@@ -49,7 +91,38 @@ impl TransformerConfig {
             heads,
             depth,
             linear_attention: false,
+            moe: None,
         }
+    }
+
+    /// Builder-style MoE upgrade: replaces every block's dense MLP with
+    /// `experts` expert FFNs routed top-`top_k` at `capacity_pct`%
+    /// capacity.
+    ///
+    /// # Panics
+    /// Panics if `experts < 2`, `top_k` is 0 or exceeds `experts`, or the
+    /// capacity factor is below 100%.
+    pub fn with_moe(mut self, experts: u64, top_k: u64, capacity_pct: u64) -> Self {
+        assert!(experts >= 2, "an MoE layer needs at least 2 experts");
+        assert!(
+            top_k >= 1 && top_k <= experts,
+            "top_k ({top_k}) must be in 1..=experts ({experts})"
+        );
+        assert!(
+            capacity_pct >= 100,
+            "capacity factor below 1.0 would drop tokens structurally"
+        );
+        self.moe = Some(MoeConfig {
+            experts,
+            top_k,
+            capacity_pct,
+        });
+        self
+    }
+
+    /// True for sparsely-activated (MoE) configurations.
+    pub fn is_moe(&self) -> bool {
+        self.moe.is_some()
     }
 
     /// Head dimension `e_h = e/h`.
@@ -57,18 +130,37 @@ impl TransformerConfig {
         self.embed / self.heads
     }
 
+    /// Parameters of one expert FFN (or of the dense MLP when `E = 1`):
+    /// `W_1 ∈ R^{e×f}`, `W_2 ∈ R^{f×e}` plus the two biases.
+    fn mlp_expert_params(&self) -> u64 {
+        2 * self.embed * self.hidden + self.hidden + self.embed
+    }
+
     /// Learnable parameters in one transformer block.
     ///
     /// S/A: `W_Q, W_K, W_V, W_p ∈ R^{e×e}` → `4e²`; MLP: `W_1 ∈ R^{e×f}`,
     /// `W_2 ∈ R^{f×e}` → `2ef`; biases and LN scales: `2f + 4e` (b1, b2 and
     /// two LN (γ,β) pairs) — the paper's `12e²` per block for `f = 4e`, to
-    /// leading order.
+    /// leading order. MoE blocks replace the single MLP with `E` expert
+    /// FFNs plus an `e×E` router gate.
     pub fn params_per_block(&self) -> u64 {
-        4 * self.embed * self.embed
-            + 2 * self.embed * self.hidden
-            + self.hidden
-            + self.embed
-            + 4 * self.embed
+        let mlp = match self.moe {
+            Some(m) => m.experts * self.mlp_expert_params() + self.embed * m.experts,
+            None => self.mlp_expert_params(),
+        };
+        4 * self.embed * self.embed + mlp + 4 * self.embed
+    }
+
+    /// Parameters of one block that every token actually touches: all of
+    /// them for a dense block; attention + router + `top_k` expert FFNs
+    /// for an MoE block. This is the count the forward-FLOP estimate uses
+    /// — MoE decouples it from [`Self::params_per_block`].
+    pub fn activated_params_per_block(&self) -> u64 {
+        let mlp = match self.moe {
+            Some(m) => m.top_k * self.mlp_expert_params() + self.embed * m.experts,
+            None => self.mlp_expert_params(),
+        };
+        4 * self.embed * self.embed + mlp + 4 * self.embed
     }
 
     /// Total learnable parameters across all blocks.
@@ -81,13 +173,15 @@ impl TransformerConfig {
     }
 
     /// Leading-order forward FLOPs for one sample (all blocks):
-    /// `2·P·l` for the weight matmuls plus `4·l²·e` per block for the
-    /// logit/attend pair (or the linear-attention equivalent).
+    /// `2·P_act·l` for the weight matmuls (activated parameters only —
+    /// for MoE, `P_act ≪ P`) plus `4·l²·e` per block for the logit/attend
+    /// pair (or the linear-attention equivalent).
     ///
     /// This is the coarse "6N" style estimate used only for sanity checks;
     /// the performance model counts every operation exactly.
     pub fn approx_forward_flops_per_sample(&self) -> f64 {
-        let weights = 2.0 * self.total_params() as f64 * self.seq_len as f64;
+        let weights =
+            2.0 * (self.depth * self.activated_params_per_block()) as f64 * self.seq_len as f64;
         let attn_per_block = if self.linear_attention {
             // Two l×e_h×e_h GEMM chains per head: 4·l·e_h²·h = 4·l·e_h·e.
             4.0 * self.seq_len as f64 * self.head_dim() as f64 * self.embed as f64
@@ -172,5 +266,56 @@ mod tests {
         v.linear_attention = true;
         let lin = v.approx_forward_flops_per_sample();
         assert!(lin < quad);
+    }
+
+    fn moe() -> TransformerConfig {
+        TransformerConfig::new(2048, 8192, 4 * 8192, 64, 32).with_moe(64, 1, 125)
+    }
+
+    #[test]
+    fn moe_total_params_scale_with_experts_but_activated_do_not() {
+        let dense = TransformerConfig::new(2048, 8192, 4 * 8192, 64, 32);
+        let m = moe();
+        // 64 experts ≈ 64× the MLP parameters...
+        assert!(m.total_params() > 30 * dense.total_params());
+        // ...but a top-1 router activates roughly the dense count.
+        let act = m.depth * m.activated_params_per_block();
+        let ratio = act as f64 / dense.total_params() as f64;
+        assert!(ratio > 0.95 && ratio < 1.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn moe_forward_flops_track_activated_params() {
+        let dense = TransformerConfig::new(2048, 8192, 4 * 8192, 64, 32);
+        let m = moe();
+        let ratio = m.approx_forward_flops_per_sample() / dense.approx_forward_flops_per_sample();
+        // Top-1 routing: ~same FLOPs as dense despite 64× the weights
+        // (the router gate adds a small e·E term).
+        assert!(ratio > 0.95 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn moe_capacity_and_dispatch_factors() {
+        let m = moe().moe.unwrap();
+        assert!((m.capacity_factor() - 1.25).abs() < 1e-12);
+        assert!((m.dispatch_factor() - 1.25).abs() < 1e-12);
+        let glam = MoeConfig {
+            experts: 64,
+            top_k: 2,
+            capacity_pct: 100,
+        };
+        assert!((glam.dispatch_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn moe_top_k_must_not_exceed_experts() {
+        let _ = TransformerConfig::new(128, 256, 1024, 4, 2).with_moe(4, 5, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn moe_capacity_below_one_panics() {
+        let _ = TransformerConfig::new(128, 256, 1024, 4, 2).with_moe(4, 1, 50);
     }
 }

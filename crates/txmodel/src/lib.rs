@@ -1,23 +1,32 @@
 //! Transformer architecture description and FLOP/byte census primitives.
 //!
 //! This crate models the *workload* side of the paper's performance model:
-//! the transformer block (self-attention + MLP, paper §III), the two model
-//! classes studied (GPT3-1T and the long-sequence scientific ViT), and the
-//! first-principles operation census — FLOPs and HBM bytes for the matrix
+//! the transformer block (self-attention + MLP, paper §III), the model
+//! classes studied — dense LLMs ([`gpt3_1t`], [`gpt3_175b`]), long-sequence
+//! scientific ViTs ([`vit_64k`], [`vit_32k`], the [`vit_multimodal`]
+//! image+text variant) and sparsely-activated Mixture-of-Experts models
+//! ([`moe_1t`], [`gpt3_175b_moe`], via [`MoeConfig`]) — and the
+//! first-principles operation census: FLOPs and HBM bytes for the matrix
 //! multiply primitive and the simpler vector operations (paper stage S1).
 //!
-//! Partitioning these operations across GPUs (tensor/pipeline/data
-//! parallelism) lives in the `perfmodel` crate; this crate is strategy
-//! agnostic.
+//! MoE configurations describe the router (an `e×E` gate), top-`k`
+//! dispatch and the Switch/GLaM capacity-factor discipline; how those
+//! tokens are sharded across GPUs (tensor/pipeline/data/**expert**
+//! parallelism) lives in the `perfmodel` crate — this crate stays
+//! strategy agnostic. [`TrainingWorkload`] converts per-iteration times
+//! into full-run wall-clock days (paper Fig. 5).
 
 mod config;
 mod ops;
 mod presets;
 mod workload;
 
-pub use config::TransformerConfig;
+pub use config::{MoeConfig, TransformerConfig};
 pub use ops::{gemm, vector_op, MatmulShape, OpCost, VectorOpKind, BYTES_PER_ELEM};
-pub use presets::{gpt3_175b, gpt3_1t, vit_32k, vit_64k, vit_64k_linear_attention, Preset};
+pub use presets::{
+    gpt3_175b, gpt3_175b_moe, gpt3_1t, moe_1t, vit_32k, vit_64k, vit_64k_linear_attention,
+    vit_multimodal, Preset,
+};
 pub use workload::{TrainingWorkload, ERA5_SAMPLES_PER_YEAR};
 
 #[cfg(test)]
@@ -36,6 +45,24 @@ mod serde_roundtrip {
         let json = serde_json::to_string(&workload).unwrap();
         let back: TrainingWorkload = serde_json::from_str(&json).unwrap();
         assert_eq!(back, workload);
+    }
+
+    #[test]
+    fn moe_config_survives_json() {
+        // The Option<MoeConfig> field must round-trip both ways: None
+        // (dense presets) and Some (MoE presets).
+        let dense = gpt3_175b().config;
+        let back: TransformerConfig =
+            serde_json::from_str(&serde_json::to_string(&dense).unwrap()).unwrap();
+        assert_eq!(back, dense);
+        assert!(back.moe.is_none());
+
+        let moe = moe_1t().config;
+        let back: TransformerConfig =
+            serde_json::from_str(&serde_json::to_string(&moe).unwrap()).unwrap();
+        assert_eq!(back, moe);
+        assert_eq!(back.moe, moe.moe);
+        assert_eq!(back.total_params(), moe.total_params());
     }
 
     #[test]

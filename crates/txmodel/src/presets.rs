@@ -59,6 +59,45 @@ pub fn vit_64k_linear_attention() -> Preset {
     }
 }
 
+/// MoE-1T: a Switch-Transformer-style sparsely-activated trillion-
+/// parameter model (workload-breadth extension; the paper studies dense
+/// models only). `(l, e, f, h, d) = (2048, 8192, 32768, 64, 32)` with 64
+/// experts per block, top-1 routing and a 1.25 capacity factor — the
+/// Switch-C recipe scaled so the expert FFNs alone hold ~1.1T parameters
+/// while each token activates only ~26B.
+pub fn moe_1t() -> Preset {
+    Preset {
+        name: "MoE-1T",
+        config: TransformerConfig::new(2048, 8192, 4 * 8192, 64, 32).with_moe(64, 1, 125),
+    }
+}
+
+/// GLaM-style MoE variant of GPT3-175B: the same block geometry as
+/// [`gpt3_175b`] with every MLP widened to 8 experts under top-2 routing
+/// (capacity 1.25). Total parameters grow to ~1T while per-token compute
+/// roughly doubles (two experts per token) — the sparsely-activated
+/// counterpart used to study expert parallelism against the dense
+/// baseline.
+pub fn gpt3_175b_moe() -> Preset {
+    Preset {
+        name: "GPT3-175B-MoE8",
+        config: TransformerConfig::new(2048, 12288, 4 * 12288, 96, 96).with_moe(8, 2, 125),
+    }
+}
+
+/// Multimodal scientific ViT: ERA5 imagery fused with a text/metadata
+/// stream in one joint sequence — 16384 image patches (a 128×128 patch
+/// grid, e.g. patch size ~6 on the 720×1440 ERA5 grid) plus 2048 text
+/// tokens = 18432 tokens. Same block architecture as [`vit_64k`]; the
+/// power-of-two-friendly sequence length gives the partitioning search
+/// many more valid `(n1, n2)` factorizations than the 64800-token ViT.
+pub fn vit_multimodal() -> Preset {
+    Preset {
+        name: "ViT-MM-18K",
+        config: TransformerConfig::new(16384 + 2048, 12288, 4 * 12288, 64, 48),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +123,9 @@ mod tests {
             gpt3_175b().name,
             vit_32k().name,
             vit_64k_linear_attention().name,
+            moe_1t().name,
+            gpt3_175b_moe().name,
+            vit_multimodal().name,
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
@@ -93,5 +135,39 @@ mod tests {
     fn linear_attention_preset_flags_config() {
         assert!(vit_64k_linear_attention().config.linear_attention);
         assert!(!vit_64k().config.linear_attention);
+    }
+
+    #[test]
+    fn moe_1t_holds_a_trillion_params_sparsely() {
+        let c = moe_1t().config;
+        let p = c.total_params() as f64;
+        assert!(p > 0.95e12 && p < 1.25e12, "got {p:e}");
+        // Top-1 routing: activated parameters are ~E× smaller.
+        let act = (c.depth * c.activated_params_per_block()) as f64;
+        assert!(act < p / 30.0, "activated {act:e} vs total {p:e}");
+    }
+
+    #[test]
+    fn gpt3_175b_moe_matches_dense_geometry() {
+        let dense = gpt3_175b().config;
+        let moe = gpt3_175b_moe().config;
+        assert_eq!(moe.embed, dense.embed);
+        assert_eq!(moe.depth, dense.depth);
+        let m = moe.moe.unwrap();
+        assert_eq!((m.experts, m.top_k), (8, 2));
+        // 8 experts: ~1T total parameters.
+        let p = moe.total_params() as f64;
+        assert!(p > 0.8e12 && p < 1.3e12, "got {p:e}");
+    }
+
+    #[test]
+    fn multimodal_vit_sequence_is_patches_plus_text() {
+        let c = vit_multimodal().config;
+        assert_eq!(c.seq_len, 128 * 128 + 2048);
+        assert!(!c.is_moe());
+        // Power-of-two-rich sequence: divisible by every TP degree up to 64.
+        for nt in [2u64, 4, 8, 16, 32, 64] {
+            assert_eq!(c.seq_len % nt, 0, "nt {nt}");
+        }
     }
 }

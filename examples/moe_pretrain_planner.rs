@@ -1,0 +1,102 @@
+//! MoE pre-training planner: what does sparsely-activated (Mixture-of-
+//! Experts) training cost across scales, and which `(tp, pp, dp, ep)`
+//! split should each scale use?
+//!
+//! The workload-breadth companion of `llm_pretrain_planner`: the same
+//! S3-style search, but over MoE presets whose expert layers add an
+//! expert-parallel degree (`ep`) and AllToAll dispatch/combine to the
+//! design space. Run:
+//! `cargo run --release --example moe_pretrain_planner`.
+
+use fmperf::prelude::*;
+use report::Table;
+
+fn main() {
+    let workload = TrainingWorkload::gpt3_1t_pretraining();
+    println!(
+        "Planning MoE pre-training: {:.0} iterations at global batch {}\n",
+        workload.iterations, workload.global_batch
+    );
+
+    let mut table = Table::new([
+        "model",
+        "system",
+        "gpus",
+        "config",
+        "ep",
+        "m",
+        "iter (s)",
+        "days",
+        "HBM (GB)",
+        "compute %",
+    ]);
+    for preset in [moe_1t(), gpt3_175b_moe()] {
+        for nvs in [NvsSize::Nvs8, NvsSize::Nvs64] {
+            let sys = system(GpuGeneration::B200, nvs);
+            for n in [512u64, 2048, 8192] {
+                let opts = SearchOptions::new(n, 4096, TpStrategy::OneD);
+                match optimize(&preset.config, &sys, &opts) {
+                    Some(e) => table.push([
+                        preset.name.to_string(),
+                        sys.name.clone(),
+                        n.to_string(),
+                        format!(
+                            "TP{} PP{} DP{}",
+                            e.config.tensor_parallel(),
+                            e.config.np,
+                            e.config.nd
+                        ),
+                        e.config.ep.to_string(),
+                        e.microbatches.to_string(),
+                        format!("{:.2}", e.iteration_time),
+                        format!("{:.1}", training_days(&workload, &e)),
+                        format!("{:.0}", e.memory.total_gb()),
+                        format!("{:.0}", 100.0 * e.breakdown.compute_fraction()),
+                    ]),
+                    None => table.push([
+                        preset.name.to_string(),
+                        sys.name.clone(),
+                        n.to_string(),
+                        "infeasible".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]),
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // How much does the expert-parallel dimension actually buy? Re-run
+    // the search with ep pinned to 1 (experts fully replicated within
+    // each DP rank) and compare.
+    println!("Expert parallelism ablation (MoE-1T, B200-NVS8, batch 4096):");
+    let model = moe_1t().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    for n in [512u64, 2048] {
+        let joint = SearchOptions::new(n, 4096, TpStrategy::OneD);
+        let mut pinned = joint;
+        pinned.max_expert_parallel = 1;
+        let best = optimize(&model, &sys, &joint);
+        let no_ep = optimize(&model, &sys, &pinned);
+        match (best, no_ep) {
+            (Some(b), Some(r)) => println!(
+                "  {n:>5} GPUs: ep={:<3} {:.2}s/iter vs ep=1 {:.2}s/iter ({:+.1}%)",
+                b.config.ep,
+                b.iteration_time,
+                r.iteration_time,
+                100.0 * (r.iteration_time / b.iteration_time - 1.0),
+            ),
+            (Some(b), None) => println!(
+                "  {n:>5} GPUs: ep={} {:.2}s/iter; ep=1 infeasible (expert weights \
+                 overflow HBM without expert sharding)",
+                b.config.ep, b.iteration_time,
+            ),
+            _ => println!("  {n:>5} GPUs: infeasible"),
+        }
+    }
+}

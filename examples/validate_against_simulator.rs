@@ -117,7 +117,8 @@ fn main() {
         ),
     ];
     for (name, model, cfg, pl) in cases {
-        let row = compare(name, &model, &cfg, &pl, 1024, &sys, &SimParams::default());
+        let row = compare(name, &model, &cfg, &pl, 1024, &sys, &SimParams::default())
+            .expect("every showcased configuration runs the plain 1F1B schedule");
         t.push([
             name.to_string(),
             format!("{}", cfg),

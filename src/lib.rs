@@ -7,11 +7,15 @@
 //! cross-crate integration tests.
 //!
 //! * [`systems`] — hardware/network catalog (Table A3) and builders.
-//! * [`txmodel`] — transformer architectures, presets, FLOP/byte census.
-//! * [`collectives`] — analytic dual-network collective time model.
+//! * [`txmodel`] — transformer architectures and presets (dense GPT/ViT,
+//!   Mixture-of-Experts, multimodal ViT), FLOP/byte census.
+//! * [`collectives`] — analytic dual-network collective time model
+//!   (AG/RS/AR/Broadcast/Reduce/AllToAll, multi-algorithm).
 //! * [`netsim`] — piece-level discrete-event collective simulator (ring,
-//!   tree and hierarchical schedules on a generic link topology).
-//! * [`perfmodel`] — the paper's performance model + brute-force search.
+//!   tree, hierarchical and AllToAll schedules on a generic link
+//!   topology) cross-validating every analytic formula.
+//! * [`perfmodel`] — the paper's performance model + the joint
+//!   `(tp, pp, dp, ep)` brute-force search.
 //! * [`trainsim`] — 1F1B schedule simulator for model validation.
 //! * [`report`] — tables, ASCII charts, JSON/CSV artifacts.
 //!
@@ -54,5 +58,8 @@ pub mod prelude {
         Placement, SearchOptions, TpStrategy,
     };
     pub use systems::{perlmutter, system, GpuGeneration, NvsSize, SystemBuilder, SystemSpec};
-    pub use txmodel::{gpt3_175b, gpt3_1t, vit_32k, vit_64k, TrainingWorkload, TransformerConfig};
+    pub use txmodel::{
+        gpt3_175b, gpt3_175b_moe, gpt3_1t, moe_1t, vit_32k, vit_64k, vit_multimodal, MoeConfig,
+        TrainingWorkload, TransformerConfig,
+    };
 }

@@ -232,9 +232,9 @@ proptest! {
         let sys = perlmutter(4);
         let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 8, 16, 1);
         let pl = Placement { v1: 4, v2: 1, vp: 1, vd: 1 };
-        let base = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::ideal());
+        let base = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &SimParams::ideal()).unwrap();
         let params = SimParams { straggler_stage: Some(3), straggler_factor: factor, ..SimParams::ideal() };
-        let slow = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &params);
+        let slow = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &params).unwrap();
         let ratio = slow.iteration_time / base.iteration_time;
         prop_assert!(ratio > 1.0 && ratio < factor + 1e-9, "ratio {ratio} factor {factor}");
     }
