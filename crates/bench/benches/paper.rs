@@ -8,6 +8,9 @@
 //! * `search`         — full S3 optimization (Figs. 4, 5, A3–A6 path)
 //! * `moe-search`     — the joint `(tp, pp, dp, ep)` MoE search, tracked
 //!   alongside dense so expert parallelism's search-cost stays visible
+//! * `planner-topk`   — the `Planner` execution path (top-k ranking +
+//!   Pareto frontier + plan assembly) over the same spaces, so the
+//!   redesigned API's overhead over the raw sweep stays visible
 //! * `search-scaling` — the same S3 search pinned to 1/2/4/8 pool threads
 //! * `netsim`         — collective DES (Fig. A1 path)
 //! * `netsim-algorithms` — ring vs tree vs hierarchical vs auto AllReduce
@@ -44,7 +47,10 @@ fn bench_search_scaling(c: &mut Criterion) {
                     optimize(
                         &gpt,
                         &sys,
-                        &SearchOptions::new(16384, 4096, TpStrategy::Summa),
+                        &SearchOptions::default()
+                            .gpus(16384)
+                            .global_batch(4096)
+                            .strategy(TpStrategy::Summa),
                     )
                 })
             })
@@ -124,7 +130,10 @@ fn bench_search(c: &mut Criterion) {
             optimize(
                 &gpt,
                 &sys,
-                &SearchOptions::new(1024, 4096, TpStrategy::OneD),
+                &SearchOptions::default()
+                    .gpus(1024)
+                    .global_batch(4096)
+                    .strategy(TpStrategy::OneD),
             )
         })
     });
@@ -133,7 +142,10 @@ fn bench_search(c: &mut Criterion) {
             optimize(
                 &gpt,
                 &sys,
-                &SearchOptions::new(16384, 4096, TpStrategy::OneD),
+                &SearchOptions::default()
+                    .gpus(16384)
+                    .global_batch(4096)
+                    .strategy(TpStrategy::OneD),
             )
         })
     });
@@ -142,7 +154,10 @@ fn bench_search(c: &mut Criterion) {
             optimize(
                 &gpt,
                 &sys,
-                &SearchOptions::new(16384, 4096, TpStrategy::Summa),
+                &SearchOptions::default()
+                    .gpus(16384)
+                    .global_batch(4096)
+                    .strategy(TpStrategy::Summa),
             )
         })
     });
@@ -151,7 +166,10 @@ fn bench_search(c: &mut Criterion) {
             optimize(
                 &vit,
                 &sys,
-                &SearchOptions::new(16384, 4096, TpStrategy::TwoD),
+                &SearchOptions::default()
+                    .gpus(16384)
+                    .global_batch(4096)
+                    .strategy(TpStrategy::TwoD),
             )
         })
     });
@@ -173,7 +191,10 @@ fn bench_moe_search(c: &mut Criterion) {
             optimize(
                 &moe1t,
                 &sys,
-                &SearchOptions::new(1024, 4096, TpStrategy::OneD),
+                &SearchOptions::default()
+                    .gpus(1024)
+                    .global_batch(4096)
+                    .strategy(TpStrategy::OneD),
             )
         })
     });
@@ -182,7 +203,10 @@ fn bench_moe_search(c: &mut Criterion) {
             optimize(
                 &moe1t,
                 &sys,
-                &SearchOptions::new(16384, 4096, TpStrategy::OneD),
+                &SearchOptions::default()
+                    .gpus(16384)
+                    .global_batch(4096)
+                    .strategy(TpStrategy::OneD),
             )
         })
     });
@@ -191,8 +215,47 @@ fn bench_moe_search(c: &mut Criterion) {
             optimize(
                 &moe175b,
                 &sys,
-                &SearchOptions::new(4096, 1024, TpStrategy::OneD),
+                &SearchOptions::default()
+                    .gpus(4096)
+                    .global_batch(1024)
+                    .strategy(TpStrategy::OneD),
             )
+        })
+    });
+    g.finish();
+}
+
+/// The redesigned planning surface: full `Planner::execute` (evaluated
+/// sweep + top-k ranking + Pareto frontier + plan assembly) on the dense
+/// and multi-scale spaces. Tracked against `search` so the planner's
+/// post-sweep overhead stays visible in the trajectory.
+fn bench_planner_topk(c: &mut Criterion) {
+    use perfmodel::{Objective, Planner};
+    let gpt = gpt3_1t().config;
+    let gpt175 = gpt3_175b().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let mut g = c.benchmark_group("planner-topk");
+    g.sample_size(10);
+    g.bench_function("gpt_1d_n1024_top8_pareto2", |b| {
+        b.iter(|| {
+            Planner::new(&gpt, &sys)
+                .gpus(1024)
+                .global_batch(4096)
+                .strategy(TpStrategy::OneD)
+                .top_k(8)
+                .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+                .execute()
+        })
+    });
+    g.bench_function("gpt175b_multiscale_lex_cost", |b| {
+        b.iter(|| {
+            Planner::new(&gpt175, &sys)
+                .gpu_counts([512, 1024, 2048, 4096])
+                .global_batch(1024)
+                .strategy(TpStrategy::OneD)
+                .objective(Objective::IterationTime.then(1.0, Objective::GpuSeconds))
+                .top_k(8)
+                .execute()
         })
     });
     g.finish();
@@ -256,6 +319,7 @@ criterion_group!(
     bench_placement,
     bench_search,
     bench_moe_search,
+    bench_planner_topk,
     bench_search_scaling,
     bench_netsim,
     bench_netsim_algorithms,
@@ -291,6 +355,7 @@ fn main() {
     bench_placement(&mut c);
     bench_search(&mut c);
     bench_moe_search(&mut c);
+    bench_planner_topk(&mut c);
     bench_search_scaling(&mut c);
     bench_netsim(&mut c);
     bench_netsim_algorithms(&mut c);

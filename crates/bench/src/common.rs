@@ -1,8 +1,56 @@
 //! Shared helpers for the figure generators.
 
-use perfmodel::Evaluation;
+use perfmodel::{Evaluation, ParallelConfig, Planner, TpStrategy};
 use report::{num, stacked_bar};
 use serde_json::{json, Value};
+use systems::SystemSpec;
+use txmodel::TransformerConfig;
+
+/// The figure pipeline's search entry point since the `Planner` redesign:
+/// best feasible evaluation of the standard single-scale space, or `None`
+/// if nothing fits HBM. Selection is pinned bit-identical to the legacy
+/// `optimize` free function (see `tests/wrapper_determinism.rs`), so the
+/// `out/` artifacts regenerate byte-identically.
+pub fn plan_best(
+    model: &TransformerConfig,
+    sys: &SystemSpec,
+    gpus: u64,
+    global_batch: u64,
+    strategy: TpStrategy,
+) -> Option<Evaluation> {
+    planner(model, sys, gpus, global_batch, strategy)
+        .execute()
+        .best()
+        .map(|p| p.eval.clone())
+}
+
+/// The standard single-scale, single-strategy planner the figures share;
+/// figures with extra knobs (interleave, ZeRO-3) extend its space.
+pub fn planner<'a>(
+    model: &'a TransformerConfig,
+    sys: &'a SystemSpec,
+    gpus: u64,
+    global_batch: u64,
+    strategy: TpStrategy,
+) -> Planner<'a> {
+    Planner::new(model, sys)
+        .gpus(gpus)
+        .global_batch(global_batch)
+        .strategy(strategy)
+        .top_k(1)
+}
+
+/// Pinned-configuration evaluation under its best placement (the
+/// Figs. 1–3 "assignment is optimal" path) — delegates to the
+/// `best_placement_eval` wrapper, itself `Planner::evaluate_config`.
+pub fn pinned_eval(
+    model: &TransformerConfig,
+    sys: &SystemSpec,
+    cfg: &ParallelConfig,
+    global_batch: u64,
+) -> Evaluation {
+    perfmodel::best_placement_eval(model, cfg, global_batch, sys)
+}
 
 /// Column set for configuration-sweep artifacts (the paper's paired
 /// "Parallelization Configuration" + "Time" panels flattened into rows).

@@ -6,11 +6,8 @@
 //! * TP-communication overlap with compute;
 //! * ZeRO-3-style weight/gradient sharding over the DP group.
 
-use crate::common::{eval_row, EVAL_COLUMNS};
-use perfmodel::{
-    best_placement_eval, evaluate_with_tp_overlap, optimize, ParallelConfig, SearchOptions,
-    TpStrategy,
-};
+use crate::common::{eval_row, pinned_eval, planner, EVAL_COLUMNS};
+use perfmodel::{evaluate_with_tp_overlap, ParallelConfig, TpStrategy};
 use report::{num, Artifact};
 use serde_json::json;
 use systems::{system, GpuGeneration, NvsSize};
@@ -38,13 +35,14 @@ pub fn interleave() -> Artifact {
         if cfg.validate(&model, 4096).is_err() {
             continue;
         }
-        let e = best_placement_eval(&model, &cfg, 4096, &sys);
+        let e = pinned_eval(&model, &sys, &cfg, 4096);
         art.push(eval_row(&format!("v={v}"), &e));
     }
     // Full search with interleaving allowed.
-    let mut opts = SearchOptions::new(16384, 4096, TpStrategy::OneD);
-    opts.max_interleave = 8;
-    if let Some(e) = optimize(&model, &sys, &opts) {
+    let plans = planner(&model, &sys, 16384, 4096, TpStrategy::OneD)
+        .with_space(|s| s.max_interleave(8))
+        .execute();
+    if let Some(e) = plans.best().map(|p| p.eval.clone()) {
         art.push(eval_row(
             &format!("search(v={}):best", e.config.interleave),
             &e,
@@ -75,7 +73,7 @@ pub fn tp_overlap() -> Artifact {
         ),
     ];
     for (name, model, cfg) in cases {
-        let base = best_placement_eval(&model, &cfg, 4096, &sys);
+        let base = pinned_eval(&model, &sys, &cfg, 4096);
         for overlap in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let e = evaluate_with_tp_overlap(&model, &cfg, &base.placement, 4096, &sys, overlap);
             art.push(vec![
@@ -104,12 +102,13 @@ pub fn zero3() -> Artifact {
             zero3,
             ..ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, 128, 1)
         };
-        let e = best_placement_eval(&model, &cfg, 4096, &sys);
+        let e = pinned_eval(&model, &sys, &cfg, 4096);
         art.push(eval_row(label, &e));
     }
-    let mut opts = SearchOptions::new(16384, 4096, TpStrategy::OneD);
-    opts.allow_zero3 = true;
-    if let Some(e) = optimize(&model, &sys, &opts) {
+    let plans = planner(&model, &sys, 16384, 4096, TpStrategy::OneD)
+        .with_space(|s| s.allow_zero3(true))
+        .execute();
+    if let Some(e) = plans.best().map(|p| p.eval.clone()) {
         art.push(eval_row(
             if e.config.zero3 {
                 "search:best (zero3)"

@@ -2,8 +2,8 @@
 //! microbatch 1, sweeping the TP/DP split. Shows the convexity of
 //! iteration time in nt and the memory/TP-communication trade-off.
 
-use crate::common::{config_label, eval_row, EVAL_COLUMNS};
-use perfmodel::{best_placement_eval, ParallelConfig, TpStrategy};
+use crate::common::{config_label, eval_row, pinned_eval, EVAL_COLUMNS};
+use perfmodel::{ParallelConfig, TpStrategy};
 use report::Artifact;
 use systems::{system, GpuGeneration, NvsSize};
 use txmodel::gpt3_1t;
@@ -21,7 +21,7 @@ pub fn generate() -> Artifact {
         let nd = 16384 / 64 / nt;
         let cfg = ParallelConfig::new(TpStrategy::OneD, nt, 1, 64, nd, 1);
         cfg.validate(&model, 4096).expect("fig1 config invalid");
-        let e = best_placement_eval(&model, &cfg, 4096, &sys);
+        let e = pinned_eval(&model, &sys, &cfg, 4096);
         art.push(eval_row(&config_label(i), &e));
     }
     art

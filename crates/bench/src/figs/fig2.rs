@@ -3,8 +3,8 @@
 //! non-convexity in DP communication and the optimum shifting from high
 //! PP (NVS8) to low PP (NVS64).
 
-use crate::common::{config_label, eval_row, EVAL_COLUMNS};
-use perfmodel::{best_placement_eval, ParallelConfig, TpStrategy};
+use crate::common::{config_label, eval_row, pinned_eval, EVAL_COLUMNS};
+use perfmodel::{ParallelConfig, TpStrategy};
 use report::Artifact;
 use systems::{system, GpuGeneration, NvsSize};
 use txmodel::gpt3_1t;
@@ -32,7 +32,7 @@ fn panel(nvs: NvsSize, suffix: &str) -> Artifact {
         if cfg.validate(&model, 4096).is_err() {
             continue;
         }
-        let e = best_placement_eval(&model, &cfg, 4096, &sys);
+        let e = pinned_eval(&model, &sys, &cfg, 4096);
         art.push(eval_row(&config_label(i), &e));
     }
     art

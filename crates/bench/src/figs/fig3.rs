@@ -5,8 +5,8 @@
 //! Paper finding: on NVS8 the fastest feasible configuration is pure-1D
 //! (n2 = 1) with high PP; on NVS64 the high-DP configurations win.
 
-use crate::common::{config_label, eval_row, EVAL_COLUMNS};
-use perfmodel::{best_placement_eval, Evaluation, ParallelConfig, TpStrategy};
+use crate::common::{config_label, eval_row, pinned_eval, EVAL_COLUMNS};
+use perfmodel::{Evaluation, ParallelConfig, TpStrategy};
 use report::Artifact;
 use systems::{system, GpuGeneration, NvsSize, SystemSpec};
 use txmodel::gpt3_1t;
@@ -32,7 +32,7 @@ fn best_nb_eval(
             let mut cfg = ParallelConfig::new(TpStrategy::Summa, n1, n2, np, nd, bm);
             cfg.summa_panels = nb;
             cfg.validate(model, 4096).ok()?;
-            Some(best_placement_eval(model, &cfg, 4096, sys))
+            Some(pinned_eval(model, sys, &cfg, 4096))
         })
         .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
 }

@@ -2,8 +2,8 @@
 //! B200-NVS8: (a) GPT3-1T with 1D TP, (b) the 64K ViT with 2D TP.
 //! Each scale runs the full S3 search independently.
 
-use crate::common::{eval_row, pow2_range, EVAL_COLUMNS};
-use perfmodel::{optimize, SearchOptions, TpStrategy};
+use crate::common::{eval_row, plan_best, pow2_range, EVAL_COLUMNS};
+use perfmodel::TpStrategy;
 use report::Artifact;
 use serde_json::json;
 use systems::{system, GpuGeneration, NvsSize};
@@ -19,7 +19,7 @@ fn scaling(
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
     let mut art = Artifact::new(id, title, EVAL_COLUMNS);
     for &n in scales {
-        match optimize(model, &sys, &SearchOptions::new(n, 4096, strategy)) {
+        match plan_best(model, &sys, n, 4096, strategy) {
             Some(e) => art.push(eval_row(&n.to_string(), &e)),
             None => {
                 let mut row = vec![json!(n.to_string())];

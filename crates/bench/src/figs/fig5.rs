@@ -2,8 +2,8 @@
 //! systems (A100/H200/B200 × NVS4/8/64): (a) GPT3-1T pre-training on 1T
 //! tokens with 1D TP, (b) ViT-64K on 80 epochs of 40-year ERA5 with 2D TP.
 
-use crate::common::pow2_range;
-use perfmodel::{optimize, training_days, SearchOptions, TpStrategy};
+use crate::common::{plan_best, pow2_range};
+use perfmodel::{training_days, TpStrategy};
 use report::{num, Artifact};
 use serde_json::json;
 use systems::{system, ALL_GENERATIONS, ALL_NVS_SIZES};
@@ -26,7 +26,7 @@ fn days_sweep(
         for nvs in ALL_NVS_SIZES {
             let sys = system(gen, nvs);
             for &n in scales {
-                let row = optimize(model, &sys, &SearchOptions::new(n, 4096, strategy));
+                let row = plan_best(model, &sys, n, 4096, strategy);
                 match row {
                     Some(e) => art.push(vec![
                         json!(sys.name.clone()),

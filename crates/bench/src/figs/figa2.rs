@@ -7,8 +7,8 @@
 //! high-PP side is chosen for GPT3-1T; the ViT's memory is sensitive to
 //! the n1/n2 balance.
 
-use crate::common::{config_label, eval_row, EVAL_COLUMNS};
-use perfmodel::{best_placement_eval, ParallelConfig, TpStrategy};
+use crate::common::{config_label, eval_row, pinned_eval, EVAL_COLUMNS};
+use perfmodel::{ParallelConfig, TpStrategy};
 use report::Artifact;
 use systems::{system, GpuGeneration, NvsSize};
 use txmodel::{gpt3_1t, vit_64k};
@@ -26,7 +26,7 @@ fn sweep(
         if cfg.validate(model, 4096).is_err() {
             continue;
         }
-        let e = best_placement_eval(model, &cfg, 4096, &sys);
+        let e = pinned_eval(model, &sys, &cfg, 4096);
         art.push(eval_row(&config_label(i), &e));
     }
     art

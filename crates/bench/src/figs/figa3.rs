@@ -3,7 +3,7 @@
 //! GPT3-1T with 2D TP SUMMA (mostly-1D splits chosen).
 
 use crate::common::{eval_row, pow2_range, EVAL_COLUMNS};
-use perfmodel::{optimize, SearchOptions, TpStrategy};
+use perfmodel::TpStrategy;
 use report::Artifact;
 use serde_json::json;
 use systems::{system, GpuGeneration, NvsSize};
@@ -14,7 +14,7 @@ fn scaling(id: &str, title: &str, strategy: TpStrategy) -> Artifact {
     let sys = system(GpuGeneration::B200, NvsSize::Nvs64);
     let mut art = Artifact::new(id, title, EVAL_COLUMNS);
     for n in pow2_range(128, 16384) {
-        match optimize(&model, &sys, &SearchOptions::new(n, 4096, strategy)) {
+        match crate::common::plan_best(&model, &sys, n, 4096, strategy) {
             Some(e) => art.push(eval_row(&n.to_string(), &e)),
             None => {
                 let mut row = vec![json!(n.to_string())];

@@ -6,7 +6,7 @@
 //! large scale; speedups shrink with newer GPUs and bigger NVS domains.
 
 use crate::common::pow2_range;
-use perfmodel::{optimize, SearchOptions, TpStrategy};
+use perfmodel::TpStrategy;
 use rayon::prelude::*;
 use report::{num, Artifact};
 use serde_json::json;
@@ -16,9 +16,8 @@ use txmodel::gpt3_1t;
 /// One (system, n) cell of both panels.
 fn cell(sys: &SystemSpec, n: u64) -> Option<(f64, f64, f64)> {
     let model = gpt3_1t().config;
-    let t = |s: TpStrategy| {
-        optimize(&model, sys, &SearchOptions::new(n, 4096, s)).map(|e| e.iteration_time)
-    };
+    let t =
+        |s: TpStrategy| crate::common::plan_best(&model, sys, n, 4096, s).map(|e| e.iteration_time);
     Some((
         t(TpStrategy::OneD)?,
         t(TpStrategy::TwoD)?,

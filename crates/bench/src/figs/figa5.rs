@@ -5,7 +5,7 @@
 //! Paper finding: FLOP rate is the primary axis for GPT3-1T (near-vertical
 //! contours); the ViT is additionally sensitive to capacity/bandwidth.
 
-use perfmodel::{optimize, training_days, SearchOptions, TpStrategy};
+use perfmodel::{training_days, TpStrategy};
 use rayon::prelude::*;
 use report::{num, Artifact};
 use systems::{GpuGeneration, NvsSize, SystemBuilder};
@@ -51,7 +51,7 @@ fn grid(
                 .hbm_bandwidth(bw * 1e12)
                 .name(format!("codesign-{tf}-{cap}"))
                 .build();
-            let days = optimize(model, &sys, &SearchOptions::new(8192, 4096, strategy))
+            let days = crate::common::plan_best(model, &sys, 8192, 4096, strategy)
                 .map(|e| training_days(workload, &e));
             (tf, cap, bw, days)
         })

@@ -6,7 +6,7 @@
 //! memory) are competitive with the B200 point for both models — less
 //! parallelism inefficiency traded for more memory-access time.
 
-use perfmodel::{optimize, training_days, SearchOptions, TpStrategy};
+use perfmodel::{training_days, TpStrategy};
 use rayon::prelude::*;
 use report::{num, Artifact};
 use systems::{GpuGeneration, NvsSize, SystemBuilder};
@@ -38,7 +38,7 @@ fn grid(
                 .hbm_capacity(cap * 1e12)
                 .hbm_bandwidth(bw * 1e12)
                 .build();
-            let days = optimize(model, &sys, &SearchOptions::new(8192, 4096, strategy))
+            let days = crate::common::plan_best(model, &sys, 8192, 4096, strategy)
                 .map(|e| training_days(workload, &e));
             (cap, bw, days)
         })

@@ -22,26 +22,37 @@
 //!    point-to-point and data/expert-parallel communication into an
 //!    iteration time with a [`Breakdown`] by bucket, plus a
 //!    [`MemoryUsage`] feasibility check.
-//! 3. **(S3) Search** — [`search`] enumerates every factorization
-//!    `n = n1·n2·np·nd` together with the microbatch size, NVS placement,
-//!    SUMMA panel count, expert-parallel degree `ep | nd`, interleaving
-//!    and ZeRO-3 knobs — one joint space, fanned out over the rayon pool
-//!    against a build-once [`ProfileCache`] — returning the fastest
-//!    feasible configuration.
+//! 3. **(S3) Search** — the [`Planner`] composes a typed [`SearchSpace`]
+//!    (GPU counts, batch, TP strategies, microbatch/interleave/ZeRO/
+//!    expert knobs, degree bounds, user predicates) with an [`Objective`]
+//!    (iteration time, training days, tokens/s/GPU, HBM headroom,
+//!    GPU-seconds cost, or weighted/lexicographic combinations) and
+//!    enumerates every factorization `n = n1·n2·np·nd` plus the
+//!    microbatch size, NVS placement, SUMMA panel count, expert-parallel
+//!    degree `ep | nd`, interleaving and ZeRO-3 knobs — one joint space,
+//!    fanned out over the rayon pool against a build-once
+//!    [`ProfileCache`] — returning a [`PlanSet`]: the top-k ranked
+//!    [`Plan`]s and the exact Pareto frontier across the selected
+//!    objectives, fully serializable. The original free functions
+//!    ([`optimize`], [`sweep_partitions`], [`best_placement_eval`])
+//!    remain as thin, bit-identical wrappers.
 //!
 //! ```
-//! use perfmodel::{optimize, SearchOptions, TpStrategy};
+//! use perfmodel::{Objective, Planner, TpStrategy};
 //! use systems::{system, GpuGeneration, NvsSize};
 //! use txmodel::gpt3_1t;
 //!
+//! let model = gpt3_1t().config;
 //! let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-//! let best = optimize(
-//!     &gpt3_1t().config,
-//!     &sys,
-//!     &SearchOptions::new(1024, 4096, TpStrategy::OneD),
-//! )
-//! .expect("a feasible configuration exists");
-//! assert!(best.iteration_time > 0.0);
+//! let plans = Planner::new(&model, &sys)
+//!     .gpus(1024)
+//!     .global_batch(4096)
+//!     .strategy(TpStrategy::OneD)
+//!     .top_k(3)
+//!     .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+//!     .execute();
+//! let best = plans.best().expect("a feasible configuration exists");
+//! assert!(best.eval.iteration_time > 0.0);
 //! ```
 
 pub mod breakdown;
@@ -51,6 +62,7 @@ pub mod memory;
 pub mod partition;
 pub mod placement;
 pub mod plan;
+pub mod planner;
 pub mod search;
 pub mod sensitivity;
 pub mod timing;
@@ -66,6 +78,10 @@ pub use evaluate::{
 pub use memory::MemoryUsage;
 pub use partition::{ProfileCache, ProfileKey};
 pub use placement::enumerate_placements;
+pub use planner::{
+    LexStage, Objective, ObjectiveCtx, Plan, PlanSet, Planner, PlannerConfig, Score, SearchSpace,
+    WeightedTerm,
+};
 pub use search::{
     best_placement_eval, best_placement_eval_with_profile, enumerate_partitions, optimize,
     sweep_partitions, SearchOptions,

@@ -1,0 +1,583 @@
+//! The composable planning surface over the S3 design-space search.
+//!
+//! [`Planner`] replaces the free-function entry points (`optimize`,
+//! `sweep_partitions`, `best_placement_eval` — still available as thin,
+//! bit-identical wrappers) with one builder that composes:
+//!
+//! * a typed [`SearchSpace`] — GPU counts, batch, TP strategies,
+//!   microbatch/interleave/ZeRO/expert knobs, pp/dp/tp degree bounds —
+//!   plus arbitrary user [`Planner::constrain`] predicates;
+//! * an [`Objective`] — iteration time, training days, tokens/s/GPU, HBM
+//!   headroom, GPU-seconds cost, or weighted/lexicographic combinations;
+//! * execution over the rayon pool (the same [`ProfileCache`]-backed
+//!   evaluated sweep the wrappers use, so results stay bit-identical
+//!   across thread counts), streaming each candidate through an optional
+//!   [`Planner::on_candidate`] progress hook;
+//!
+//! into a [`PlanSet`]: the top-k ranked [`Plan`]s **and** the exact
+//! Pareto frontier across the selected objectives, fully serializable.
+//!
+//! ```
+//! use perfmodel::{Objective, Planner, TpStrategy};
+//! use systems::{system, GpuGeneration, NvsSize};
+//! use txmodel::gpt3_175b;
+//!
+//! let model = gpt3_175b().config;
+//! let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+//! let plans = Planner::new(&model, &sys)
+//!     .gpus(256)
+//!     .global_batch(1024)
+//!     .strategy(TpStrategy::OneD)
+//!     .top_k(4)
+//!     .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+//!     .execute();
+//! let best = plans.best().expect("a feasible configuration exists");
+//! assert!(best.eval.iteration_time > 0.0);
+//! assert!(!plans.pareto.is_empty());
+//! ```
+
+mod objective;
+mod plan;
+mod space;
+
+pub use objective::{LexStage, Objective, ObjectiveCtx, Score, WeightedTerm};
+pub use plan::{Plan, PlanSet};
+pub use space::SearchSpace;
+
+use crate::config::ParallelConfig;
+use crate::evaluate::Evaluation;
+use crate::memory::memory_usage;
+use crate::partition::{build_profile, ProfileCache};
+use crate::search::{best_placement_with_memory, enumerate_partitions};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use systems::SystemSpec;
+use txmodel::TransformerConfig;
+
+/// The serializable part of a planner: everything except the model/system
+/// borrows and the closure hooks. Round-trips through JSON so a planning
+/// problem can be stored, diffed and replayed
+/// ([`Planner::from_config`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// The candidate space.
+    pub space: SearchSpace,
+    /// The ranking objective.
+    pub objective: Objective,
+    /// Objectives spanning the Pareto frontier; empty means "frontier of
+    /// the ranking objective alone".
+    pub pareto: Vec<Objective>,
+    /// How many ranked plans [`PlanSet::top`] retains.
+    pub top_k: usize,
+    /// Keep memory-infeasible candidates in the sweep (flagged, never
+    /// ranked). `false` — the default — prunes them before placement
+    /// enumeration, exactly like `optimize` always has.
+    pub include_infeasible: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            space: SearchSpace::default(),
+            objective: Objective::default(),
+            pareto: Vec::new(),
+            top_k: 8,
+            include_infeasible: false,
+        }
+    }
+}
+
+type Constraint = Arc<dyn Fn(&ParallelConfig) -> bool + Send + Sync>;
+type CandidateHook = Arc<dyn Fn(&Evaluation) + Send + Sync>;
+
+/// Builder-style planner over one `(model, system)` pair. See the
+/// [module docs](self) for the full tour.
+#[derive(Clone)]
+pub struct Planner<'a> {
+    model: &'a TransformerConfig,
+    system: &'a SystemSpec,
+    config: PlannerConfig,
+    constraints: Vec<Constraint>,
+    on_candidate: Option<CandidateHook>,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner with the default [`PlannerConfig`] (512 GPUs, batch
+    /// 4096, 1D TP, iteration-time objective, top-8).
+    pub fn new(model: &'a TransformerConfig, system: &'a SystemSpec) -> Self {
+        Self {
+            model,
+            system,
+            config: PlannerConfig::default(),
+            constraints: Vec::new(),
+            on_candidate: None,
+        }
+    }
+
+    /// Rebuilds a planner from a serialized [`PlannerConfig`] (closure
+    /// hooks cannot be serialized and start empty).
+    pub fn from_config(
+        model: &'a TransformerConfig,
+        system: &'a SystemSpec,
+        config: PlannerConfig,
+    ) -> Self {
+        Self {
+            model,
+            system,
+            config,
+            constraints: Vec::new(),
+            on_candidate: None,
+        }
+    }
+
+    /// The declarative state (serializable; hooks excluded).
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Replaces the whole candidate space.
+    pub fn space(mut self, space: SearchSpace) -> Self {
+        self.config.space = space;
+        self
+    }
+
+    /// Edits the candidate space in place:
+    /// `planner.with_space(|s| s.max_interleave(4))`.
+    pub fn with_space(mut self, f: impl FnOnce(SearchSpace) -> SearchSpace) -> Self {
+        self.config.space = f(self.config.space);
+        self
+    }
+
+    /// Shorthand for [`SearchSpace::gpus`] on the current space.
+    pub fn gpus(self, n: u64) -> Self {
+        self.with_space(|s| s.gpus(n))
+    }
+
+    /// Shorthand for [`SearchSpace::gpu_counts`] on the current space.
+    pub fn gpu_counts(self, counts: impl IntoIterator<Item = u64>) -> Self {
+        self.with_space(|s| s.gpu_counts(counts))
+    }
+
+    /// Shorthand for [`SearchSpace::global_batch`] on the current space.
+    pub fn global_batch(self, b: u64) -> Self {
+        self.with_space(|s| s.global_batch(b))
+    }
+
+    /// Shorthand for [`SearchSpace::strategy`] on the current space.
+    pub fn strategy(self, s: crate::TpStrategy) -> Self {
+        self.with_space(|sp| sp.strategy(s))
+    }
+
+    /// Shorthand for [`SearchSpace::strategies`] on the current space.
+    pub fn strategies(self, ss: impl IntoIterator<Item = crate::TpStrategy>) -> Self {
+        self.with_space(|sp| sp.strategies(ss))
+    }
+
+    /// Sets the ranking objective.
+    pub fn objective(mut self, o: Objective) -> Self {
+        self.config.objective = o;
+        self
+    }
+
+    /// Selects the objectives the Pareto frontier spans.
+    pub fn pareto(mut self, objectives: impl IntoIterator<Item = Objective>) -> Self {
+        self.config.pareto = objectives.into_iter().collect();
+        self
+    }
+
+    /// Sets how many ranked plans to retain.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.config.top_k = k;
+        self
+    }
+
+    /// Keeps memory-infeasible candidates in [`Planner::evaluations`]
+    /// (flagged `feasible: false`; never ranked or dominated).
+    pub fn include_infeasible(mut self, yes: bool) -> Self {
+        self.config.include_infeasible = yes;
+        self
+    }
+
+    /// Adds a user constraint predicate; candidates failing any predicate
+    /// are dropped before evaluation (e.g. "no cross-domain TP":
+    /// `.constrain(|c| c.tensor_parallel() <= 8)`).
+    pub fn constrain(
+        mut self,
+        pred: impl Fn(&ParallelConfig) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.constraints.push(Arc::new(pred));
+        self
+    }
+
+    /// Installs a streaming progress hook, called once per evaluated
+    /// candidate *from the worker threads* (concurrently, in no defined
+    /// order — aggregate with atomics or locks).
+    pub fn on_candidate(mut self, hook: impl Fn(&Evaluation) + Send + Sync + 'static) -> Self {
+        self.on_candidate = Some(Arc::new(hook));
+        self
+    }
+
+    /// The scoring context shared by every candidate of this space.
+    pub fn objective_ctx(&self) -> ObjectiveCtx {
+        ObjectiveCtx {
+            global_batch: self.config.space.global_batch,
+            seq_len: self.model.seq_len,
+            hbm_capacity: self.system.gpu.hbm_capacity,
+        }
+    }
+
+    /// Enumerates the candidate configurations of the space (every
+    /// `(gpus, strategy)` sub-space in declaration order), with degree
+    /// bounds and user constraints applied. Deterministic.
+    pub fn candidates(&self) -> Vec<ParallelConfig> {
+        let space = &self.config.space;
+        // Dedup the axes here rather than trusting the setters: a
+        // PlannerConfig replayed from JSON ([`Planner::from_config`]) can
+        // carry duplicates, which would double-evaluate sub-spaces and
+        // fill top-k slots with identical plans.
+        let mut strategies = Vec::new();
+        for &s in &space.strategies {
+            if !strategies.contains(&s) {
+                strategies.push(s);
+            }
+        }
+        let mut gpu_counts = Vec::new();
+        for &n in &space.gpu_counts {
+            if !gpu_counts.contains(&n) {
+                gpu_counts.push(n);
+            }
+        }
+        let mut out = Vec::new();
+        for &strategy in &strategies {
+            for &gpus in &gpu_counts {
+                out.extend(enumerate_partitions(
+                    self.model,
+                    &space.options_for(gpus, strategy),
+                ));
+            }
+        }
+        if !space.unbounded_degrees() {
+            out.retain(|c| {
+                c.np <= space.max_pipeline
+                    && c.nd <= space.max_data_parallel
+                    && c.tensor_parallel() <= space.max_tensor_parallel
+            });
+        }
+        for pred in &self.constraints {
+            out.retain(|c| pred(c));
+        }
+        out
+    }
+
+    /// The evaluated sweep: every candidate under its best placement, in
+    /// enumeration order, bit-identical across thread counts. This is the
+    /// engine the legacy wrappers (`optimize`, `sweep_partitions`)
+    /// delegate to. Memory-infeasible candidates are pruned before
+    /// placement enumeration unless [`Planner::include_infeasible`] is
+    /// set.
+    pub fn evaluations(&self) -> Vec<Evaluation> {
+        let partitions = self.candidates();
+        let cache = ProfileCache::build(self.model, &self.system.gpu, &partitions);
+        let global_batch = self.config.space.global_batch;
+        let prune = !self.config.include_infeasible;
+        partitions
+            .par_iter()
+            .filter_map(|cfg| {
+                let profile = cache.get(cfg);
+                let memory = memory_usage(profile, self.model, cfg, global_batch);
+                if prune && !memory.fits(self.system.gpu.hbm_capacity) {
+                    return None;
+                }
+                let e = best_placement_with_memory(
+                    profile,
+                    self.model,
+                    cfg,
+                    global_batch,
+                    self.system,
+                    memory,
+                );
+                if let Some(hook) = &self.on_candidate {
+                    hook(&e);
+                }
+                Some(e)
+            })
+            .collect()
+    }
+
+    /// Evaluates one pinned configuration under its best placement using
+    /// this planner's batch size (the Fig. 1–3 "assignment is optimal"
+    /// path; the legacy `best_placement_eval` wraps this).
+    pub fn evaluate_config(&self, cfg: &ParallelConfig) -> Evaluation {
+        let profile = build_profile(
+            self.model,
+            cfg.strategy,
+            cfg.n1,
+            cfg.n2,
+            cfg.microbatch,
+            cfg.summa_panels,
+            cfg.ep,
+            &self.system.gpu,
+        );
+        let memory = memory_usage(&profile, self.model, cfg, self.config.space.global_batch);
+        best_placement_with_memory(
+            &profile,
+            self.model,
+            cfg,
+            self.config.space.global_batch,
+            self.system,
+            memory,
+        )
+    }
+
+    /// Runs the search and assembles the [`PlanSet`]: feasible candidates
+    /// are ranked under the objective (top-k retained) and the exact
+    /// Pareto frontier is computed across the selected objectives.
+    /// Deterministic and thread-count invariant.
+    pub fn execute(&self) -> PlanSet {
+        let evals = self.evaluations();
+        let ctx = self.objective_ctx();
+        let feasible_idx: Vec<usize> = evals
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.feasible)
+            .map(|(i, _)| i)
+            .collect();
+        let pareto_objectives: Vec<Objective> = if self.config.pareto.is_empty() {
+            vec![self.config.objective.clone()]
+        } else {
+            self.config.pareto.clone()
+        };
+        // Scores reported per plan: ranking objective first, then the
+        // frontier's (plan_of dedups).
+        let mut score_objectives = vec![self.config.objective.clone()];
+        score_objectives.extend(pareto_objectives.iter().cloned());
+        let mk_plan = |i: &usize| plan_of(&evals[*i], self.model, &ctx, &score_objectives);
+        let ranked = self.config.objective.rank(&evals, &feasible_idx, &ctx);
+        let top: Vec<Plan> = ranked.iter().take(self.config.top_k).map(mk_plan).collect();
+        let frontier = pareto_frontier(&evals, &feasible_idx, &pareto_objectives, &ctx);
+        let pareto: Vec<Plan> = frontier.iter().map(mk_plan).collect();
+        PlanSet {
+            objective: self.config.objective.clone(),
+            pareto_objectives,
+            candidates: evals.len() as u64,
+            feasible: feasible_idx.len() as u64,
+            top,
+            pareto,
+        }
+    }
+}
+
+use plan::{pareto_frontier, plan_of};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{optimize, sweep_partitions, SearchOptions};
+    use crate::TpStrategy;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use systems::{system, GpuGeneration, NvsSize};
+    use txmodel::{gpt3_175b, gpt3_1t, moe_1t};
+
+    fn b200_nvs8() -> SystemSpec {
+        system(GpuGeneration::B200, NvsSize::Nvs8)
+    }
+
+    #[test]
+    fn best_plan_matches_legacy_optimize() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let opts = SearchOptions::default()
+            .gpus(256)
+            .global_batch(4096)
+            .strategy(TpStrategy::OneD);
+        let legacy = optimize(&model, &sys, &opts).unwrap();
+        let plans = Planner::new(&model, &sys)
+            .space(SearchSpace::from(&opts))
+            .execute();
+        let best = plans.best().unwrap();
+        assert_eq!(best.eval.iteration_time, legacy.iteration_time);
+        assert_eq!(best.eval.config, legacy.config);
+        assert_eq!(plans.candidates, plans.feasible);
+    }
+
+    #[test]
+    fn top_k_is_sweep_prefix() {
+        // Under the iteration-time objective the top-k list is exactly
+        // the feasible prefix of the legacy sorted sweep.
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let opts = SearchOptions::default()
+            .gpus(128)
+            .strategy(TpStrategy::OneD);
+        let sweep: Vec<_> = sweep_partitions(&model, &sys, &opts)
+            .into_iter()
+            .filter(|e| e.feasible)
+            .collect();
+        let plans = Planner::new(&model, &sys)
+            .space(SearchSpace::from(&opts))
+            .top_k(5)
+            .execute();
+        assert_eq!(plans.top.len(), 5.min(sweep.len()));
+        for (p, e) in plans.top.iter().zip(&sweep) {
+            assert_eq!(p.eval.iteration_time, e.iteration_time);
+        }
+    }
+
+    #[test]
+    fn constraints_prune_candidates() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let base = Planner::new(&model, &sys).gpus(256);
+        let all = base.candidates().len();
+        let constrained = base.clone().constrain(|c| c.np == 1);
+        let kept = constrained.candidates();
+        assert!(!kept.is_empty() && kept.len() < all);
+        assert!(kept.iter().all(|c| c.np == 1));
+        // Declarative bounds compose with predicates.
+        let bounded = base.with_space(|s| s.max_pipeline(1).max_data_parallel(32));
+        assert!(bounded.candidates().iter().all(|c| c.np == 1 && c.nd <= 32));
+    }
+
+    #[test]
+    fn multi_scale_space_unions_subspaces() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let n128 = Planner::new(&model, &sys).gpus(128).candidates().len();
+        let n256 = Planner::new(&model, &sys).gpus(256).candidates().len();
+        let both = Planner::new(&model, &sys)
+            .gpu_counts([128, 256, 128]) // dedup keeps one 128 sub-space
+            .candidates();
+        assert_eq!(both.len(), n128 + n256);
+        let gpus: std::collections::HashSet<u64> = both.iter().map(|c| c.total_gpus()).collect();
+        assert_eq!(gpus, [128u64, 256].into_iter().collect());
+        // A replayed config that bypasses the setters (e.g. hand-edited
+        // JSON) is deduplicated at enumeration too.
+        let mut cfg = PlannerConfig::default();
+        cfg.space.gpu_counts = vec![128, 128];
+        cfg.space.strategies = vec![TpStrategy::OneD, TpStrategy::OneD];
+        let replayed = Planner::from_config(&model, &sys, cfg);
+        assert_eq!(replayed.candidates().len(), n128);
+    }
+
+    #[test]
+    fn on_candidate_sees_every_evaluation() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let plans = Planner::new(&model, &sys)
+            .gpus(128)
+            .on_candidate(move |_| {
+                seen2.fetch_add(1, Ordering::Relaxed);
+            })
+            .execute();
+        assert_eq!(seen.load(Ordering::Relaxed) as u64, plans.candidates);
+    }
+
+    #[test]
+    fn gpu_seconds_objective_prefers_smaller_machines() {
+        // The acceptance experiment: on GPT3-175B the pure-speed optimum
+        // wants the bigger machine; asking for "fastest within 2×, then
+        // cheapest" moves the selection to the smaller, cheaper scale.
+        let model = gpt3_175b().config;
+        let sys = b200_nvs8();
+        let base = Planner::new(&model, &sys)
+            .gpu_counts([256, 512])
+            .global_batch(1024)
+            .strategy(TpStrategy::OneD);
+        let fastest = base.clone().objective(Objective::IterationTime).execute();
+        let cheapest = base
+            .objective(Objective::IterationTime.then(1.0, Objective::GpuSeconds))
+            .execute();
+        let f = fastest.best().unwrap();
+        let c = cheapest.best().unwrap();
+        assert_eq!(f.eval.config.total_gpus(), 512);
+        assert_eq!(c.eval.config.total_gpus(), 256);
+        assert!(c.eval.iteration_time <= 2.0 * f.eval.iteration_time);
+        let cost = |p: &Plan| p.score(&Objective::GpuSeconds);
+        // The cheap plan's GPU-seconds must actually be lower... but
+        // GpuSeconds is only scored when among the planner's objectives,
+        // so recompute from first principles here.
+        assert!(cost(c).is_none());
+        let gpu_s = |p: &Plan| p.eval.config.total_gpus() as f64 * p.eval.iteration_time;
+        assert!(gpu_s(c) < gpu_s(f));
+    }
+
+    #[test]
+    fn pareto_frontier_trades_time_against_headroom() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let plans = Planner::new(&model, &sys)
+            .gpus(256)
+            .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+            .execute();
+        assert!(!plans.pareto.is_empty());
+        // Frontier is ordered by iteration time and headroom must be
+        // anti-monotone along it (otherwise a point would be dominated).
+        let t: Vec<f64> = plans.pareto.iter().map(|p| p.eval.iteration_time).collect();
+        let h: Vec<f64> = plans
+            .pareto
+            .iter()
+            .map(|p| p.score(&Objective::HbmHeadroom).unwrap())
+            .collect();
+        for w in t.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for w in h.windows(2) {
+            assert!(w[0] <= w[1], "headroom must rise as time does: {h:?}");
+        }
+        // The fastest frontier point is the single-objective optimum.
+        let best = plans.best().unwrap();
+        assert_eq!(
+            plans.pareto[0].eval.iteration_time,
+            best.eval.iteration_time
+        );
+    }
+
+    #[test]
+    fn execute_is_thread_count_invariant() {
+        let model = moe_1t().config;
+        let sys = b200_nvs8();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    Planner::new(&model, &sys)
+                        .gpus(128)
+                        .top_k(6)
+                        .pareto([Objective::IterationTime, Objective::GpuSeconds])
+                        .execute()
+                })
+        };
+        let seq = run(1);
+        assert!(!seq.top.is_empty());
+        for n in [2, 8] {
+            assert_eq!(run(n), seq, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn planner_config_round_trips() {
+        let model = gpt3_1t().config;
+        let sys = b200_nvs8();
+        let planner = Planner::new(&model, &sys)
+            .gpu_counts([128, 256])
+            .global_batch(2048)
+            .strategies([TpStrategy::OneD, TpStrategy::TwoD])
+            .objective(Objective::weighted([
+                (Objective::IterationTime, 1.0),
+                (Objective::GpuSeconds, 0.01),
+            ]))
+            .top_k(3);
+        let json = serde_json::to_string(planner.config()).unwrap();
+        let back: PlannerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, planner.config());
+        // A rebuilt planner reproduces the same plans.
+        let a = planner.execute();
+        let b = Planner::from_config(&model, &sys, back).execute();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,282 @@
+//! Planning objectives: what a [`crate::Planner`] optimizes for.
+//!
+//! The paper's search minimizes iteration time only; the system-design-
+//! insights chapter, however, weighs time against HBM headroom and
+//! machine cost. [`Objective`] makes that trade-off a first-class,
+//! serializable value: five *leaf* metrics plus two composition rules
+//! (weighted sums and tolerance-based lexicographic refinement), all
+//! scored against an ordinary [`Evaluation`].
+//!
+//! Every objective exposes two views of a candidate:
+//!
+//! * [`Objective::value`] — the metric in its natural units (seconds,
+//!   days, tokens/s/GPU, bytes, GPU·s), for reporting;
+//! * [`Objective::key`] — a *lower-is-better* scalar used for ranking and
+//!   Pareto dominance (maximizing objectives negate their value).
+
+use crate::evaluate::Evaluation;
+use serde::{Deserialize, Serialize};
+use txmodel::TrainingWorkload;
+
+/// Per-candidate scoring context: the space-level quantities a metric
+/// needs beyond the [`Evaluation`] itself (the GPU count is *not* here —
+/// it is a per-candidate property, `eval.config.total_gpus()`, so that
+/// multi-scale spaces price cost objectives per candidate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveCtx {
+    /// Global batch size the space was searched at (samples).
+    pub global_batch: u64,
+    /// Model sequence length (tokens per sample) for throughput metrics.
+    pub seq_len: u64,
+    /// Device HBM capacity in bytes for headroom metrics.
+    pub hbm_capacity: f64,
+}
+
+/// One term of a weighted-sum objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedTerm {
+    /// The metric contributing to the sum.
+    pub objective: Objective,
+    /// Its weight (applied to the lower-is-better [`Objective::key`]).
+    pub weight: f64,
+}
+
+/// One stage of a lexicographic objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LexStage {
+    /// The metric this stage filters by.
+    pub objective: Objective,
+    /// Relative slack kept when passing candidates to the next stage: a
+    /// candidate survives if its key is within `rel_tolerance · |best|`
+    /// of the stage's best key. `0.0` keeps exact ties only. The last
+    /// stage ranks instead of filtering, so its tolerance is unused.
+    pub rel_tolerance: f64,
+}
+
+/// What the planner optimizes for. Leaf metrics mirror the paper's
+/// reporting axes; [`Objective::Weighted`] and [`Objective::Lexicographic`]
+/// compose them ("fastest within 10%, then cheapest").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Seconds per training iteration (the paper's S3 metric). Minimized.
+    #[default]
+    IterationTime,
+    /// Wall-clock days for a full training run of `iterations` optimizer
+    /// steps (the Fig. 5 y-axis). Minimized; build via
+    /// [`Objective::training_days`].
+    TrainingDays {
+        /// Total optimizer iterations of the run.
+        iterations: f64,
+    },
+    /// Training throughput per device: `global_batch · seq_len /
+    /// (t_iter · n)`. Maximized.
+    TokensPerGpuSecond,
+    /// HBM slack per GPU: `capacity − used` bytes. Maximized — a proxy
+    /// for robustness headroom (activation spikes, framework drift).
+    HbmHeadroom,
+    /// Machine cost per iteration: `n · t_iter` GPU-seconds. Minimized —
+    /// on a multi-scale space this is what trades speed against fleet
+    /// size.
+    GpuSeconds,
+    /// Weighted sum of the terms' lower-is-better keys. Minimized. The
+    /// caller owns unit normalization — weights multiply raw keys.
+    Weighted {
+        /// The weighted terms.
+        terms: Vec<WeightedTerm>,
+    },
+    /// Tolerance-based lexicographic refinement: stage 1 keeps every
+    /// candidate within its tolerance of the stage-1 optimum, stage 2
+    /// refines among those, and so on; the final stage ranks.
+    Lexicographic {
+        /// The refinement stages, primary first.
+        stages: Vec<LexStage>,
+    },
+}
+
+impl Objective {
+    /// Days-for-the-run objective from a workload description.
+    pub fn training_days(workload: &TrainingWorkload) -> Self {
+        Objective::TrainingDays {
+            iterations: workload.iterations,
+        }
+    }
+
+    /// Weighted-sum objective from `(objective, weight)` pairs.
+    pub fn weighted(terms: impl IntoIterator<Item = (Objective, f64)>) -> Self {
+        Objective::Weighted {
+            terms: terms
+                .into_iter()
+                .map(|(objective, weight)| WeightedTerm { objective, weight })
+                .collect(),
+        }
+    }
+
+    /// Lexicographic objective from `(objective, rel_tolerance)` stages.
+    pub fn lexicographic(stages: impl IntoIterator<Item = (Objective, f64)>) -> Self {
+        Objective::Lexicographic {
+            stages: stages
+                .into_iter()
+                .map(|(objective, rel_tolerance)| LexStage {
+                    objective,
+                    rel_tolerance,
+                })
+                .collect(),
+        }
+    }
+
+    /// Sugar: refine `self` by `secondary` among candidates within
+    /// `rel_tolerance` of the optimum — "best `self` up to `tolerance`,
+    /// then best `secondary`". Chains by extending existing stages.
+    pub fn then(self, rel_tolerance: f64, secondary: Objective) -> Self {
+        let mut stages = match self {
+            Objective::Lexicographic { stages } => stages,
+            primary => vec![LexStage {
+                objective: primary,
+                rel_tolerance: 0.0,
+            }],
+        };
+        if let Some(last) = stages.last_mut() {
+            last.rel_tolerance = rel_tolerance;
+        }
+        stages.push(LexStage {
+            objective: secondary,
+            rel_tolerance: 0.0,
+        });
+        Objective::Lexicographic { stages }
+    }
+
+    /// True for metrics where larger natural values are better.
+    pub fn maximize(&self) -> bool {
+        matches!(self, Objective::TokensPerGpuSecond | Objective::HbmHeadroom)
+    }
+
+    /// Display name (figure legends, artifact columns).
+    pub fn name(&self) -> String {
+        match self {
+            Objective::IterationTime => "iter (s)".into(),
+            Objective::TrainingDays { .. } => "days".into(),
+            Objective::TokensPerGpuSecond => "tokens/s/GPU".into(),
+            Objective::HbmHeadroom => "HBM headroom (GB)".into(),
+            Objective::GpuSeconds => "GPU-s/iter".into(),
+            Objective::Weighted { terms } => {
+                let parts: Vec<String> = terms
+                    .iter()
+                    .map(|t| format!("{}·{}", t.weight, t.objective.name()))
+                    .collect();
+                format!("weighted[{}]", parts.join(" + "))
+            }
+            Objective::Lexicographic { stages } => {
+                let parts: Vec<String> = stages.iter().map(|s| s.objective.name()).collect();
+                format!("lex[{}]", parts.join(" > "))
+            }
+        }
+    }
+
+    /// The metric in natural units (see the variant docs). Composite
+    /// objectives report their ranking key: the weighted sum for
+    /// [`Objective::Weighted`], the primary stage's value for
+    /// [`Objective::Lexicographic`].
+    pub fn value(&self, e: &Evaluation, ctx: &ObjectiveCtx) -> f64 {
+        let n = e.config.total_gpus() as f64;
+        match self {
+            Objective::IterationTime => e.iteration_time,
+            Objective::TrainingDays { iterations } => iterations * e.iteration_time / 86_400.0,
+            Objective::TokensPerGpuSecond => {
+                (ctx.global_batch * ctx.seq_len) as f64 / (e.iteration_time * n)
+            }
+            Objective::HbmHeadroom => ctx.hbm_capacity - e.memory.total(),
+            Objective::GpuSeconds => n * e.iteration_time,
+            Objective::Weighted { .. } => self.key(e, ctx),
+            Objective::Lexicographic { stages } => match stages.first() {
+                Some(s) => s.objective.value(e, ctx),
+                None => 0.0,
+            },
+        }
+    }
+
+    /// Lower-is-better ranking/dominance key: the natural value, negated
+    /// for maximizing metrics. [`Objective::Weighted`] sums its terms'
+    /// weighted keys; [`Objective::Lexicographic`] exposes its primary
+    /// stage (the refinement itself happens in the planner's ranking).
+    pub fn key(&self, e: &Evaluation, ctx: &ObjectiveCtx) -> f64 {
+        match self {
+            Objective::Weighted { terms } => terms
+                .iter()
+                .map(|t| t.weight * t.objective.key(e, ctx))
+                .sum(),
+            Objective::Lexicographic { stages } => match stages.first() {
+                Some(s) => s.objective.key(e, ctx),
+                None => 0.0,
+            },
+            leaf => {
+                let v = leaf.value(e, ctx);
+                if leaf.maximize() {
+                    -v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// Ranks `idx` (indices into `evals`, in deterministic enumeration
+    /// order) best-first under this objective. Plain objectives stable-
+    /// sort by [`Objective::key`] (ties keep enumeration order);
+    /// lexicographic objectives run the tolerance-filter cascade: each
+    /// stage keeps candidates within `rel_tolerance · |best|` of its best
+    /// key, the last stage ranks the survivors, and filtered-out
+    /// candidates follow (later eliminations first, each stage's group
+    /// ordered by the key that eliminated it) so the result is a total
+    /// order over all of `idx`.
+    pub(crate) fn rank(
+        &self,
+        evals: &[Evaluation],
+        idx: &[usize],
+        ctx: &ObjectiveCtx,
+    ) -> Vec<usize> {
+        let sort_by_key = |mut ix: Vec<usize>, obj: &Objective| -> Vec<usize> {
+            let keys: Vec<f64> = evals.iter().map(|e| obj.key(e, ctx)).collect();
+            ix.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
+            ix
+        };
+        let Objective::Lexicographic { stages } = self else {
+            return sort_by_key(idx.to_vec(), self);
+        };
+        if stages.is_empty() {
+            return idx.to_vec();
+        }
+        let mut survivors: Vec<usize> = idx.to_vec();
+        // Eliminated groups, in stage order; reversed on output.
+        let mut eliminated: Vec<Vec<usize>> = Vec::new();
+        for stage in &stages[..stages.len() - 1] {
+            let keys: Vec<f64> = evals.iter().map(|e| stage.objective.key(e, ctx)).collect();
+            let best = survivors
+                .iter()
+                .map(|&i| keys[i])
+                .min_by(f64::total_cmp)
+                .unwrap_or(0.0);
+            let cut = best + stage.rel_tolerance.max(0.0) * best.abs();
+            let (keep, drop): (Vec<usize>, Vec<usize>) =
+                survivors.iter().partition(|&&i| keys[i] <= cut);
+            let mut drop = drop;
+            drop.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
+            eliminated.push(drop);
+            survivors = keep;
+        }
+        let last = &stages[stages.len() - 1].objective;
+        let mut out = sort_by_key(survivors, last);
+        for group in eliminated.into_iter().rev() {
+            out.extend(group);
+        }
+        out
+    }
+}
+
+/// A reported metric value of one [`crate::Plan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Score {
+    /// The metric scored.
+    pub objective: Objective,
+    /// Its natural-units value ([`Objective::value`]).
+    pub value: f64,
+}

@@ -9,11 +9,15 @@
 //! swept **jointly** in one space, not per-config), and — for each
 //! candidate — every maximal NVS-domain placement.
 //!
-//! Both entry points ([`optimize`] and [`sweep_partitions`]) flow through
-//! one shared evaluated-sweep path:
+//! The free functions here ([`optimize`], [`sweep_partitions`],
+//! [`best_placement_eval`]) are the original entry points, kept as thin,
+//! bit-identical wrappers over the composable [`Planner`]
+//! (`crate::planner`) — new code should use the planner directly. All of
+//! them flow through one shared evaluated-sweep path
+//! ([`Planner::evaluations`]):
 //!
 //! 1. enumerate the candidates ([`enumerate_partitions`]);
-//! 2. build a [`ProfileCache`] holding **exactly one** [`LayerProfile`]
+//! 2. build a [`crate::ProfileCache`] holding **exactly one** [`LayerProfile`]
 //!    per distinct TP tuple `(strategy, n1, n2, bm, nb, ep)` — see
 //!    [`crate::partition::cache`] for the key invariants — so the
 //!    `(np, nd, interleave, zero3, placement)` inner space reuses shared,
@@ -30,11 +34,10 @@
 use crate::config::{ParallelConfig, TpStrategy};
 use crate::evaluate::{evaluate_placement, Evaluation};
 use crate::memory::memory_usage;
-use crate::partition::{build_profile, ProfileCache};
 use crate::placement::{divisors, enumerate_placements};
 use crate::plan::LayerProfile;
+use crate::planner::{Planner, SearchSpace};
 use collectives::Algorithm;
-use rayon::prelude::*;
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
 
@@ -69,14 +72,16 @@ pub struct SearchOptions {
     pub comm_algo: Algorithm,
 }
 
-impl SearchOptions {
-    /// Default options: panels up to 16, microbatches up to 16, the
-    /// paper's baseline schedule (no interleaving, no ZeRO-3).
-    pub fn new(gpus: u64, global_batch: u64, strategy: TpStrategy) -> Self {
+impl Default for SearchOptions {
+    /// The compile-visible default set: 512 GPUs, global batch 4096, 1D
+    /// TP, panels up to 16, microbatches up to 16, the paper's baseline
+    /// schedule (no interleaving, no ZeRO-3), unbounded expert
+    /// parallelism, `Auto` algorithm policy.
+    fn default() -> Self {
         Self {
-            gpus,
-            global_batch,
-            strategy,
+            gpus: 512,
+            global_batch: 4096,
+            strategy: TpStrategy::OneD,
             max_summa_panels: 16,
             max_microbatch: 16,
             max_interleave: 1,
@@ -84,6 +89,74 @@ impl SearchOptions {
             max_expert_parallel: u64::MAX,
             comm_algo: Algorithm::Auto,
         }
+    }
+}
+
+impl SearchOptions {
+    /// Compatibility shim for the old positional constructor. Prefer the
+    /// named builders — `SearchOptions::default().gpus(512)
+    /// .global_batch(4096).strategy(…)` — or the [`Planner`] API, which
+    /// make the argument roles visible at the call site.
+    #[doc(hidden)]
+    pub fn new(gpus: u64, global_batch: u64, strategy: TpStrategy) -> Self {
+        Self::default()
+            .gpus(gpus)
+            .global_batch(global_batch)
+            .strategy(strategy)
+    }
+
+    /// Sets the total GPU count `n`.
+    pub fn gpus(mut self, n: u64) -> Self {
+        self.gpus = n;
+        self
+    }
+
+    /// Sets the global batch size `b`.
+    pub fn global_batch(mut self, b: u64) -> Self {
+        self.global_batch = b;
+        self
+    }
+
+    /// Sets the tensor-parallel strategy searched.
+    pub fn strategy(mut self, s: TpStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Sets the largest SUMMA panel count tried.
+    pub fn max_summa_panels(mut self, nb: u64) -> Self {
+        self.max_summa_panels = nb;
+        self
+    }
+
+    /// Sets the microbatch-size upper bound.
+    pub fn max_microbatch(mut self, bm: u64) -> Self {
+        self.max_microbatch = bm;
+        self
+    }
+
+    /// Sets the largest interleaved-pipeline degree tried.
+    pub fn max_interleave(mut self, v: u64) -> Self {
+        self.max_interleave = v;
+        self
+    }
+
+    /// Also sweeps ZeRO-3 weight sharding.
+    pub fn allow_zero3(mut self, yes: bool) -> Self {
+        self.allow_zero3 = yes;
+        self
+    }
+
+    /// Bounds the expert-parallel degree (MoE models).
+    pub fn max_expert_parallel(mut self, ep: u64) -> Self {
+        self.max_expert_parallel = ep;
+        self
+    }
+
+    /// Sets the AllReduce algorithm pricing policy.
+    pub fn comm_algo(mut self, algo: Algorithm) -> Self {
+        self.comm_algo = algo;
+        self
     }
 }
 
@@ -192,22 +265,15 @@ pub fn best_placement_eval(
     global_batch: u64,
     sys: &SystemSpec,
 ) -> Evaluation {
-    let profile = build_profile(
-        model,
-        cfg.strategy,
-        cfg.n1,
-        cfg.n2,
-        cfg.microbatch,
-        cfg.summa_panels,
-        cfg.ep,
-        &sys.gpu,
-    );
-    best_placement_eval_with_profile(&profile, model, cfg, global_batch, sys)
+    // Thin wrapper over the planner's pinned-configuration path.
+    Planner::new(model, sys)
+        .global_batch(global_batch)
+        .evaluate_config(cfg)
 }
 
 /// [`best_placement_eval`] against an already-built layer profile (the
-/// search's hot path: the profile comes out of the [`ProfileCache`] and is
-/// shared by every candidate with the same TP tuple). The memory
+/// search's hot path: the profile comes out of the [`crate::ProfileCache`]
+/// and is shared by every candidate with the same TP tuple). The memory
 /// accounting is placement-independent, so it is priced once here rather
 /// than once per placement.
 pub fn best_placement_eval_with_profile(
@@ -223,8 +289,9 @@ pub fn best_placement_eval_with_profile(
 
 /// Placement loop of [`best_placement_eval_with_profile`] with the memory
 /// accounting already priced, so the sweep's prune check and the
-/// evaluation share one computation.
-fn best_placement_with_memory(
+/// evaluation share one computation (also the [`Planner`]'s per-candidate
+/// inner loop).
+pub(crate) fn best_placement_with_memory(
     profile: &LayerProfile,
     model: &TransformerConfig,
     cfg: &ParallelConfig,
@@ -239,49 +306,21 @@ fn best_placement_with_memory(
         .expect("at least the trivial placement exists")
 }
 
-/// The shared evaluated sweep behind [`optimize`] and
-/// [`sweep_partitions`]: enumerate once, build each profile once, fan the
-/// candidates out over the pool. With `prune_infeasible`, candidates whose
-/// memory footprint (placement-independent, exact) exceeds HBM are
-/// dropped *before* their placement space is enumerated — valid for
-/// [`optimize`], which discards infeasible evaluations anyway.
-fn evaluate_candidates(
-    model: &TransformerConfig,
-    sys: &SystemSpec,
-    opts: &SearchOptions,
-    prune_infeasible: bool,
-) -> Vec<Evaluation> {
-    let partitions = enumerate_partitions(model, opts);
-    let cache = ProfileCache::build(model, &sys.gpu, &partitions);
-    partitions
-        .par_iter()
-        .filter_map(|cfg| {
-            let profile = cache.get(cfg);
-            let memory = memory_usage(profile, model, cfg, opts.global_batch);
-            if prune_infeasible && !memory.fits(sys.gpu.hbm_capacity) {
-                return None;
-            }
-            Some(best_placement_with_memory(
-                profile,
-                model,
-                cfg,
-                opts.global_batch,
-                sys,
-                memory,
-            ))
-        })
-        .collect()
-}
-
 /// Best-placement evaluation of **every** partition in the space, sorted
 /// by iteration time (fastest first). Infeasible configurations are
 /// included (flagged) so figures can show them.
+///
+/// Thin wrapper over [`Planner::evaluations`]; output is pinned
+/// bit-identical to the pre-planner implementation.
 pub fn sweep_partitions(
     model: &TransformerConfig,
     sys: &SystemSpec,
     opts: &SearchOptions,
 ) -> Vec<Evaluation> {
-    let mut evals = evaluate_candidates(model, sys, opts, false);
+    let mut evals = Planner::new(model, sys)
+        .space(SearchSpace::from(opts))
+        .include_infeasible(true)
+        .evaluations();
     // Stable sort: equal iteration times keep enumeration order, so the
     // output is identical for any thread count.
     evals.sort_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time));
@@ -290,12 +329,19 @@ pub fn sweep_partitions(
 
 /// Full S3 search: the fastest *feasible* configuration, or `None` if
 /// nothing fits in HBM.
+///
+/// Thin wrapper over [`Planner::evaluations`]; output is pinned
+/// bit-identical to the pre-planner implementation. New code should use
+/// [`Planner::execute`], which also yields runner-ups, multi-objective
+/// rankings and serializable [`crate::Plan`]s.
 pub fn optimize(
     model: &TransformerConfig,
     sys: &SystemSpec,
     opts: &SearchOptions,
 ) -> Option<Evaluation> {
-    evaluate_candidates(model, sys, opts, true)
+    Planner::new(model, sys)
+        .space(SearchSpace::from(opts))
+        .evaluations()
         .into_iter()
         .filter(|e| e.feasible)
         .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
@@ -304,6 +350,7 @@ pub fn optimize(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition::ProfileCache;
     use systems::{system, GpuGeneration, NvsSize};
     use txmodel::{gpt3_1t, vit_64k};
 

@@ -33,7 +33,7 @@ mod report;
 mod schedule;
 mod sim;
 
-pub use report::{compare, ValidationRow};
+pub use report::{compare, compare_plan, ValidationRow};
 pub use schedule::{stage_schedule, WorkItem};
 pub use sim::{simulate_iteration, IterationReport, SimParams, UnsupportedConfig};
 

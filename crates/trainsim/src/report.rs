@@ -1,7 +1,7 @@
 //! Analytic-vs-simulated comparison rows (the §IV validation table).
 
 use crate::sim::{simulate_iteration, SimParams, UnsupportedConfig};
-use perfmodel::{evaluate, ParallelConfig, Placement};
+use perfmodel::{evaluate, ParallelConfig, Placement, Plan};
 use serde::{Deserialize, Serialize};
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
@@ -48,6 +48,26 @@ pub fn compare(
         analytic: ana.iteration_time,
         simulated: sim.iteration_time,
     })
+}
+
+/// Validates a serialized planner [`Plan`] against the schedule
+/// simulator: the plan artifact carries its own model, configuration,
+/// placement and batch size, so a JSON plan written by one session can be
+/// re-validated in another without re-running the search.
+pub fn compare_plan(
+    plan: &Plan,
+    sys: &SystemSpec,
+    params: &SimParams,
+) -> Result<ValidationRow, UnsupportedConfig> {
+    compare(
+        format!("{}", plan.eval.config),
+        &plan.model,
+        &plan.eval.config,
+        &plan.eval.placement,
+        plan.global_batch,
+        sys,
+        params,
+    )
 }
 
 #[cfg(test)]
@@ -152,6 +172,38 @@ mod tests {
         )
         .unwrap();
         assert!(row.rel_err() < 0.15, "error {:.3}", row.rel_err());
+    }
+
+    #[test]
+    fn compare_plan_round_trips_through_json() {
+        // The planner-artifact path: a Plan serialized by one session is
+        // deserialized and re-validated against the simulator, with the
+        // same result as validating the live configuration.
+        let model = gpt3_175b().config;
+        let sys = perlmutter_sys();
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
+        let plan = Plan {
+            model,
+            global_batch: 1024,
+            eval: perfmodel::best_placement_eval(&model, &cfg, 1024, &sys),
+            scores: Vec::new(),
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: Plan = serde_json::from_str(&json).unwrap();
+        let row = compare_plan(&back, &sys, &SimParams::default()).unwrap();
+        let direct = compare(
+            "direct",
+            &model,
+            &cfg,
+            &back.eval.placement,
+            1024,
+            &sys,
+            &SimParams::default(),
+        )
+        .unwrap();
+        assert_eq!(row.analytic, direct.analytic);
+        assert_eq!(row.simulated, direct.simulated);
+        assert!(row.rel_err() < 0.30, "error {:.3}", row.rel_err());
     }
 
     #[test]

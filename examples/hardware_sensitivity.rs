@@ -21,7 +21,11 @@ fn main() {
         let mut table = Table::new(["axis", "GPT3-1T", "", "ViT-64K", ""]);
         let mut per_model = Vec::new();
         for (_, model, strategy) in &cases {
-            let es = elasticities(model, &sys, &SearchOptions::new(n, 4096, *strategy), 0.25);
+            let opts = SearchOptions::default()
+                .gpus(n)
+                .global_batch(4096)
+                .strategy(*strategy);
+            let es = elasticities(model, &sys, &opts, 0.25);
             per_model.push(es);
         }
         let max_mag = per_model

@@ -2,8 +2,10 @@
 //! pre-training run (1T tokens) take across GPU generations, scales and
 //! NVS domain sizes — and which parallelization should each use?
 //!
-//! This is the paper's headline use case (Fig. 5a) as a planning tool:
-//! run `cargo run --release --example llm_pretrain_planner`.
+//! This is the paper's headline use case (Fig. 5a) as a planning tool,
+//! built on the `Planner` API: one multi-scale space per system, ranked
+//! by full-run training days. Run
+//! `cargo run --release --example llm_pretrain_planner`.
 
 use fmperf::prelude::*;
 use report::Table;
@@ -34,22 +36,31 @@ fn main() {
         for nvs in [NvsSize::Nvs8, NvsSize::Nvs64] {
             let sys = system(gen, nvs);
             for n in [2048u64, 8192, 16384] {
-                let opts = SearchOptions::new(n, 4096, TpStrategy::OneD);
-                match optimize(&model.config, &sys, &opts) {
-                    Some(e) => table.push([
+                let plans = Planner::new(&model.config, &sys)
+                    .gpus(n)
+                    .global_batch(4096)
+                    .strategy(TpStrategy::OneD)
+                    .objective(Objective::training_days(&workload))
+                    .top_k(1)
+                    .execute();
+                match plans.best() {
+                    Some(p) => table.push([
                         sys.name.clone(),
                         n.to_string(),
                         format!(
                             "TP{} PP{} DP{}",
-                            e.config.tensor_parallel(),
-                            e.config.np,
-                            e.config.nd
+                            p.eval.config.tensor_parallel(),
+                            p.eval.config.np,
+                            p.eval.config.nd
                         ),
-                        e.microbatches.to_string(),
-                        format!("{:.2}", e.iteration_time),
-                        format!("{:.1}", training_days(&workload, &e)),
-                        format!("{:.0}", e.memory.total_gb()),
-                        format!("{:.0}", 100.0 * e.breakdown.compute_fraction()),
+                        p.eval.microbatches.to_string(),
+                        format!("{:.2}", p.eval.iteration_time),
+                        format!(
+                            "{:.1}",
+                            p.score(&Objective::training_days(&workload)).unwrap()
+                        ),
+                        format!("{:.0}", p.eval.memory.total_gb()),
+                        format!("{:.0}", 100.0 * p.eval.breakdown.compute_fraction()),
                     ]),
                     None => table.push([
                         sys.name.clone(),
@@ -68,13 +79,21 @@ fn main() {
     println!("{}", table.render());
 
     // Strategy comparison at pre-training scale (the paper's Fig. A4
-    // takeaway: 2D variants buy ~5–30% depending on the regime).
+    // takeaway: 2D variants buy ~5–30% depending on the regime): one
+    // single-strategy planner per variant, so the per-strategy optima are
+    // directly comparable.
     println!("Strategy comparison on 16384 GPUs:");
     for gen in [GpuGeneration::A100, GpuGeneration::B200] {
         let sys = system(gen, NvsSize::Nvs8);
         let t = |s: TpStrategy| {
-            optimize(&model.config, &sys, &SearchOptions::new(16384, 4096, s))
-                .map(|e| e.iteration_time)
+            Planner::new(&model.config, &sys)
+                .gpus(16384)
+                .global_batch(4096)
+                .strategy(s)
+                .top_k(1)
+                .execute()
+                .best()
+                .map(|p| p.eval.iteration_time)
         };
         if let (Some(t1), Some(t2), Some(ts)) = (
             t(TpStrategy::OneD),

@@ -24,19 +24,30 @@ fn main() {
         model.config.mlp_to_sa_flop_ratio(),
     );
 
-    // 1) The 1D TP wall.
+    // 1) The 1D TP wall: the planner sweeps both strategies in one space;
+    //    every feasible plan is 2D.
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-    let oned = optimize(
-        &model.config,
-        &sys,
-        &SearchOptions::new(4096, 4096, TpStrategy::OneD),
-    );
+    let both = Planner::new(&model.config, &sys)
+        .gpus(4096)
+        .global_batch(4096)
+        .strategies([TpStrategy::OneD, TpStrategy::TwoD])
+        .include_infeasible(true) // count the whole space, incl. the 1D corners that overflow HBM
+        .top_k(usize::MAX) // rank the whole feasible pool: the claim below is "every plan"
+        .execute();
+    let oned_feasible = both
+        .top
+        .iter()
+        .any(|p| p.eval.config.strategy == TpStrategy::OneD);
     println!(
         "\n1D TP on 4096 B200: {}",
-        match oned {
-            Some(_) => "feasible (unexpected!)".to_string(),
-            None => "NO feasible configuration — replicated (b,l,e) activations overflow HBM"
-                .to_string(),
+        if oned_feasible {
+            "feasible (unexpected!)".to_string()
+        } else {
+            format!(
+                "NO feasible configuration among {} candidates — replicated (b,l,e) \
+                 activations overflow HBM; every one of the {} feasible plans is 2D",
+                both.candidates, both.feasible
+            )
         }
     );
 
@@ -53,20 +64,29 @@ fn main() {
         "TP comm %",
     ]);
     for n in [512u64, 2048, 8192, 16384] {
-        if let Some(e) = optimize(
-            &model.config,
-            &sys,
-            &SearchOptions::new(n, 4096, TpStrategy::TwoD),
-        ) {
+        let plans = Planner::new(&model.config, &sys)
+            .gpus(n)
+            .global_batch(4096)
+            .strategy(TpStrategy::TwoD)
+            .objective(Objective::training_days(&workload))
+            .top_k(1)
+            .execute();
+        if let Some(p) = plans.best() {
             table.push([
                 n.to_string(),
-                format!("{}×{}", e.config.n1, e.config.n2),
-                e.config.np.to_string(),
-                e.config.nd.to_string(),
-                format!("{:.2}", e.iteration_time),
-                format!("{:.2}", training_days(&workload, &e)),
-                format!("{:.0}", e.memory.total_gb()),
-                format!("{:.0}", 100.0 * e.breakdown.tp_comm / e.iteration_time),
+                format!("{}×{}", p.eval.config.n1, p.eval.config.n2),
+                p.eval.config.np.to_string(),
+                p.eval.config.nd.to_string(),
+                format!("{:.2}", p.eval.iteration_time),
+                format!(
+                    "{:.2}",
+                    p.score(&Objective::training_days(&workload)).unwrap()
+                ),
+                format!("{:.0}", p.eval.memory.total_gb()),
+                format!(
+                    "{:.0}",
+                    100.0 * p.eval.breakdown.tp_comm / p.eval.iteration_time
+                ),
             ]);
         }
     }
@@ -76,12 +96,15 @@ fn main() {
     println!("NVS domain sensitivity (iteration-time ratio NVS4 / NVS64):");
     for n in [1024u64, 4096, 16384] {
         let t = |nvs: NvsSize| {
-            optimize(
-                &model.config,
-                &system(GpuGeneration::B200, nvs),
-                &SearchOptions::new(n, 4096, TpStrategy::TwoD),
-            )
-            .map(|e| e.iteration_time)
+            let sys = system(GpuGeneration::B200, nvs);
+            Planner::new(&model.config, &sys)
+                .gpus(n)
+                .global_batch(4096)
+                .strategy(TpStrategy::TwoD)
+                .top_k(1)
+                .execute()
+                .best()
+                .map(|p| p.eval.iteration_time)
         };
         if let (Some(t4), Some(t64)) = (t(NvsSize::Nvs4), t(NvsSize::Nvs64)) {
             println!("  n = {n:>6}: {:.2}×", t4 / t64);
@@ -91,22 +114,20 @@ fn main() {
     // 4) The paper's Outlook: linear attention removes the l² term and
     // with it most of the pressure.
     let lin = txmodel::vit_64k_linear_attention();
-    if let Some(e) = optimize(
-        &lin.config,
-        &sys,
-        &SearchOptions::new(4096, 4096, TpStrategy::TwoD),
-    ) {
-        let quad = optimize(
-            &model.config,
-            &sys,
-            &SearchOptions::new(4096, 4096, TpStrategy::TwoD),
-        )
-        .unwrap();
+    let best_of = |cfg: &TransformerConfig| {
+        Planner::new(cfg, &sys)
+            .gpus(4096)
+            .global_batch(4096)
+            .strategy(TpStrategy::TwoD)
+            .top_k(1)
+            .execute()
+            .best()
+            .map(|p| p.eval.iteration_time)
+    };
+    if let (Some(linear), Some(quad)) = (best_of(&lin.config), best_of(&model.config)) {
         println!(
-            "\nLinear-attention variant on 4096 B200: {:.2}s/iter vs {:.2}s quadratic ({:.1}× faster)",
-            e.iteration_time,
-            quad.iteration_time,
-            quad.iteration_time / e.iteration_time
+            "\nLinear-attention variant on 4096 B200: {linear:.2}s/iter vs {quad:.2}s quadratic ({:.1}× faster)",
+            quad / linear
         );
     }
 }

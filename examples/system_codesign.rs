@@ -3,6 +3,9 @@
 //! bandwidth for LPDDR-class capacity? what does doubling tensor-core
 //! rate buy without more network?).
 //!
+//! Also demonstrates the planner's multi-scale cost objective: "fastest
+//! within 25%, then fewest GPU-seconds" across fleet sizes.
+//!
 //! Run: `cargo run --release --example system_codesign`.
 
 use fmperf::prelude::*;
@@ -14,7 +17,15 @@ fn days_for(
     strategy: TpStrategy,
     w: &TrainingWorkload,
 ) -> Option<f64> {
-    optimize(model, sys, &SearchOptions::new(8192, 4096, strategy)).map(|e| training_days(w, &e))
+    Planner::new(model, sys)
+        .gpus(8192)
+        .global_batch(4096)
+        .strategy(strategy)
+        .objective(Objective::training_days(w))
+        .top_k(1)
+        .execute()
+        .best()
+        .and_then(|p| p.score(&Objective::training_days(w)))
 }
 
 fn main() {
@@ -71,6 +82,34 @@ fn main() {
     println!(
         "Takeaways (paper §V): FLOP rate is the lever for the LLM; the long-sequence\n\
          ViT also rewards capacity — the LPDDR-class design trades bandwidth for\n\
-         capacity and stays competitive for both, easing the dependence on NVSwitch."
+         capacity and stays competitive for both, easing the dependence on NVSwitch.\n"
     );
+
+    // How big a machine should you actually buy? Rank a multi-scale
+    // space by pure speed, then by "fastest within 2×, then cheapest in
+    // GPU-seconds". GPT3-175B at global batch 1024 is the DP-limited
+    // corner where strong scaling goes sub-linear, so the cost-aware pick
+    // trades a bounded slowdown for a far smaller fleet.
+    let m175 = gpt3_175b();
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let base = Planner::new(&m175.config, &sys)
+        .gpu_counts([512, 1024, 2048, 4096])
+        .global_batch(1024)
+        .strategy(TpStrategy::OneD);
+    let fastest = base.clone().objective(Objective::IterationTime).execute();
+    let frugal = base
+        .objective(Objective::IterationTime.then(1.0, Objective::GpuSeconds))
+        .execute();
+    println!("Fleet sizing for GPT3-175B @ batch 1024 (512–4096 B200):");
+    for (tag, plans) in [("fastest", &fastest), ("frugal ", &frugal)] {
+        if let Some(p) = plans.best() {
+            println!(
+                "  {tag}: {:>5} GPUs, {:.2}s/iter, {:.0} GPU·s per iteration — {}",
+                p.eval.config.total_gpus(),
+                p.eval.iteration_time,
+                p.eval.config.total_gpus() as f64 * p.eval.iteration_time,
+                p.eval.config,
+            );
+        }
+    }
 }

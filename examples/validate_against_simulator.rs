@@ -7,7 +7,7 @@
 use fmperf::prelude::*;
 use netsim::{simulate_collective, SimOptions};
 use report::Table;
-use trainsim::{compare, SimParams};
+use trainsim::SimParams;
 
 fn main() {
     // --- Fig. A1 analogue: collective formulas vs the chunk-level DES ---
@@ -78,6 +78,9 @@ fn main() {
     println!("(* = what NCCL-style auto-selection picks at that volume)\n");
 
     // --- §IV analogue: iteration time vs the 1F1B schedule simulator ---
+    // Each configuration is evaluated into a serializable `Plan`, pushed
+    // through JSON (the planner-artifact path) and validated from the
+    // deserialized artifact via `trainsim::compare_plan`.
     println!("512-GPU Perlmutter iteration times: analytic vs 1F1B simulation\n");
     let sys = perlmutter(4);
     let mut t = Table::new(["model", "config", "analytic (s)", "simulated (s)", "err %"]);
@@ -117,7 +120,15 @@ fn main() {
         ),
     ];
     for (name, model, cfg, pl) in cases {
-        let row = compare(name, &model, &cfg, &pl, 1024, &sys, &SimParams::default())
+        let plan = Plan {
+            model,
+            global_batch: 1024,
+            eval: fmperf::perfmodel::evaluate(&model, &cfg, &pl, 1024, &sys),
+            scores: Vec::new(),
+        };
+        let json = serde_json::to_string(&plan).expect("plans serialize");
+        let artifact: Plan = serde_json::from_str(&json).expect("plans deserialize");
+        let row = trainsim::compare_plan(&artifact, &sys, &SimParams::default())
             .expect("every showcased configuration runs the plain 1F1B schedule");
         t.push([
             name.to_string(),

@@ -14,22 +14,26 @@
 //! * [`netsim`] — piece-level discrete-event collective simulator (ring,
 //!   tree, hierarchical and AllToAll schedules on a generic link
 //!   topology) cross-validating every analytic formula.
-//! * [`perfmodel`] — the paper's performance model + the joint
-//!   `(tp, pp, dp, ep)` brute-force search.
+//! * [`perfmodel`] — the paper's performance model + the composable
+//!   [`Planner`](perfmodel::Planner) over the joint `(tp, pp, dp, ep)`
+//!   design space (typed search spaces, multi-objective Pareto search,
+//!   top-k retention, serializable plans).
 //! * [`trainsim`] — 1F1B schedule simulator for model validation.
 //! * [`report`] — tables, ASCII charts, JSON/CSV artifacts.
 //!
 //! ```
 //! use fmperf::prelude::*;
 //!
+//! let model = gpt3_1t().config;
 //! let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
-//! let best = optimize(
-//!     &gpt3_1t().config,
-//!     &sys,
-//!     &SearchOptions::new(512, 4096, TpStrategy::OneD),
-//! )
-//! .unwrap();
-//! println!("{}: {:.2} s/iter", best.config, best.iteration_time);
+//! let plans = Planner::new(&model, &sys)
+//!     .gpus(512)
+//!     .global_batch(4096)
+//!     .strategy(TpStrategy::OneD)
+//!     .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+//!     .execute();
+//! let best = plans.best().unwrap();
+//! println!("{}: {:.2} s/iter", best.eval.config, best.eval.iteration_time);
 //! ```
 //!
 //! # Building, testing, benchmarking
@@ -54,8 +58,8 @@ pub use txmodel;
 pub mod prelude {
     pub use collectives::{allreduce_time, collective_time, Algorithm, Collective, CommGroup};
     pub use perfmodel::{
-        best_placement_eval, evaluate, optimize, training_days, Evaluation, ParallelConfig,
-        Placement, SearchOptions, TpStrategy,
+        best_placement_eval, evaluate, optimize, training_days, Evaluation, Objective,
+        ParallelConfig, Placement, Plan, PlanSet, Planner, SearchOptions, SearchSpace, TpStrategy,
     };
     pub use systems::{perlmutter, system, GpuGeneration, NvsSize, SystemBuilder, SystemSpec};
     pub use txmodel::{

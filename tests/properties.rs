@@ -1,7 +1,7 @@
 //! Property-based tests on the model's core invariants.
 
 use fmperf::prelude::*;
-use perfmodel::enumerate_placements;
+use perfmodel::{enumerate_placements, PlannerConfig};
 use proptest::prelude::*;
 use trainsim::stage_schedule;
 
@@ -207,6 +207,126 @@ proptest! {
         let ez = evaluate(&model, &z3, &pl, 4096, &sys);
         prop_assert!((ez.memory.weights * nd as f64 - e0.memory.weights).abs() < 1.0);
         prop_assert!(ez.breakdown.dp_comm >= e0.breakdown.dp_comm - 1e-12);
+    }
+
+    /// No element of a `PlanSet`'s Pareto frontier dominates another:
+    /// for every pair, each must be strictly better than the other on at
+    /// least one of the selected objectives (exact ties excepted).
+    #[test]
+    fn pareto_frontier_has_no_dominated_element(
+        gpus_log in 4u32..7,
+        batch_log in 8u32..10,
+    ) {
+        let model = gpt3_175b().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let objectives = [
+            Objective::IterationTime,
+            Objective::HbmHeadroom,
+            Objective::GpuSeconds,
+        ];
+        let plans = Planner::new(&model, &sys)
+            .gpus(1u64 << gpus_log)
+            .global_batch(1u64 << batch_log)
+            .strategy(TpStrategy::OneD)
+            .pareto(objectives.clone())
+            .execute();
+        prop_assume!(!plans.pareto.is_empty());
+        // Lower-is-better key vector recovered from the reported scores.
+        let key = |p: &Plan| -> Vec<f64> {
+            objectives
+                .iter()
+                .map(|o| {
+                    let v = p.score(o).unwrap();
+                    if o.maximize() { -v } else { v }
+                })
+                .collect()
+        };
+        let keys: Vec<Vec<f64>> = plans.pareto.iter().map(key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dominates = a.iter().zip(b).all(|(x, y)| x <= y)
+                    && a.iter().zip(b).any(|(x, y)| x < y);
+                prop_assert!(!dominates, "frontier element {i} dominates {j}");
+            }
+        }
+        // And every top-ranked plan is dominated by no frontier element
+        // on the ranking objective's own axis: the frontier contains the
+        // single-objective optimum.
+        let best = plans.best().unwrap().eval.iteration_time;
+        prop_assert!(keys.iter().any(|k| (k[0] - best).abs() == 0.0));
+    }
+
+    /// `top_k(k)` equals the full-sort truncation: the k-plan set is a
+    /// prefix of the unbounded ranking, for plain and composite
+    /// objectives alike.
+    #[test]
+    fn top_k_equals_full_sort_truncation(
+        gpus_log in 4u32..7,
+        k in 1usize..6,
+        objective_pick in 0usize..3,
+    ) {
+        let model = gpt3_175b().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let objective = match objective_pick {
+            0 => Objective::IterationTime,
+            1 => Objective::weighted([
+                (Objective::IterationTime, 1.0),
+                (Objective::GpuSeconds, 1e-3),
+            ]),
+            _ => Objective::IterationTime.then(0.25, Objective::HbmHeadroom),
+        };
+        let planner = Planner::new(&model, &sys)
+            .gpus(1u64 << gpus_log)
+            .global_batch(512)
+            .strategy(TpStrategy::OneD)
+            .objective(objective);
+        let full = planner.clone().top_k(usize::MAX).execute();
+        let truncated = planner.top_k(k).execute();
+        prop_assert_eq!(truncated.top.len(), k.min(full.top.len()));
+        prop_assert_eq!(&truncated.top[..], &full.top[..truncated.top.len()]);
+        // The unbounded ranking covers exactly the feasible pool.
+        prop_assert_eq!(full.top.len() as u64, full.feasible);
+    }
+
+    /// Planner config, objectives and whole plan sets survive JSON
+    /// round-trips through the vendored serde_json.
+    #[test]
+    fn planner_artifacts_round_trip_serde(
+        gpus_log in 4u32..6,
+        top_k in 1usize..5,
+        weight in 0.001f64..10.0,
+        tol in 0.0f64..0.5,
+    ) {
+        let model = moe_1t().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let objective = Objective::weighted([
+            (Objective::IterationTime, weight),
+            (Objective::TokensPerGpuSecond, weight / 2.0),
+        ])
+        .then(tol, Objective::GpuSeconds);
+        let planner = Planner::new(&model, &sys)
+            .gpus(1u64 << gpus_log)
+            .global_batch(1024)
+            .strategy(TpStrategy::OneD)
+            .objective(objective.clone())
+            .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+            .top_k(top_k);
+        // Objective alone.
+        let o: Objective =
+            serde_json::from_str(&serde_json::to_string(&objective).unwrap()).unwrap();
+        prop_assert_eq!(&o, &objective);
+        // Full planner config.
+        let cfg: PlannerConfig =
+            serde_json::from_str(&serde_json::to_string(planner.config()).unwrap()).unwrap();
+        prop_assert_eq!(&cfg, planner.config());
+        // Executed plan set (configs, placements, scores, frontier).
+        let plans = planner.execute();
+        let back: PlanSet =
+            serde_json::from_str(&serde_json::to_string(&plans).unwrap()).unwrap();
+        prop_assert_eq!(back, plans);
     }
 
     /// The netsim DES stays within a bounded factor of the analytic model
