@@ -35,7 +35,11 @@ fn bench_search_scaling(c: &mut Criterion) {
     let gpt = gpt3_1t().config;
     let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
     let mut g = c.benchmark_group("search-scaling");
-    g.sample_size(10);
+    // More samples than the other search groups: oversubscribed pools
+    // (8 threads on small machines) add scheduling jitter, and this
+    // group's 8-vs-1-thread ratio is gated in CI — the larger sample
+    // keeps the mean at its steady state instead of a noisy tail.
+    g.sample_size(30);
     for threads in [1usize, 2, 4, 8] {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)

@@ -1,0 +1,80 @@
+//! Profiling counters on the heaviest search in the bench suite: the
+//! SUMMA sweep of GPT3-1T on 16384 GPUs (`gpt_summa_n16384` in
+//! `out/bench.json`).
+//!
+//! Runs the pruned `optimize` path and the unpruned full sweep
+//! back-to-back and prints per-phase wall clock next to the
+//! [`perfmodel::search_stats`] deltas: memo hits split by level
+//! (thread-local L1 vs the process-wide shared table), profile rebuild
+//! counts and time, and how many candidates the branch-and-bound /
+//! dominated-elimination prunes skipped. See `PERFORMANCE.md` for how
+//! these numbers feed the perf methodology.
+//!
+//! ```text
+//! cargo run --release -p perfmodel --example search_stats
+//! ```
+
+use perfmodel::{
+    enumerate_partitions, optimize, reset_search_stats, search_stats, Planner, SearchOptions,
+    SearchSpace, TpStrategy,
+};
+use std::time::Instant;
+use systems::{system, GpuGeneration, NvsSize};
+use txmodel::gpt3_1t;
+
+fn main() {
+    let model = gpt3_1t().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let opts = SearchOptions::default()
+        .gpus(16384)
+        .global_batch(4096)
+        .strategy(TpStrategy::Summa);
+
+    let t0 = Instant::now();
+    let parts = enumerate_partitions(&model, &opts);
+    println!(
+        "enumerate:      {:>7} candidates in {:.2?}",
+        parts.len(),
+        t0.elapsed()
+    );
+
+    // Pruned single-optimum path (the optimize default).
+    reset_search_stats();
+    let t0 = Instant::now();
+    let best = optimize(&model, &sys, &opts).expect("a feasible SUMMA config exists");
+    let dt = t0.elapsed();
+    let s = search_stats();
+    println!(
+        "optimize:       {dt:.2?} (best iteration {:.4} s)",
+        best.iteration_time
+    );
+    println!(
+        "  profiles:     {} built in {:.2?}",
+        s.profile_builds,
+        std::time::Duration::from_nanos(s.profile_build_nanos)
+    );
+    println!(
+        "  memo:         {} local hits, {} shared hits, {} misses",
+        s.memo_local_hits, s.memo_shared_hits, s.memo_misses
+    );
+    println!(
+        "  pruned:       {} by bound, {} dominated",
+        s.bound_pruned, s.dominated_pruned
+    );
+
+    // Unpruned full sweep (what every candidate costs).
+    reset_search_stats();
+    let t0 = Instant::now();
+    let evals = Planner::new(&model, &sys)
+        .space(SearchSpace::from(&opts))
+        .evaluations();
+    let dt = t0.elapsed();
+    let s = search_stats();
+    println!("full sweep:     {dt:.2?} ({} feasible evaluations)", {
+        evals.iter().filter(|e| e.feasible).count()
+    });
+    println!(
+        "  memo:         {} local hits, {} shared hits, {} misses",
+        s.memo_local_hits, s.memo_shared_hits, s.memo_misses
+    );
+}

@@ -21,6 +21,7 @@ use crate::config::{ParallelConfig, Placement};
 use crate::memory::{memory_usage, MemoryUsage};
 use crate::partition::build_profile;
 use crate::partition::cache::{fnv, memo_f64, system_fingerprint};
+use crate::placement::divisors;
 use crate::plan::{CommPattern, LayerProfile, TpGroup};
 use collectives::{
     allreduce_hierarchical_time, allreduce_time, allreduce_tree_time, alltoall_time,
@@ -67,20 +68,108 @@ fn comm_group(group: TpGroup, cfg: &ParallelConfig, placement: &Placement) -> Co
     }
 }
 
-/// Exposed time of one communication pattern under a placement.
+/// Exposed time of one [`CommPattern::Exposed`] collective over an
+/// already-resolved group.
 ///
 /// AllReduce patterns are priced under the configuration's
 /// [`Algorithm`] policy (`Auto` = NCCL-style fastest-of-three); every
 /// other collective runs rings, as in NCCL.
 ///
-/// The heavyweight pricings — SUMMA panel schedules and policy-dispatched
-/// AllReduce — are memoized per thread on `(pattern, groups, system)`:
-/// the search prices the same pattern for every `(np, nd, interleave,
+/// The heavyweight pricings — policy-dispatched AllReduce/AllToAll — are
+/// memoized ([`memo_f64`]) on `(algorithm, volume, group, system)`: the
+/// search prices the same pattern for every `(np, nd, interleave,
 /// placement)` candidate sharing a TP tuple, so hit rates are high and
 /// hits are bit-identical. Plain ring AG/RS/Broadcast formulas cost less
 /// than a cache probe and are computed directly. `sys_fp` is the caller's
-/// hoisted [`system_fingerprint`] (one fingerprint per placement
-/// evaluation, not per pattern).
+/// hoisted [`system_fingerprint`]. Taking the resolved [`CommGroup`]
+/// (rather than a placement) lets the branch-and-bound lower bound price
+/// *hypothetical* best-case groups through the same memo entries real
+/// placements use.
+fn exposed_time(
+    coll: Collective,
+    volume: f64,
+    algo: Algorithm,
+    grp: CommGroup,
+    sys: &SystemSpec,
+    sys_fp: u64,
+) -> f64 {
+    match coll {
+        Collective::AllReduce => {
+            let key = fnv([
+                0x45, // "E"xposed
+                algo as u64,
+                volume.to_bits(),
+                grp.size(),
+                grp.per_domain(),
+                sys_fp,
+            ]);
+            memo_f64(key, || allreduce_time(algo, volume, grp, sys))
+        }
+        Collective::AllToAll => {
+            // MoE dispatch/combine: ring vs pairwise under the same
+            // policy knob (Auto = fastest, as NCCL would pick).
+            let key = fnv([
+                0x41, // "A"lltoall
+                algo as u64,
+                volume.to_bits(),
+                grp.size(),
+                grp.per_domain(),
+                sys_fp,
+            ]);
+            memo_f64(key, || alltoall_time(algo, volume, grp, sys))
+        }
+        _ => collective_time(coll, volume, grp, sys),
+    }
+}
+
+/// Exposed time of one [`CommPattern::SummaOverlapped`] panel schedule
+/// over already-resolved groups (memoized like [`exposed_time`]).
+#[allow(clippy::too_many_arguments)]
+fn summa_time(
+    vol_a: f64,
+    vol_b: f64,
+    panels: u64,
+    panel_compute: f64,
+    grp_a: CommGroup,
+    grp_b: CommGroup,
+    sys: &SystemSpec,
+    sys_fp: u64,
+) -> f64 {
+    let key = fnv([
+        0x53, // "S"umma
+        vol_a.to_bits(),
+        vol_b.to_bits(),
+        panels,
+        panel_compute.to_bits(),
+        grp_a.size(),
+        grp_a.per_domain(),
+        grp_b.size(),
+        grp_b.per_domain(),
+        sys_fp,
+    ]);
+    memo_f64(key, || {
+        let panels = panels.max(1) as f64;
+        // `vol_*` carry the (g−1)/g received factor; the broadcast
+        // of one panel moves the full panel tensor, so undo the
+        // factor.
+        let per_step = |vol: f64, grp: CommGroup| -> f64 {
+            if grp.size() <= 1 || vol <= 0.0 {
+                return 0.0;
+            }
+            let n = grp.size() as f64;
+            let tensor = vol * n / (n - 1.0) / panels;
+            collective_time(Collective::Broadcast, tensor, grp, sys)
+        };
+        let step_comm = per_step(vol_a, grp_a) + per_step(vol_b, grp_b);
+        // Prologue (first panel fully exposed) + exposed remainder
+        // of each subsequent panel after overlapping with compute.
+        step_comm + (panels - 1.0) * (step_comm - panel_compute).max(0.0)
+    })
+}
+
+/// Exposed time of one communication pattern under a placement: resolves
+/// the pattern's symbolic groups via [`comm_group`] and dispatches to the
+/// memoized pricing helpers.
 fn pattern_time(
     pattern: &CommPattern,
     cfg: &ParallelConfig,
@@ -93,36 +182,14 @@ fn pattern_time(
             coll,
             volume,
             group,
-        } => {
-            let grp = comm_group(*group, cfg, placement);
-            match coll {
-                Collective::AllReduce => {
-                    let key = fnv([
-                        0x45, // "E"xposed
-                        cfg.comm_algo as u64,
-                        volume.to_bits(),
-                        grp.size(),
-                        grp.per_domain(),
-                        sys_fp,
-                    ]);
-                    memo_f64(key, || allreduce_time(cfg.comm_algo, *volume, grp, sys))
-                }
-                Collective::AllToAll => {
-                    // MoE dispatch/combine: ring vs pairwise under the same
-                    // policy knob (Auto = fastest, as NCCL would pick).
-                    let key = fnv([
-                        0x41, // "A"lltoall
-                        cfg.comm_algo as u64,
-                        volume.to_bits(),
-                        grp.size(),
-                        grp.per_domain(),
-                        sys_fp,
-                    ]);
-                    memo_f64(key, || alltoall_time(cfg.comm_algo, *volume, grp, sys))
-                }
-                _ => collective_time(*coll, *volume, grp, sys),
-            }
-        }
+        } => exposed_time(
+            *coll,
+            *volume,
+            cfg.comm_algo,
+            comm_group(*group, cfg, placement),
+            sys,
+            sys_fp,
+        ),
         CommPattern::SummaOverlapped {
             vol_a,
             group_a,
@@ -130,55 +197,114 @@ fn pattern_time(
             group_b,
             panels,
             panel_compute,
-        } => {
-            let grp_a = comm_group(*group_a, cfg, placement);
-            let grp_b = comm_group(*group_b, cfg, placement);
-            let key = fnv([
-                0x53, // "S"umma
+        } => summa_time(
+            *vol_a,
+            *vol_b,
+            *panels,
+            *panel_compute,
+            comm_group(*group_a, cfg, placement),
+            comm_group(*group_b, cfg, placement),
+            sys,
+            sys_fp,
+        ),
+    }
+}
+
+/// Order-sensitive FNV fold of a pass's full pattern list: every variant
+/// field (collective, volume bits, symbolic group, panel schedule) enters
+/// the fold, so two passes share a fingerprint only if their pattern
+/// lists are identical (up to the fold's ~2⁻⁶⁴ pairwise collision odds).
+/// This is what lets the pass-level memo key stand in for the list
+/// itself.
+fn comm_fingerprint(comms: &[CommPattern]) -> u64 {
+    let mut words: Vec<u64> = Vec::with_capacity(comms.len() * 7);
+    for p in comms {
+        match p {
+            CommPattern::Exposed {
+                coll,
+                volume,
+                group,
+            } => words.extend([0x58, *coll as u64, volume.to_bits(), *group as u64]),
+            CommPattern::SummaOverlapped {
+                vol_a,
+                group_a,
+                vol_b,
+                group_b,
+                panels,
+                panel_compute,
+            } => words.extend([
+                0x59,
                 vol_a.to_bits(),
+                *group_a as u64,
                 vol_b.to_bits(),
+                *group_b as u64,
                 *panels,
                 panel_compute.to_bits(),
-                grp_a.size(),
-                grp_a.per_domain(),
-                grp_b.size(),
-                grp_b.per_domain(),
-                sys_fp,
-            ]);
-            memo_f64(key, || {
-                let panels = (*panels).max(1) as f64;
-                // `vol_*` carry the (g−1)/g received factor; the broadcast
-                // of one panel moves the full panel tensor, so undo the
-                // factor.
-                let per_step = |vol: f64, grp: CommGroup| -> f64 {
-                    if grp.size() <= 1 || vol <= 0.0 {
-                        return 0.0;
-                    }
-                    let n = grp.size() as f64;
-                    let tensor = vol * n / (n - 1.0) / panels;
-                    collective_time(Collective::Broadcast, tensor, grp, sys)
-                };
-                let step_comm = per_step(*vol_a, grp_a) + per_step(*vol_b, grp_b);
-                // Prologue (first panel fully exposed) + exposed remainder
-                // of each subsequent panel after overlapping with compute.
-                step_comm + (panels - 1.0) * (step_comm - panel_compute).max(0.0)
-            })
+            ]),
+        }
+    }
+    fnv(words)
+}
+
+/// The forward/backward pass fingerprints of one [`LayerProfile`]
+/// ([`comm_fingerprint`] of each pattern list), computed once per profile
+/// (the [`crate::ProfileCache`] stores them alongside the profile) so the
+/// per-placement pass-level memo probes are a single hash fold instead of
+/// a re-hash of the pattern lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PassFingerprints {
+    pub(crate) fwd: u64,
+    pub(crate) bwd: u64,
+}
+
+impl PassFingerprints {
+    pub(crate) fn of(profile: &LayerProfile) -> Self {
+        Self {
+            fwd: comm_fingerprint(&profile.fwd.comms),
+            bwd: comm_fingerprint(&profile.bwd.comms),
         }
     }
 }
 
-/// Sum of exposed communication over one pass of one layer.
+/// Sum of exposed communication over one pass of one layer, memoized at
+/// the **pass** level: the key folds the pass fingerprint with everything
+/// [`comm_group`] can read from the candidate (`n1`, `n2`, `ep`, the
+/// algorithm policy) and from the placement (`v1`, `v2`, and the
+/// expert group's derived per-domain share — `vp` never enters a pass
+/// pattern). In the all-hit steady state this turns the former
+/// one-probe-per-pattern inner loop into one probe per pass; on a miss
+/// the per-pattern sum below runs in the exact order it always did, so
+/// the published value is bit-identical to the unmemoized sum.
 fn pass_comm_time(
     comms: &[CommPattern],
+    pass_fp: u64,
     cfg: &ParallelConfig,
     placement: &Placement,
     sys: &SystemSpec,
     sys_fp: u64,
 ) -> f64 {
-    comms
-        .iter()
-        .map(|p| pattern_time(p, cfg, placement, sys, sys_fp))
-        .sum()
+    if comms.is_empty() {
+        return 0.0;
+    }
+    let ep_per_domain = largest_divisor_at_most(cfg.ep, placement.vd.min(cfg.ep));
+    let key = fnv([
+        0x50, // "P"ass
+        pass_fp,
+        cfg.comm_algo as u64,
+        cfg.n1,
+        cfg.n2,
+        cfg.ep,
+        placement.v1,
+        placement.v2,
+        ep_per_domain,
+        sys_fp,
+    ]);
+    memo_f64(key, || {
+        comms
+            .iter()
+            .map(|p| pattern_time(p, cfg, placement, sys, sys_fp))
+            .sum()
+    })
 }
 
 /// Evaluates with a fraction of the exposed tensor-parallel communication
@@ -214,16 +340,24 @@ pub fn evaluate_with_tp_overlap(
 /// breakdown's TP bucket, the stage times feed everything else. Keeping
 /// one definition means the analytic model and the `trainsim` simulator
 /// that validates it can never silently diverge on the stage formula.
+///
+/// `sys_fp`/`fps` are the hoisted [`system_fingerprint`] and
+/// [`PassFingerprints`] — the search hoists both out of its per-placement
+/// loop ([`crate::ProfileCache`] hands back the fingerprints it computed
+/// at build time), so per-placement work is a pair of memo probes.
 fn stage_parts(
     profile: &LayerProfile,
     layers: f64,
     cfg: &ParallelConfig,
     placement: &Placement,
     sys: &SystemSpec,
+    sys_fp: u64,
+    fps: PassFingerprints,
 ) -> (f64, f64, f64, f64) {
-    let sys_fp = system_fingerprint(sys);
-    let fwd_comm = layers * pass_comm_time(&profile.fwd.comms, cfg, placement, sys, sys_fp);
-    let bwd_comm = layers * pass_comm_time(&profile.bwd.comms, cfg, placement, sys, sys_fp);
+    let fwd_comm =
+        layers * pass_comm_time(&profile.fwd.comms, fps.fwd, cfg, placement, sys, sys_fp);
+    let bwd_comm =
+        layers * pass_comm_time(&profile.bwd.comms, fps.bwd, cfg, placement, sys, sys_fp);
     (
         fwd_comm,
         bwd_comm,
@@ -244,7 +378,9 @@ pub fn stage_times(
     sys: &SystemSpec,
 ) -> (f64, f64) {
     let layers = (model.depth / cfg.np) as f64;
-    let (_, _, tf, tb) = stage_parts(profile, layers, cfg, placement, sys);
+    let sys_fp = system_fingerprint(sys);
+    let fps = PassFingerprints::of(profile);
+    let (_, _, tf, tb) = stage_parts(profile, layers, cfg, placement, sys, sys_fp, fps);
     (tf, tb)
 }
 
@@ -275,12 +411,54 @@ pub(crate) fn evaluate_placement(
     sys: &SystemSpec,
     memory: MemoryUsage,
 ) -> Evaluation {
+    let sys_fp = system_fingerprint(sys);
+    let fps = PassFingerprints::of(profile);
+    let breakdown = placement_breakdown(
+        profile,
+        model,
+        cfg,
+        placement,
+        global_batch,
+        sys,
+        sys_fp,
+        fps,
+    );
+    let feasible = memory.fits(sys.gpu.hbm_capacity);
+    Evaluation {
+        config: *cfg,
+        placement: *placement,
+        microbatches: cfg.num_microbatches(global_batch),
+        iteration_time: breakdown.total(),
+        breakdown,
+        memory,
+        feasible,
+    }
+}
+
+/// The pure timing core: the full bucket [`Breakdown`] of one
+/// configuration + placement, with every per-placement-loop invariant
+/// (`sys_fp`, `fps`, the memory accounting) hoisted to the caller. The
+/// search's inner loop calls this directly — scoring a placement is then
+/// nothing but two pass-level memo probes plus a handful of multiplies —
+/// and only materializes a full [`Evaluation`] for the winning placement.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn placement_breakdown(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    placement: &Placement,
+    global_batch: u64,
+    sys: &SystemSpec,
+    sys_fp: u64,
+    fps: PassFingerprints,
+) -> Breakdown {
     let m = cfg.num_microbatches(global_batch) as f64;
     let layers = (model.depth / cfg.np) as f64;
 
     // Per-microbatch stage times: one shared pricing of each pass's
     // communication yields both the TP-comm bucket and tf/tb.
-    let (fwd_comm, bwd_comm, tf, tb) = stage_parts(profile, layers, cfg, placement, sys);
+    let (fwd_comm, bwd_comm, tf, tb) =
+        stage_parts(profile, layers, cfg, placement, sys, sys_fp, fps);
 
     // Steady-state + bubble. Interleaving the stage into `v` virtual
     // chunks divides the bubble by `v` (Narayanan et al. / paper
@@ -299,25 +477,13 @@ pub(crate) fn evaluate_placement(
 
     let dp_comm = dp_sync_time(profile, model, cfg, placement, global_batch, sys, tf, tb);
 
-    let breakdown = Breakdown {
+    Breakdown {
         compute: m * layers * (profile.fwd.time.compute + profile.bwd.time.compute),
         memory: m * layers * (profile.fwd.time.memory_excess + profile.bwd.time.memory_excess),
         tp_comm: m * (fwd_comm + bwd_comm),
         pp_bubble: bubble,
         dp_comm,
         pp_comm,
-    };
-
-    let feasible = memory.fits(sys.gpu.hbm_capacity);
-
-    Evaluation {
-        config: *cfg,
-        placement: *placement,
-        microbatches: m as u64,
-        iteration_time: breakdown.total(),
-        breakdown,
-        memory,
-        feasible,
     }
 }
 
@@ -450,6 +616,180 @@ pub fn largest_divisor_at_most(n: u64, cap: u64) -> u64 {
         d += 1;
     }
     best
+}
+
+/// Best-case exposed time of one communication pattern over *any* legal
+/// domain assignment — the per-pattern piece of the branch-and-bound
+/// lower bound.
+///
+/// For each group the real placement choices are divisors `v` of the
+/// group size with `v1·v2·vp·vd ≤ budget` jointly; this relaxes to every
+/// divisor `d ≤ budget` **independently per group** (a superset: any
+/// jointly-feasible `v` satisfies `v ≤ budget` alone, and the expert
+/// group's derived share `largest_divisor_at_most(ep, vd.min(ep))` is
+/// also a divisor of `ep` that is ≤ budget). Minimizing over the superset
+/// can only go lower, so the bound is admissible *without* assuming the
+/// collective models are monotone in the per-domain share — which the
+/// hierarchical AllReduce is not. SUMMA patterns minimize over the
+/// cartesian product of both groups' options for the same reason.
+///
+/// Pricing goes through the same memoized [`exposed_time`] /
+/// [`summa_time`] helpers as real placements, so bound probes warm the
+/// memo for the survivors' full evaluation.
+fn pattern_lower_bound(
+    pattern: &CommPattern,
+    cfg: &ParallelConfig,
+    budget: u64,
+    sys: &SystemSpec,
+    sys_fp: u64,
+) -> f64 {
+    let group_size = |g: TpGroup| match g {
+        TpGroup::N1 => cfg.n1,
+        TpGroup::N2 => cfg.n2,
+        TpGroup::Ep => cfg.ep,
+    };
+    match pattern {
+        CommPattern::Exposed {
+            coll,
+            volume,
+            group,
+        } => {
+            let n = group_size(*group);
+            divisors(n)
+                .into_iter()
+                .filter(|&d| d <= budget)
+                .map(|d| {
+                    exposed_time(
+                        *coll,
+                        *volume,
+                        cfg.comm_algo,
+                        CommGroup::new(n, d),
+                        sys,
+                        sys_fp,
+                    )
+                })
+                .fold(f64::INFINITY, f64::min)
+        }
+        CommPattern::SummaOverlapped {
+            vol_a,
+            group_a,
+            vol_b,
+            group_b,
+            panels,
+            panel_compute,
+        } => {
+            let na = group_size(*group_a);
+            let nb = group_size(*group_b);
+            let dbs: Vec<u64> = divisors(nb).into_iter().filter(|&d| d <= budget).collect();
+            let mut best = f64::INFINITY;
+            for da in divisors(na).into_iter().filter(|&d| d <= budget) {
+                for &db in &dbs {
+                    best = best.min(summa_time(
+                        *vol_a,
+                        *vol_b,
+                        *panels,
+                        *panel_compute,
+                        CommGroup::new(na, da),
+                        CommGroup::new(nb, db),
+                        sys,
+                        sys_fp,
+                    ));
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Sum of [`pattern_lower_bound`] over one pass, memoized under the
+/// `0x4C` key (pass fingerprint × candidate group sizes × domain budget —
+/// no placement fields, since the bound quantifies over all of them).
+/// A per-pass sum of per-pattern minima is itself a valid lower bound on
+/// the per-pass minimum: `Σᵢ minₚ tᵢ(p) ≤ minₚ Σᵢ tᵢ(p)`.
+fn pass_comm_lower_bound(
+    comms: &[CommPattern],
+    pass_fp: u64,
+    cfg: &ParallelConfig,
+    budget: u64,
+    sys: &SystemSpec,
+    sys_fp: u64,
+) -> f64 {
+    if comms.is_empty() {
+        return 0.0;
+    }
+    let key = fnv([
+        0x4C, // "L"ower bound
+        pass_fp,
+        cfg.comm_algo as u64,
+        cfg.n1,
+        cfg.n2,
+        cfg.ep,
+        budget,
+        sys_fp,
+    ]);
+    memo_f64(key, || {
+        comms
+            .iter()
+            .map(|p| pattern_lower_bound(p, cfg, budget, sys, sys_fp))
+            .sum()
+    })
+}
+
+/// Admissible lower bound on [`placement_breakdown`]`.total()` over
+/// **every** placement of `cfg` — the branch-and-bound pruning predicate.
+///
+/// # Admissibility
+///
+/// Each breakdown bucket is bounded below independently, so the sum
+/// bounds the total:
+///
+/// * **compute + memory + tp_comm** = `m·(tf + tb)`, and `tf ≥ tf_lb`
+///   because each pass's exposed comm is bounded by
+///   [`pass_comm_lower_bound`] (a relaxation over a superset of the real
+///   placement choices — see [`pattern_lower_bound`]).
+/// * **pp_bubble** = `(np−1)·(tf+tb)/interleave` is monotone in
+///   `tf + tb`, so substituting the bounds keeps it a bound.
+/// * **pp_comm** takes the cheaper of the same-domain / cross-domain P2P
+///   rates, whichever a placement would pick.
+/// * **dp_comm** is an overlap *remainder*: every branch of
+///   [`dp_sync_time`] is a `max(0, ·)` (or a min of such), so `0` is a
+///   valid bound and the term is simply dropped.
+///
+/// Any candidate whose bound already exceeds the incumbent best time
+/// therefore cannot contain the optimum, and pruning it is exact (the
+/// caller adds a relative epsilon so float rounding between the bucketed
+/// sum and `m·(tf+tb)` can never flip a tie). The bound costs two memo
+/// probes in the steady state — candidates sharing a TP tuple reuse it.
+pub(crate) fn iteration_time_lower_bound(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    global_batch: u64,
+    sys: &SystemSpec,
+    sys_fp: u64,
+    fps: PassFingerprints,
+) -> f64 {
+    let m = cfg.num_microbatches(global_batch) as f64;
+    let layers = (model.depth / cfg.np) as f64;
+    let budget = sys.nvs_size.min(cfg.total_gpus());
+    let fwd_lb =
+        layers * pass_comm_lower_bound(&profile.fwd.comms, fps.fwd, cfg, budget, sys, sys_fp);
+    let bwd_lb =
+        layers * pass_comm_lower_bound(&profile.bwd.comms, fps.bwd, cfg, budget, sys, sys_fp);
+    let tf_lb = layers * profile.fwd.time.total() + fwd_lb;
+    let tb_lb = layers * profile.bwd.time.total() + bwd_lb;
+    let bubble_lb = (cfg.np - 1) as f64 * (tf_lb + tb_lb) / cfg.interleave as f64;
+    let pp_lb = if cfg.np > 1 {
+        let per_hop = p2p_time(profile.boundary_bytes, true, sys).min(p2p_time(
+            profile.boundary_bytes,
+            false,
+            sys,
+        ));
+        2.0 * m * cfg.interleave as f64 * per_hop
+    } else {
+        0.0
+    };
+    m * (tf_lb + tb_lb) + bubble_lb + pp_lb
 }
 
 /// Evaluates a configuration + placement from scratch (builds the layer

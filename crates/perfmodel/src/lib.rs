@@ -76,7 +76,7 @@ pub use evaluate::{
     Evaluation,
 };
 pub use memory::MemoryUsage;
-pub use partition::{ProfileCache, ProfileKey};
+pub use partition::{reset_search_stats, search_stats, ProfileCache, ProfileKey, SearchStats};
 pub use placement::enumerate_placements;
 pub use planner::{
     LexStage, Objective, ObjectiveCtx, Plan, PlanSet, Planner, PlannerConfig, Score, SearchSpace,

@@ -21,11 +21,14 @@
 
 use super::build_profile;
 use crate::config::{ParallelConfig, TpStrategy};
+use crate::evaluate::PassFingerprints;
 use crate::plan::LayerProfile;
 use rayon::prelude::*;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, RwLock};
 use systems::{GpuSpec, SystemSpec};
 use txmodel::TransformerConfig;
 
@@ -63,24 +66,32 @@ impl ProfileKey {
 }
 
 /// Build-once, read-many store of layer profiles for one `(model, gpu)`.
+///
+/// Each profile is stored together with its precomputed
+/// `PassFingerprints` (the FNV folds of its forward/backward pattern
+/// lists), so the search's per-placement pass-level memo probes never
+/// re-hash the pattern lists.
 pub struct ProfileCache {
-    map: HashMap<ProfileKey, LayerProfile>,
+    map: HashMap<ProfileKey, (LayerProfile, PassFingerprints)>,
 }
 
 impl ProfileCache {
     /// Builds the profile for every distinct key among `cfgs`, fanning the
     /// (placement-independent) constructions out over the rayon pool.
+    /// Build count and wall-clock feed the [`SearchStats`] profiling
+    /// counters.
     pub fn build(model: &TransformerConfig, gpu: &GpuSpec, cfgs: &[ParallelConfig]) -> Self {
+        let start = std::time::Instant::now();
         let mut seen = HashSet::new();
         let keys: Vec<ProfileKey> = cfgs
             .iter()
             .map(ProfileKey::of)
             .filter(|k| seen.insert(*k))
             .collect();
-        let profiles: Vec<LayerProfile> = keys
+        let profiles: Vec<(LayerProfile, PassFingerprints)> = keys
             .par_iter()
             .map(|k| {
-                build_profile(
+                let profile = build_profile(
                     model,
                     k.strategy,
                     k.n1,
@@ -89,9 +100,13 @@ impl ProfileCache {
                     k.summa_panels,
                     k.ep,
                     gpu,
-                )
+                );
+                let fps = PassFingerprints::of(&profile);
+                (profile, fps)
             })
             .collect();
+        PROFILE_BUILDS.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        PROFILE_BUILD_NANOS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Self {
             map: keys.into_iter().zip(profiles).collect(),
         }
@@ -102,6 +117,13 @@ impl ProfileCache {
     /// Panics if `cfg` was not part of the slice the cache was built from
     /// (a caller bug: the cache is keyed per enumeration, not global).
     pub fn get(&self, cfg: &ParallelConfig) -> &LayerProfile {
+        &self.get_with_fps(cfg).0
+    }
+
+    /// [`ProfileCache::get`] plus the profile's precomputed pass
+    /// fingerprints (the search's hot path — hashing the pattern lists
+    /// once per *profile* instead of once per candidate).
+    pub(crate) fn get_with_fps(&self, cfg: &ParallelConfig) -> &(LayerProfile, PassFingerprints) {
         self.map
             .get(&ProfileKey::of(cfg))
             .unwrap_or_else(|| panic!("no cached profile for {cfg}"))
@@ -121,16 +143,182 @@ impl ProfileCache {
 // Collective-time memoization (per-placement pricing hot path)
 // ---------------------------------------------------------------------------
 //
-// `evaluate`'s per-placement pricing (`pattern_time`) recomputes the same
-// collective times for every `(np, nd, bm, interleave, placement)`
-// candidate sharing a TP tuple — the SUMMA sweep alone prices millions of
-// `(collective, volume, group)` triples drawn from a few thousand distinct
-// ones. The memo below caches those scalar times per thread (the vendored
-// rayon pool gives each worker a contiguous chunk of candidates, so
-// thread-local hit rates match a shared cache without any locking), keyed
-// by an FNV-1a fold of the triple plus a fingerprint of the system's
-// network characteristics. Cache hits return bit-identical values, so
-// results are unchanged — memoization only affects speed.
+// `evaluate`'s per-placement pricing (`pattern_time` and the pass-level
+// sums above it) recomputes the same collective times for every
+// `(np, nd, bm, interleave, placement)` candidate sharing a TP tuple —
+// the SUMMA sweep alone prices millions of `(collective, volume, group)`
+// triples drawn from a few thousand distinct ones. The memo below caches
+// those scalar times in **two levels**:
+//
+// * **L1** — a thread-local `HashMap` probed first, lock-free. It absorbs
+//   the all-hit steady state, which is the actual hot path: once warm, a
+//   probe is one hash + one lookup with no synchronization at all.
+// * **L2** — a process-global, 64-way-sharded `RwLock` map shared by all
+//   workers. The vendored rayon pool spawns *fresh* scoped threads per
+//   parallel call, so every worker starts with an empty L1; before L2
+//   existed, each of them re-derived the same few thousand distinct
+//   pricings per call (8× redundant first-compute work at 8 threads —
+//   the profiling counters below confirmed the hypothesis). An L1 miss
+//   now falls through to a shared read lock; only a genuine first
+//   compute takes a shard's write lock.
+//
+// # Key scheme
+//
+// Keys are FNV-1a folds ([`fnv`]) over a domain tag byte plus every input
+// the priced value depends on:
+//
+// * `0x45`/`0x41` — exposed AllReduce / AllToAll: `(algo, volume bits,
+//   group size, per-domain share, system fingerprint)`;
+// * `0x53` — SUMMA overlapped panel schedule: `(volumes, panel count,
+//   panel compute bits, both groups, system fingerprint)`;
+// * `0x50`/`0x4C` — pass-level sum / pass-level lower bound (see
+//   `crate::evaluate`): `(pass fingerprint, algo, n1, n2, ep, placement
+//   projection or domain budget, system fingerprint)`.
+//
+// The system fingerprint ([`system_fingerprint`]) folds every network
+// parameter a collective time reads, so one process can price many
+// systems against one shared memo.
+//
+// # Sharing lifecycle and determinism
+//
+// L2 is append-only for the process lifetime (entries are never evicted
+// or mutated — `f64` values are pure functions of their key, ~16 bytes
+// each). Two workers racing on the same first compute insert
+// **bit-identical** values, so last-write-wins is harmless; hits return
+// exactly the bits the first compute produced. Memoization therefore
+// never changes results — only speed — and the search stays bit-identical
+// across thread counts.
+
+/// Profiling counters for the S3 search hot path (process-global).
+///
+/// Returned by [`search_stats`]; reset with [`reset_search_stats`].
+/// Counter updates are batched thread-locally and flushed when a worker
+/// thread exits (the vendored pool joins its scoped workers before a
+/// parallel call returns) and by [`search_stats`] itself for the calling
+/// thread — so reading stats *between* searches from the thread that ran
+/// them sees every event. Note the counters are global: concurrent
+/// searches (e.g. parallel `cargo test` threads) add to the same tallies,
+/// so tests should assert on deltas, not absolute values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Collective-time memo probes answered by the thread-local L1.
+    pub memo_local_hits: u64,
+    /// Probes that missed L1 but hit the shared L2 — exactly the work
+    /// per-thread caches used to redo per worker before sharing.
+    pub memo_shared_hits: u64,
+    /// Probes that computed (and published) a new value.
+    pub memo_misses: u64,
+    /// Layer profiles constructed by [`ProfileCache::build`].
+    pub profile_builds: u64,
+    /// Wall-clock nanoseconds spent inside [`ProfileCache::build`].
+    pub profile_build_nanos: u64,
+    /// Candidates skipped by the branch-and-bound incumbent test.
+    pub bound_pruned: u64,
+    /// Candidates eliminated as dominated before placement enumeration.
+    pub dominated_pruned: u64,
+}
+
+static MEMO_LOCAL_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_SHARED_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROFILE_BUILDS: AtomicU64 = AtomicU64::new(0);
+static PROFILE_BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
+static BOUND_PRUNED: AtomicU64 = AtomicU64::new(0);
+static DOMINATED_PRUNED: AtomicU64 = AtomicU64::new(0);
+
+/// Thread-local probe tallies: plain `Cell` bumps on the all-hit hot path
+/// (an atomic `fetch_add` per probe would cost real time at millions of
+/// probes), flushed to the globals on thread exit via `Drop`.
+struct LocalCounts {
+    local_hits: Cell<u64>,
+    shared_hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl LocalCounts {
+    fn flush(&self) {
+        for (cell, global) in [
+            (&self.local_hits, &MEMO_LOCAL_HITS),
+            (&self.shared_hits, &MEMO_SHARED_HITS),
+            (&self.misses, &MEMO_MISSES),
+        ] {
+            let n = cell.replace(0);
+            if n > 0 {
+                global.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for LocalCounts {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL_COUNTS: LocalCounts = const {
+        LocalCounts {
+            local_hits: Cell::new(0),
+            shared_hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    };
+}
+
+#[inline]
+fn bump(pick: impl Fn(&LocalCounts) -> &Cell<u64>) {
+    let _ = LOCAL_COUNTS.try_with(|c| {
+        let cell = pick(c);
+        cell.set(cell.get() + 1);
+    });
+}
+
+/// A snapshot of the global [`SearchStats`] counters (flushing the calling
+/// thread's pending tallies first).
+pub fn search_stats() -> SearchStats {
+    let _ = LOCAL_COUNTS.try_with(LocalCounts::flush);
+    SearchStats {
+        memo_local_hits: MEMO_LOCAL_HITS.load(Ordering::Relaxed),
+        memo_shared_hits: MEMO_SHARED_HITS.load(Ordering::Relaxed),
+        memo_misses: MEMO_MISSES.load(Ordering::Relaxed),
+        profile_builds: PROFILE_BUILDS.load(Ordering::Relaxed),
+        profile_build_nanos: PROFILE_BUILD_NANOS.load(Ordering::Relaxed),
+        bound_pruned: BOUND_PRUNED.load(Ordering::Relaxed),
+        dominated_pruned: DOMINATED_PRUNED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the global [`SearchStats`] counters (call between searches,
+/// from the thread that runs them).
+pub fn reset_search_stats() {
+    let _ = LOCAL_COUNTS.try_with(LocalCounts::flush);
+    for g in [
+        &MEMO_LOCAL_HITS,
+        &MEMO_SHARED_HITS,
+        &MEMO_MISSES,
+        &PROFILE_BUILDS,
+        &PROFILE_BUILD_NANOS,
+        &BOUND_PRUNED,
+        &DOMINATED_PRUNED,
+    ] {
+        g.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Credits `n` branch-and-bound prunes to the profiling counters.
+pub(crate) fn note_bound_pruned(n: u64) {
+    if n > 0 {
+        BOUND_PRUNED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Credits `n` dominated-candidate eliminations to the profiling counters.
+pub(crate) fn note_dominated_pruned(n: u64) {
+    if n > 0 {
+        DOMINATED_PRUNED.fetch_add(n, Ordering::Relaxed);
+    }
+}
 
 /// FNV-1a-style fold of a sequence of `u64` words into one key. Folding
 /// whole words (one xor + one widening multiply each) keeps the fold far
@@ -175,22 +363,66 @@ impl Hasher for KeyHasher {
     }
 }
 
+type MemoMap = HashMap<u64, f64, BuildHasherDefault<KeyHasher>>;
+
 thread_local! {
-    static COLLECTIVE_MEMO: RefCell<HashMap<u64, f64, BuildHasherDefault<KeyHasher>>> =
-        RefCell::new(HashMap::default());
+    /// L1: per-thread pricing memo, probed lock-free before L2.
+    static COLLECTIVE_MEMO: RefCell<MemoMap> = RefCell::new(HashMap::default());
 }
 
-/// Returns the memoized value for `key`, computing (and caching) it on the
-/// first request. The value must be a pure function of the key.
+/// Number of L2 shards. A power of two; the shard index is the key's top
+/// bits ([`shard_of`]), which are independent of the low bits `HashMap`'s
+/// pass-through [`KeyHasher`] buckets by — so sharding does not skew the
+/// in-shard bucket distribution.
+const MEMO_SHARDS: usize = 64;
+
+/// L2: the shared, sharded pricing memo (see the section comment above
+/// for the sharing lifecycle). Sharding keeps write locks from
+/// serializing concurrent first computes; reads take a shard's `RwLock`
+/// read lock, which is uncontended once the table is warm.
+static SHARED_MEMO: LazyLock<Vec<RwLock<MemoMap>>> = LazyLock::new(|| {
+    (0..MEMO_SHARDS)
+        .map(|_| RwLock::new(HashMap::default()))
+        .collect()
+});
+
+#[inline]
+fn shard_of(key: u64) -> &'static RwLock<MemoMap> {
+    &SHARED_MEMO[(key >> (64 - MEMO_SHARDS.trailing_zeros())) as usize]
+}
+
+/// Returns the memoized value for `key`, computing (and publishing) it on
+/// the first request anywhere in the process. The value must be a pure
+/// function of the key: racing first computes then insert bit-identical
+/// values, keeping results independent of thread count.
 pub(crate) fn memo_f64(key: u64, compute: impl FnOnce() -> f64) -> f64 {
-    COLLECTIVE_MEMO.with(|m| {
-        if let Some(&v) = m.borrow().get(&key) {
-            return v;
+    if let Some(v) = COLLECTIVE_MEMO.with(|m| m.borrow().get(&key).copied()) {
+        bump(|c| &c.local_hits);
+        return v;
+    }
+    let shard = shard_of(key);
+    let shared = shard
+        .read()
+        .expect("memo shard poisoned")
+        .get(&key)
+        .copied();
+    let v = match shared {
+        Some(v) => {
+            bump(|c| &c.shared_hits);
+            v
         }
-        let v = compute();
-        m.borrow_mut().insert(key, v);
-        v
-    })
+        None => {
+            // Compute outside any lock: pricing can be expensive and must
+            // not serialize other shard traffic (duplicate computes are
+            // rare and harmless — identical bits).
+            let v = compute();
+            bump(|c| &c.misses);
+            shard.write().expect("memo shard poisoned").insert(key, v);
+            v
+        }
+    };
+    COLLECTIVE_MEMO.with(|m| m.borrow_mut().insert(key, v));
+    v
 }
 
 #[cfg(test)]
@@ -264,6 +496,48 @@ mod tests {
         assert_eq!(a, 1.25);
         assert_eq!(b, 1.25);
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn shared_memo_publishes_across_threads() {
+        // A value computed on one thread must be visible to a brand-new
+        // thread (empty L1) through the shared L2 — the property that
+        // stops the pool's fresh scoped workers from re-pricing the same
+        // collectives per worker.
+        let key = fnv([0x7e57, line!() as u64, 0x5eed]);
+        let before = search_stats();
+        assert_eq!(memo_f64(key, || 2.5), 2.5);
+        let v = std::thread::spawn(move || memo_f64(key, || f64::NAN))
+            .join()
+            .unwrap();
+        assert_eq!(v, 2.5);
+        // Counters are global (other tests may run concurrently): assert
+        // deltas, not absolute values.
+        let after = search_stats();
+        assert!(after.memo_misses > before.memo_misses);
+        assert!(after.memo_shared_hits > before.memo_shared_hits);
+    }
+
+    #[test]
+    fn local_hits_are_counted() {
+        let key = fnv([0x10ca1, line!() as u64]);
+        let _ = memo_f64(key, || 1.0);
+        let before = search_stats();
+        let _ = memo_f64(key, || f64::NAN);
+        let after = search_stats();
+        assert!(after.memo_local_hits > before.memo_local_hits);
+    }
+
+    #[test]
+    fn profile_builds_are_counted_and_timed() {
+        let model = gpt3_1t().config;
+        let gpu = GpuGeneration::B200.gpu();
+        let before = search_stats();
+        let cache = ProfileCache::build(&model, &gpu, &[cfg(TpStrategy::OneD, 8, 1, 64, 32, 1)]);
+        let after = search_stats();
+        assert_eq!(cache.len(), 1);
+        assert!(after.profile_builds > before.profile_builds);
+        assert!(after.profile_build_nanos > before.profile_build_nanos);
     }
 
     #[test]

@@ -17,6 +17,26 @@
 //! into a [`PlanSet`]: the top-k ranked [`Plan`]s **and** the exact
 //! Pareto frontier across the selected objectives, fully serializable.
 //!
+//! Two execution paths share the candidate machinery:
+//!
+//! * [`Planner::evaluations`] / [`Planner::execute`] — the **full sweep**:
+//!   every candidate evaluated, needed whenever the caller consumes more
+//!   than the single optimum (top-k, Pareto, figures).
+//! * [`Planner::best_evaluation`] — the **pruned single-optimum** path
+//!   (`optimize` delegates here): memory-infeasible candidates, provably
+//!   dominated candidates, and candidates whose admissible lower bound
+//!   cannot beat the running incumbent are skipped before their placement
+//!   loops run. Both prunes are exact (see
+//!   `evaluate::iteration_time_lower_bound`), so the result is
+//!   bit-identical to the full sweep's first feasible minimum — just much
+//!   cheaper.
+//!
+//! Both paths switch to placement-level parallelism (one work item per
+//! `(candidate, placement)` pair) when there are too few candidates to
+//! occupy the pool — the "few fat candidates" shape of pinned-config
+//! comparisons — and both report what they skipped through
+//! [`crate::search_stats`].
+//!
 //! ```
 //! use perfmodel::{Objective, Planner, TpStrategy};
 //! use systems::{system, GpuGeneration, NvsSize};
@@ -44,16 +64,35 @@ pub use objective::{LexStage, Objective, ObjectiveCtx, Score, WeightedTerm};
 pub use plan::{Plan, PlanSet};
 pub use space::SearchSpace;
 
-use crate::config::ParallelConfig;
-use crate::evaluate::Evaluation;
-use crate::memory::memory_usage;
+use crate::config::{ParallelConfig, Placement};
+use crate::evaluate::{
+    evaluate_placement, iteration_time_lower_bound, placement_breakdown, Evaluation,
+};
+use crate::memory::{memory_usage, MemoryUsage};
+use crate::partition::cache::{note_bound_pruned, note_dominated_pruned, system_fingerprint};
 use crate::partition::{build_profile, ProfileCache};
+use crate::placement::enumerate_placements;
 use crate::search::{best_placement_with_memory, enumerate_partitions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
+
+/// Relative slack on every lower-bound-vs-incumbent comparison: a
+/// candidate is pruned only when `lb > incumbent · (1 + PRUNE_EPS)`. The
+/// bound and the evaluation assemble the same terms in different
+/// floating-point orders (bucketed sum vs `m·(tf+tb)`), so a mathematical
+/// tie can differ by a few ulps; the slack turns those ties into
+/// evaluations instead of prunes, keeping the result bit-identical to the
+/// unpruned sweep.
+const PRUNE_EPS: f64 = 1e-9;
+
+/// Candidate-count threshold below which the pool is fanned out over
+/// `(candidate, placement)` pairs instead of candidates (in units of the
+/// current thread count).
+const FANOUT_FACTOR: usize = 4;
 
 /// The serializable part of a planner: everything except the model/system
 /// borrows and the closure hooks. Round-trips through JSON so a planning
@@ -199,6 +238,18 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Shorthand for [`SearchSpace::branch_and_bound`] on the current
+    /// space (affects [`Planner::best_evaluation`] only; exact).
+    pub fn branch_and_bound(self, yes: bool) -> Self {
+        self.with_space(|s| s.branch_and_bound(yes))
+    }
+
+    /// Shorthand for [`SearchSpace::prune_dominated`] on the current
+    /// space (affects [`Planner::best_evaluation`] only; exact).
+    pub fn prune_dominated(self, yes: bool) -> Self {
+        self.with_space(|s| s.prune_dominated(yes))
+    }
+
     /// Adds a user constraint predicate; candidates failing any predicate
     /// are dropped before evaluation (e.g. "no cross-domain TP":
     /// `.constrain(|c| c.tensor_parallel() <= 8)`).
@@ -281,6 +332,26 @@ impl<'a> Planner<'a> {
         let cache = ProfileCache::build(self.model, &self.system.gpu, &partitions);
         let global_batch = self.config.space.global_batch;
         let prune = !self.config.include_infeasible;
+        let threads = rayon::current_num_threads();
+        if threads > 1 && partitions.len() < threads * FANOUT_FACTOR {
+            // Few fat candidates: candidate-level fan-out cannot occupy
+            // the pool, so spread the placement loops across it instead.
+            let work: Vec<(usize, MemoryUsage)> = partitions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, cfg)| {
+                    let memory = memory_usage(cache.get(cfg), self.model, cfg, global_batch);
+                    (!prune || memory.fits(self.system.gpu.hbm_capacity)).then_some((i, memory))
+                })
+                .collect();
+            let evals = self.placement_fanout(&work, &partitions, &cache, global_batch);
+            if let Some(hook) = &self.on_candidate {
+                for e in &evals {
+                    hook(e);
+                }
+            }
+            return evals;
+        }
         partitions
             .par_iter()
             .filter_map(|cfg| {
@@ -301,6 +372,260 @@ impl<'a> Planner<'a> {
                     hook(&e);
                 }
                 Some(e)
+            })
+            .collect()
+    }
+
+    /// The single fastest feasible candidate — `optimize`'s engine — or
+    /// `None` when nothing fits in HBM. Bit-identical to
+    /// `evaluations().into_iter().filter(|e| e.feasible).min_by(time)`
+    /// for any thread count and any prune-flag setting, but avoids
+    /// evaluating most of the space:
+    ///
+    /// 1. **Assess** (parallel): per-candidate memory accounting (prunes
+    ///    HBM-infeasible candidates, as `optimize` always has) and the
+    ///    admissible `iteration_time_lower_bound`.
+    /// 2. **Dominated elimination** (`prune_dominated`): candidates whose
+    ///    timing is provably matched by an earlier-enumerated twin are
+    ///    dropped — at `np = 1` the pipeline terms vanish, so an
+    ///    `interleave > 1` candidate is bit-identical in time and no
+    ///    better in memory than its `interleave = 1` twin. Then the
+    ///    smallest-lower-bound survivor is evaluated as a *seed*
+    ///    incumbent and every candidate whose bound exceeds it is
+    ///    dropped. A dropped candidate can never be the sweep's *first*
+    ///    minimum, so the selection is unchanged.
+    /// 3. **Branch-and-bound sweep** (`branch_and_bound`, parallel): the
+    ///    survivors are evaluated with a shared atomic incumbent;
+    ///    a candidate whose lower bound exceeds the incumbent skips its
+    ///    placement loop entirely. Pruning is monotone-safe: bounds never
+    ///    exceed true times, so every minimum-achiever is evaluated, and
+    ///    the final reduction takes the first minimum in enumeration
+    ///    order — the incumbent race can only change *which redundant
+    ///    work is skipped*, never the result.
+    ///
+    /// Skip counts are reported through [`crate::search_stats`]
+    /// (`bound_pruned`, `dominated_pruned`). The
+    /// [`Planner::on_candidate`] hook fires only for candidates actually
+    /// evaluated.
+    pub fn best_evaluation(&self) -> Option<Evaluation> {
+        let partitions = self.candidates();
+        let cache = ProfileCache::build(self.model, &self.system.gpu, &partitions);
+        let global_batch = self.config.space.global_batch;
+        let use_bb = self.config.space.branch_and_bound;
+        let use_dom = self.config.space.prune_dominated;
+        let sys_fp = system_fingerprint(self.system);
+
+        // Pass 1: memory + lower bound, in enumeration order.
+        let assessed: Vec<Option<(MemoryUsage, f64)>> = partitions
+            .par_iter()
+            .map(|cfg| {
+                let (profile, fps) = cache.get_with_fps(cfg);
+                let memory = memory_usage(profile, self.model, cfg, global_batch);
+                if !memory.fits(self.system.gpu.hbm_capacity) {
+                    return None;
+                }
+                let lb = if use_bb || use_dom {
+                    iteration_time_lower_bound(
+                        profile,
+                        self.model,
+                        cfg,
+                        global_batch,
+                        self.system,
+                        sys_fp,
+                        *fps,
+                    )
+                } else {
+                    f64::NEG_INFINITY
+                };
+                Some((memory, lb))
+            })
+            .collect();
+
+        // Structural dominance: at np = 1 every pipeline term is zero, so
+        // interleave does not enter the timing at all and only inflates
+        // activation memory — the interleave = 1 twin (always enumerated
+        // earlier, always valid, always no worse in memory) ties it bit
+        // for bit, and a later-enumerated tie can never be the first
+        // minimum. The twin must still pass the user predicates, or it
+        // was never a candidate.
+        let mut survivors: Vec<(usize, MemoryUsage, f64)> = Vec::new();
+        let mut dominated = 0u64;
+        for (i, a) in assessed.iter().enumerate() {
+            let Some((memory, lb)) = a else { continue };
+            let cfg = &partitions[i];
+            if use_dom && cfg.np == 1 && cfg.interleave > 1 {
+                let twin = ParallelConfig {
+                    interleave: 1,
+                    ..*cfg
+                };
+                if self.constraints.iter().all(|p| p(&twin)) {
+                    dominated += 1;
+                    continue;
+                }
+            }
+            survivors.push((i, *memory, *lb));
+        }
+
+        // Seed-based elimination: fully evaluate the most promising
+        // survivor; anything whose admissible bound exceeds its time
+        // cannot beat it (nor, a fortiori, the true minimum).
+        let mut seed: Option<(usize, Evaluation)> = None;
+        let mut incumbent0 = f64::INFINITY;
+        if use_dom {
+            if let Some(&(si, memory, _)) = survivors.iter().min_by(|a, b| a.2.total_cmp(&b.2)) {
+                let cfg = &partitions[si];
+                let (profile, _) = cache.get_with_fps(cfg);
+                let e = best_placement_with_memory(
+                    profile,
+                    self.model,
+                    cfg,
+                    global_batch,
+                    self.system,
+                    memory,
+                );
+                incumbent0 = e.iteration_time;
+                seed = Some((si, e));
+                let before = survivors.len();
+                survivors.retain(|&(i, _, lb)| i == si || lb <= incumbent0 * (1.0 + PRUNE_EPS));
+                dominated += (before - survivors.len()) as u64;
+            }
+        }
+        note_dominated_pruned(dominated);
+
+        let threads = rayon::current_num_threads();
+        if threads > 1 && !survivors.is_empty() && survivors.len() < threads * FANOUT_FACTOR {
+            // Too few survivors for candidate-level parallelism: fan out
+            // over their placements (no per-candidate bound checks — each
+            // survivor is evaluated exactly once).
+            let work: Vec<(usize, MemoryUsage)> =
+                survivors.iter().map(|&(i, m, _)| (i, m)).collect();
+            let evals = self.placement_fanout(&work, &partitions, &cache, global_batch);
+            if let Some(hook) = &self.on_candidate {
+                for e in &evals {
+                    hook(e);
+                }
+            }
+            return evals
+                .into_iter()
+                .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time));
+        }
+
+        // Pass 2: branch-and-bound sweep. The incumbent is the running
+        // minimum evaluated time, shared across workers as raw f64 bits
+        // (non-negative floats order identically to their bit patterns).
+        let incumbent = AtomicU64::new(incumbent0.to_bits());
+        let results: Vec<Option<Evaluation>> = survivors
+            .par_iter()
+            .map(|&(i, memory, lb)| {
+                if use_bb {
+                    let inc = f64::from_bits(incumbent.load(Ordering::Relaxed));
+                    if lb > inc * (1.0 + PRUNE_EPS) {
+                        return None;
+                    }
+                }
+                let cfg = &partitions[i];
+                let e = match &seed {
+                    Some((si, se)) if *si == i => se.clone(),
+                    _ => {
+                        let (profile, _) = cache.get_with_fps(cfg);
+                        best_placement_with_memory(
+                            profile,
+                            self.model,
+                            cfg,
+                            global_batch,
+                            self.system,
+                            memory,
+                        )
+                    }
+                };
+                let bits = e.iteration_time.to_bits();
+                let mut cur = incumbent.load(Ordering::Relaxed);
+                while f64::from_bits(cur) > e.iteration_time {
+                    match incumbent.compare_exchange_weak(
+                        cur,
+                        bits,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(c) => cur = c,
+                    }
+                }
+                if let Some(hook) = &self.on_candidate {
+                    hook(&e);
+                }
+                Some(e)
+            })
+            .collect();
+        note_bound_pruned(results.iter().filter(|r| r.is_none()).count() as u64);
+        results
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
+    }
+
+    /// Placement-level parallel evaluation of `work` (pairs of candidate
+    /// index into `partitions` + precomputed memory accounting): flattens
+    /// every `(candidate, placement)` pair into one work list, scores all
+    /// pairs across the pool as bare breakdown totals, then picks each
+    /// candidate's first-minimum placement in placement order — the same
+    /// argmin `best_placement_with_memory`'s sequential loop computes —
+    /// and materializes one [`Evaluation`] per candidate, in `work`
+    /// order.
+    fn placement_fanout(
+        &self,
+        work: &[(usize, MemoryUsage)],
+        partitions: &[ParallelConfig],
+        cache: &ProfileCache,
+        global_batch: u64,
+    ) -> Vec<Evaluation> {
+        let mut pairs: Vec<(usize, Placement)> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(work.len());
+        for &(i, _) in work {
+            let start = pairs.len();
+            let ps = enumerate_placements(&partitions[i], self.system.nvs_size);
+            pairs.extend(ps.into_iter().map(|p| (i, p)));
+            spans.push((start, pairs.len()));
+        }
+        let sys_fp = system_fingerprint(self.system);
+        let times: Vec<f64> = pairs
+            .par_iter()
+            .map(|&(i, ref p)| {
+                let cfg = &partitions[i];
+                let (profile, fps) = cache.get_with_fps(cfg);
+                placement_breakdown(
+                    profile,
+                    self.model,
+                    cfg,
+                    p,
+                    global_batch,
+                    self.system,
+                    sys_fp,
+                    *fps,
+                )
+                .total()
+            })
+            .collect();
+        work.iter()
+            .zip(&spans)
+            .map(|(&(i, memory), &(start, end))| {
+                let cfg = &partitions[i];
+                let mut best = start;
+                for j in start + 1..end {
+                    if times[j].total_cmp(&times[best]) == std::cmp::Ordering::Less {
+                        best = j;
+                    }
+                }
+                let (profile, _) = cache.get_with_fps(cfg);
+                evaluate_placement(
+                    profile,
+                    self.model,
+                    cfg,
+                    &pairs[best].1,
+                    global_batch,
+                    self.system,
+                    memory,
+                )
             })
             .collect()
     }

@@ -60,6 +60,12 @@ pub struct SearchSpace {
     /// AllReduce algorithm policy candidates are priced under. Default
     /// [`Algorithm::Auto`].
     pub comm_algo: Algorithm,
+    /// Branch-and-bound pruning in the single-optimum path
+    /// ([`crate::Planner::best_evaluation`]). Exact; default `true`.
+    pub branch_and_bound: bool,
+    /// Dominated-candidate elimination in the single-optimum path.
+    /// Exact; default `true`.
+    pub prune_dominated: bool,
 }
 
 impl Default for SearchSpace {
@@ -77,6 +83,8 @@ impl Default for SearchSpace {
             max_data_parallel: u64::MAX,
             max_tensor_parallel: u64::MAX,
             comm_algo: Algorithm::Auto,
+            branch_and_bound: true,
+            prune_dominated: true,
         }
     }
 }
@@ -183,6 +191,19 @@ impl SearchSpace {
         self
     }
 
+    /// Enables or disables branch-and-bound pruning (exact; default on).
+    pub fn branch_and_bound(mut self, yes: bool) -> Self {
+        self.branch_and_bound = yes;
+        self
+    }
+
+    /// Enables or disables dominated-candidate elimination (exact;
+    /// default on).
+    pub fn prune_dominated(mut self, yes: bool) -> Self {
+        self.prune_dominated = yes;
+        self
+    }
+
     /// True if the declarative degree bounds are all unbounded (the
     /// enumeration can skip the retain pass).
     pub(crate) fn unbounded_degrees(&self) -> bool {
@@ -204,6 +225,8 @@ impl SearchSpace {
             allow_zero3: self.allow_zero3,
             max_expert_parallel: self.max_expert_parallel,
             comm_algo: self.comm_algo,
+            branch_and_bound: self.branch_and_bound,
+            prune_dominated: self.prune_dominated,
         }
     }
 }
@@ -222,6 +245,8 @@ impl From<&SearchOptions> for SearchSpace {
             .allow_zero3(opts.allow_zero3)
             .max_expert_parallel(opts.max_expert_parallel)
             .comm_algo(opts.comm_algo)
+            .branch_and_bound(opts.branch_and_bound)
+            .prune_dominated(opts.prune_dominated)
     }
 }
 

@@ -25,19 +25,28 @@
 //! 3. fan the candidates out over the rayon pool; each evaluates its
 //!    placements against the cached profile. `optimize` additionally
 //!    prunes candidates whose (placement-independent) memory footprint
-//!    cannot fit HBM before enumerating any placement.
+//!    cannot fit HBM before enumerating any placement, and — via
+//!    [`Planner::best_evaluation`] — branch-and-bound-prunes candidates
+//!    whose admissible lower bound
+//!    (`evaluate::iteration_time_lower_bound`) cannot beat the
+//!    running incumbent, plus provably-dominated candidates. Both prunes
+//!    are **exact** (flags [`SearchOptions::branch_and_bound`] /
+//!    [`SearchOptions::prune_dominated`], default on): the returned
+//!    optimum is bit-identical to the unpruned sweep's.
 //!
 //! Results are deterministic and bit-identical across thread counts: the
 //! pool preserves input order, every reduction runs over the ordered
 //! results, and sorting is stable.
 
 use crate::config::{ParallelConfig, TpStrategy};
-use crate::evaluate::{evaluate_placement, Evaluation};
+use crate::evaluate::{evaluate_placement, placement_breakdown, Evaluation, PassFingerprints};
 use crate::memory::memory_usage;
+use crate::partition::cache::system_fingerprint;
 use crate::placement::{divisors, enumerate_placements};
 use crate::plan::LayerProfile;
 use crate::planner::{Planner, SearchSpace};
 use collectives::Algorithm;
+use rayon::prelude::*;
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
 
@@ -70,13 +79,29 @@ pub struct SearchOptions {
     /// models NCCL's autotuner; `Ring` recovers the paper's ring-only
     /// model.
     pub comm_algo: Algorithm,
+    /// Branch-and-bound pruning in [`optimize`] /
+    /// [`Planner::best_evaluation`]: skip a candidate's placement loop
+    /// when its admissible lower bound
+    /// (`evaluate::iteration_time_lower_bound`) already exceeds
+    /// the incumbent best time. Exact — the optimum is bit-identical with
+    /// the flag off — so it defaults on; turn it off to benchmark the raw
+    /// sweep.
+    pub branch_and_bound: bool,
+    /// Dominated-candidate elimination in [`optimize`] /
+    /// [`Planner::best_evaluation`]: drop candidates a provably
+    /// no-worse candidate renders redundant (e.g. `np = 1` with
+    /// `interleave > 1`, whose timing is identical and memory no better
+    /// than its `interleave = 1` twin) and candidates whose lower bound
+    /// cannot beat a fully-evaluated seed. Exact for the returned
+    /// optimum; defaults on.
+    pub prune_dominated: bool,
 }
 
 impl Default for SearchOptions {
     /// The compile-visible default set: 512 GPUs, global batch 4096, 1D
     /// TP, panels up to 16, microbatches up to 16, the paper's baseline
     /// schedule (no interleaving, no ZeRO-3), unbounded expert
-    /// parallelism, `Auto` algorithm policy.
+    /// parallelism, `Auto` algorithm policy, both exact prunes on.
     fn default() -> Self {
         Self {
             gpus: 512,
@@ -88,6 +113,8 @@ impl Default for SearchOptions {
             allow_zero3: false,
             max_expert_parallel: u64::MAX,
             comm_algo: Algorithm::Auto,
+            branch_and_bound: true,
+            prune_dominated: true,
         }
     }
 }
@@ -153,6 +180,19 @@ impl SearchOptions {
         self
     }
 
+    /// Enables or disables branch-and-bound pruning (exact; default on).
+    pub fn branch_and_bound(mut self, yes: bool) -> Self {
+        self.branch_and_bound = yes;
+        self
+    }
+
+    /// Enables or disables dominated-candidate elimination (exact;
+    /// default on).
+    pub fn prune_dominated(mut self, yes: bool) -> Self {
+        self.prune_dominated = yes;
+        self
+    }
+
     /// Sets the AllReduce algorithm pricing policy.
     pub fn comm_algo(mut self, algo: Algorithm) -> Self {
         self.comm_algo = algo;
@@ -162,13 +202,18 @@ impl SearchOptions {
 
 /// Enumerates every valid [`ParallelConfig`] (without placements) for the
 /// given options.
+///
+/// Parallelized over the outermost `n1` axis (one task per divisor of
+/// `n`); the per-`n1` slices are flattened back in `n1` order, so the
+/// output is bit-identical to the sequential nesting for any thread
+/// count. This keeps the sequential prefix of a search call — candidate
+/// generation — from capping parallel speedup on small sweeps.
 pub fn enumerate_partitions(
     model: &TransformerConfig,
     opts: &SearchOptions,
 ) -> Vec<ParallelConfig> {
     let n = opts.gpus;
     let b = opts.global_batch;
-    let mut out = Vec::new();
     let interleave_choices: Vec<u64> = {
         let mut v = vec![1u64];
         let mut x = 2;
@@ -195,53 +240,58 @@ pub fn enumerate_partitions(
         }
         _ => vec![1],
     };
-    for n1 in divisors(n) {
-        let n2_choices: Vec<u64> = if opts.strategy == TpStrategy::OneD {
-            vec![1]
-        } else {
-            divisors(n / n1)
-        };
-        for n2 in n2_choices {
-            for np in divisors(n / (n1 * n2)) {
-                let nd = n / (n1 * n2 * np);
-                if !b.is_multiple_of(nd) {
-                    continue;
-                }
-                // Expert-parallel degrees: every divisor of nd compatible
-                // with the model's expert count (dense models: ep = 1).
-                let ep_choices: Vec<u64> = match model.moe {
-                    None => vec![1],
-                    Some(moe) => divisors(nd)
-                        .into_iter()
-                        .filter(|&ep| {
-                            ep <= opts.max_expert_parallel && moe.experts.is_multiple_of(ep)
-                        })
-                        .collect(),
-                };
-                let local_batch = b / nd;
-                for bm in divisors(local_batch) {
-                    if bm > opts.max_microbatch {
+    let per_n1: Vec<Vec<ParallelConfig>> = divisors(n)
+        .par_iter()
+        .map(|&n1| {
+            let mut out = Vec::new();
+            let n2_choices: Vec<u64> = if opts.strategy == TpStrategy::OneD {
+                vec![1]
+            } else {
+                divisors(n / n1)
+            };
+            for n2 in n2_choices {
+                for np in divisors(n / (n1 * n2)) {
+                    let nd = n / (n1 * n2 * np);
+                    if !b.is_multiple_of(nd) {
                         continue;
                     }
-                    for &nb in &panel_choices {
-                        for &ep in &ep_choices {
-                            for &v in &interleave_choices {
-                                for &zero3 in zero3_choices {
-                                    let cfg = ParallelConfig {
-                                        strategy: opts.strategy,
-                                        n1,
-                                        n2,
-                                        np,
-                                        nd,
-                                        ep,
-                                        microbatch: bm,
-                                        summa_panels: nb,
-                                        interleave: v,
-                                        zero3,
-                                        comm_algo: opts.comm_algo,
-                                    };
-                                    if cfg.validate(model, b).is_ok() {
-                                        out.push(cfg);
+                    // Expert-parallel degrees: every divisor of nd
+                    // compatible with the model's expert count (dense
+                    // models: ep = 1).
+                    let ep_choices: Vec<u64> = match model.moe {
+                        None => vec![1],
+                        Some(moe) => divisors(nd)
+                            .into_iter()
+                            .filter(|&ep| {
+                                ep <= opts.max_expert_parallel && moe.experts.is_multiple_of(ep)
+                            })
+                            .collect(),
+                    };
+                    let local_batch = b / nd;
+                    for bm in divisors(local_batch) {
+                        if bm > opts.max_microbatch {
+                            continue;
+                        }
+                        for &nb in &panel_choices {
+                            for &ep in &ep_choices {
+                                for &v in &interleave_choices {
+                                    for &zero3 in zero3_choices {
+                                        let cfg = ParallelConfig {
+                                            strategy: opts.strategy,
+                                            n1,
+                                            n2,
+                                            np,
+                                            nd,
+                                            ep,
+                                            microbatch: bm,
+                                            summa_panels: nb,
+                                            interleave: v,
+                                            zero3,
+                                            comm_algo: opts.comm_algo,
+                                        };
+                                        if cfg.validate(model, b).is_ok() {
+                                            out.push(cfg);
+                                        }
                                     }
                                 }
                             }
@@ -249,9 +299,10 @@ pub fn enumerate_partitions(
                     }
                 }
             }
-        }
-    }
-    out
+            out
+        })
+        .collect();
+    per_n1.into_iter().flatten().collect()
 }
 
 /// Evaluates a fixed configuration under its *best* NVS placement (used
@@ -299,11 +350,28 @@ pub(crate) fn best_placement_with_memory(
     sys: &SystemSpec,
     memory: crate::memory::MemoryUsage,
 ) -> Evaluation {
-    enumerate_placements(cfg, sys.nvs_size)
-        .iter()
-        .map(|p| evaluate_placement(profile, model, cfg, p, global_batch, sys, memory))
-        .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
-        .expect("at least the trivial placement exists")
+    let placements = enumerate_placements(cfg, sys.nvs_size);
+    // Light scoring loop: hoist the per-placement invariants (system
+    // fingerprint, pass fingerprints) and score each placement as a bare
+    // breakdown total — two pass-level memo probes each — keeping only
+    // the argmin. The full Evaluation is materialized once, for the
+    // winner. Strict `Less` keeps the first minimum on ties, matching
+    // `Iterator::min_by` over the same order bit for bit.
+    let sys_fp = system_fingerprint(sys);
+    let fps = PassFingerprints::of(profile);
+    let mut best = 0;
+    let mut best_t = f64::INFINITY;
+    for (i, p) in placements.iter().enumerate() {
+        let t = placement_breakdown(profile, model, cfg, p, global_batch, sys, sys_fp, fps).total();
+        if t.total_cmp(&best_t) == std::cmp::Ordering::Less {
+            best = i;
+            best_t = t;
+        }
+    }
+    let winner = placements
+        .get(best)
+        .expect("at least the trivial placement exists");
+    evaluate_placement(profile, model, cfg, winner, global_batch, sys, memory)
 }
 
 /// Best-placement evaluation of **every** partition in the space, sorted
@@ -330,8 +398,11 @@ pub fn sweep_partitions(
 /// Full S3 search: the fastest *feasible* configuration, or `None` if
 /// nothing fits in HBM.
 ///
-/// Thin wrapper over [`Planner::evaluations`]; output is pinned
-/// bit-identical to the pre-planner implementation. New code should use
+/// Thin wrapper over [`Planner::best_evaluation`] — the pruned
+/// single-optimum path (memory prune + branch-and-bound + dominated
+/// elimination, per the [`SearchOptions`] flags); output is pinned
+/// bit-identical to the pre-planner implementation and to the unpruned
+/// sweep's first feasible entry. New code should use
 /// [`Planner::execute`], which also yields runner-ups, multi-objective
 /// rankings and serializable [`crate::Plan`]s.
 pub fn optimize(
@@ -341,10 +412,7 @@ pub fn optimize(
 ) -> Option<Evaluation> {
     Planner::new(model, sys)
         .space(SearchSpace::from(opts))
-        .evaluations()
-        .into_iter()
-        .filter(|e| e.feasible)
-        .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
+        .best_evaluation()
 }
 
 #[cfg(test)]

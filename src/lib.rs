@@ -44,7 +44,9 @@
 //! * `cargo run --release --example quickstart` — the path above, end to
 //!   end.
 //! * `cargo run --release --bin figures` / `cargo bench -p paperbench` —
-//!   regenerate the paper's figures and tables under `out/`.
+//!   regenerate the paper's figures and tables under `out/`; the bench
+//!   run also records the perf trajectory (`out/bench.json`, schema and
+//!   methodology in `PERFORMANCE.md`).
 
 pub use collectives;
 pub use netsim;
@@ -58,8 +60,9 @@ pub use txmodel;
 pub mod prelude {
     pub use collectives::{allreduce_time, collective_time, Algorithm, Collective, CommGroup};
     pub use perfmodel::{
-        best_placement_eval, evaluate, optimize, training_days, Evaluation, Objective,
-        ParallelConfig, Placement, Plan, PlanSet, Planner, SearchOptions, SearchSpace, TpStrategy,
+        best_placement_eval, evaluate, optimize, reset_search_stats, search_stats, training_days,
+        Evaluation, Objective, ParallelConfig, Placement, Plan, PlanSet, Planner, SearchOptions,
+        SearchSpace, SearchStats, TpStrategy,
     };
     pub use systems::{perlmutter, system, GpuGeneration, NvsSize, SystemBuilder, SystemSpec};
     pub use txmodel::{

@@ -1,0 +1,174 @@
+//! Cross-crate guarantee for the pruned single-optimum path: branch-and-
+//! bound and dominated-candidate elimination are *exact* optimizations.
+//! `optimize` with both prune flags on must return the bit-identical
+//! `Evaluation` that the unpruned path and the full sweep return — on the
+//! paper's preset workloads and on randomly drawn small spaces — and the
+//! [`perfmodel::search_stats`] counters must actually observe shared-memo
+//! traffic and prune activity.
+//!
+//! Counter tests deliberately avoid `reset_search_stats`: the counters
+//! are process-global and the tests in this binary run concurrently, so
+//! each test asserts on monotone *deltas* (counters only ever increase)
+//! rather than absolute values.
+
+use fmperf::prelude::*;
+use perfmodel::sweep_partitions;
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+use systems::SystemSpec;
+use txmodel::TransformerConfig;
+
+fn b200_nvs8() -> SystemSpec {
+    system(GpuGeneration::B200, NvsSize::Nvs8)
+}
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+}
+
+/// `optimize` three ways: prunes on (default), prunes off, and the full
+/// sorted sweep's first feasible entry. All three must agree bit for bit.
+fn assert_exact(model: &TransformerConfig, sys: &SystemSpec, opts: &SearchOptions) {
+    let pruned = optimize(model, sys, opts);
+    let unpruned = optimize(
+        model,
+        sys,
+        &(*opts).branch_and_bound(false).prune_dominated(false),
+    );
+    // sweep_partitions sorts stably by iteration time, so its first
+    // feasible entry is the first-in-enumeration-order minimum — the
+    // exact candidate `optimize` pins.
+    let from_sweep = sweep_partitions(model, sys, opts)
+        .into_iter()
+        .find(|e| e.feasible);
+    match (&pruned, &unpruned, &from_sweep) {
+        (Some(p), Some(u), Some(s)) => {
+            assert_eq!(
+                p.iteration_time.to_bits(),
+                u.iteration_time.to_bits(),
+                "pruned vs unpruned iteration_time diverged for {}",
+                p.config
+            );
+            assert_eq!(p, u, "pruned vs unpruned Evaluation diverged");
+            assert_eq!(p, s, "pruned optimize vs sweep first-feasible diverged");
+        }
+        (None, None, None) => {}
+        _ => panic!(
+            "feasibility disagreement: pruned={} unpruned={} sweep={}",
+            pruned.is_some(),
+            unpruned.is_some(),
+            from_sweep.is_some()
+        ),
+    }
+}
+
+#[test]
+fn prunes_are_exact_on_paper_presets() {
+    let sys = b200_nvs8();
+    let presets: [(TransformerConfig, u64, u64, TpStrategy); 4] = [
+        (gpt3_175b().config, 512, 1024, TpStrategy::OneD),
+        (moe_1t().config, 256, 4096, TpStrategy::OneD),
+        (vit_64k().config, 256, 4096, TpStrategy::Summa),
+        (gpt3_1t().config, 256, 4096, TpStrategy::OneD),
+    ];
+    for (model, gpus, gb, strategy) in &presets {
+        let opts = SearchOptions::new(*gpus, *gb, *strategy);
+        assert_exact(model, &sys, &opts);
+    }
+}
+
+#[test]
+fn prunes_are_exact_with_interleave_and_zero3() {
+    // Exercises the structural np = 1 / interleave > 1 dominance rule and
+    // the ZeRO-3 axis that doubles every candidate.
+    let sys = b200_nvs8();
+    let opts = SearchOptions::new(256, 2048, TpStrategy::OneD)
+        .max_interleave(4)
+        .allow_zero3(true);
+    assert_exact(&gpt3_175b().config, &sys, &opts);
+}
+
+#[test]
+fn prunes_are_exact_across_thread_counts() {
+    // The atomic-incumbent race must never change the selected optimum.
+    let model = vit_64k().config;
+    let sys = b200_nvs8();
+    let opts = SearchOptions::new(256, 4096, TpStrategy::Summa);
+    let seq = pool(1).install(|| optimize(&model, &sys, &opts)).unwrap();
+    let par = pool(8).install(|| optimize(&model, &sys, &opts)).unwrap();
+    assert_eq!(seq.iteration_time.to_bits(), par.iteration_time.to_bits());
+    assert_eq!(seq, par);
+    assert_exact(&model, &sys, &opts);
+}
+
+#[test]
+fn shared_memo_serves_fresh_worker_threads() {
+    // Warm the process-wide shared table on the calling thread, then run
+    // the same search on a fresh 8-worker pool: the workers' thread-local
+    // L1 memos start empty, so their hits must come from the shared L2.
+    let model = vit_64k().config;
+    let sys = b200_nvs8();
+    let opts = SearchOptions::new(256, 4096, TpStrategy::Summa);
+    let warm = optimize(&model, &sys, &opts).unwrap();
+
+    let before = search_stats();
+    let par = pool(8).install(|| optimize(&model, &sys, &opts)).unwrap();
+    let after = search_stats();
+    assert_eq!(warm, par);
+    assert!(
+        after.memo_shared_hits > before.memo_shared_hits,
+        "8-thread rerun should hit the shared memo table: {before:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn prune_counters_observe_skipped_candidates() {
+    // The pruned path must actually skip work on a space large enough to
+    // have provably-dominated and bound-pruned candidates, and the
+    // skip counters must say so.
+    let model = gpt3_1t().config;
+    let sys = b200_nvs8();
+    let opts = SearchOptions::default()
+        .gpus(1024)
+        .global_batch(4096)
+        .strategy(TpStrategy::Summa);
+    let before = search_stats();
+    let _ = optimize(&model, &sys, &opts).unwrap();
+    let after = search_stats();
+    assert!(
+        after.dominated_pruned > before.dominated_pruned,
+        "seed-based elimination should drop candidates: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.bound_pruned + after.dominated_pruned
+            > before.bound_pruned + before.dominated_pruned + 10,
+        "prunes should skip a nontrivial share of the space"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small spaces: pruned and unpruned optimize agree bit for
+    /// bit with the sweep for arbitrary knob combinations.
+    #[test]
+    fn prunes_are_exact_on_random_spaces(
+        gpus_idx in 0usize..3,
+        gb_idx in 0usize..3,
+        strat_idx in 0usize..3,
+        interleave_idx in 0usize..3,
+        zero3_idx in 0usize..2,
+    ) {
+        let gpus = [32u64, 64, 128][gpus_idx];
+        let gb = [512u64, 1024, 2048][gb_idx];
+        let strategy = [TpStrategy::OneD, TpStrategy::TwoD, TpStrategy::Summa][strat_idx];
+        let max_interleave = [1u64, 2, 4][interleave_idx];
+        let allow_zero3 = zero3_idx == 1;
+        let model = gpt3_175b().config;
+        let sys = b200_nvs8();
+        let opts = SearchOptions::new(gpus, gb, strategy)
+            .max_interleave(max_interleave)
+            .allow_zero3(allow_zero3);
+        assert_exact(&model, &sys, &opts);
+    }
+}

@@ -28,7 +28,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 pub mod prelude {
     pub use crate::{
@@ -130,20 +130,56 @@ impl ThreadPool {
 /// skewed workloads without drowning in per-chunk bookkeeping.
 const CHUNKS_PER_THREAD: usize = 8;
 
+/// Upper bound on the number of items per auto-sized chunk.
+///
+/// `threads × CHUNKS_PER_THREAD` chunks alone is too coarse for large,
+/// skewed inputs: a search sweep with a few thousand candidates per chunk
+/// can park several expensive ones (e.g. SUMMA candidates with big
+/// placement spaces) in the same chunk, and the worker stuck with it
+/// finishes long after the others with nothing left to steal. Capping the
+/// chunk *length* keeps stealing granular on big inputs while tiny inputs
+/// still get one chunk per item.
+const MAX_CHUNK_LEN: usize = 64;
+
+/// The `RAYON_CHUNK_LEN` environment override of [`MAX_CHUNK_LEN`], read
+/// once per process (so a mid-run environment change cannot alter
+/// scheduling). Values < 1 and unparsable values are ignored.
+fn max_chunk_len() -> usize {
+    static OVERRIDE: OnceLock<usize> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("RAYON_CHUNK_LEN")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(MAX_CHUNK_LEN)
+    })
+}
+
+/// Number of chunks the index space `0..n` is cut into for `threads`
+/// workers: at least `threads × CHUNKS_PER_THREAD` (steal granularity),
+/// at least `⌈n / max_chunk_len⌉` (no chunk longer than the cap), and at
+/// most `n` (no empty chunks). Chunk boundaries never affect results —
+/// output is reassembled in input order — only load balance.
+fn chunk_count(n: usize, threads: usize) -> usize {
+    (threads * CHUNKS_PER_THREAD)
+        .max(n.div_ceil(max_chunk_len()))
+        .min(n)
+}
+
 /// Runs `iter` to completion and returns its items in input order.
 ///
-/// Chunked self-scheduling: the index space is cut into
-/// `threads × CHUNKS_PER_THREAD` contiguous chunks; each worker repeatedly
-/// claims the next chunk off a shared counter. Results are reassembled by
-/// chunk id, so the output order (and therefore every downstream
-/// reduction) is independent of scheduling.
+/// Chunked self-scheduling: the index space is cut into [`chunk_count`]
+/// contiguous chunks; each worker repeatedly claims the next chunk off a
+/// shared counter. Results are reassembled by chunk id, so the output
+/// order (and therefore every downstream reduction) is independent of
+/// scheduling.
 fn execute<P: ParallelIterator>(iter: &P) -> Vec<P::Item> {
     let n = iter.pi_len();
     let threads = current_num_threads().min(n);
     if threads <= 1 {
         return (0..n).filter_map(|i| iter.pi_get(i)).collect();
     }
-    let chunks = (threads * CHUNKS_PER_THREAD).min(n);
+    let chunks = chunk_count(n, threads);
     let next = AtomicUsize::new(0);
     let mut parts: Vec<(usize, Vec<P::Item>)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
@@ -632,5 +668,48 @@ mod tests {
         let xs: Vec<u32> = (0..100).collect();
         let n = pool(4).install(|| xs.par_iter().filter(|x| *x % 2 == 0).count());
         assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn chunk_count_caps_chunk_length() {
+        // Regression for the granularity bug: with chunks fixed at
+        // threads × CHUNKS_PER_THREAD, a 10k-item sweep at 2 threads got
+        // 625-item chunks — one skewed chunk serialized the whole tail.
+        for threads in [2, 4, 8] {
+            for n in [1usize, 7, 64, 1000, 9175, 100_000] {
+                let chunks = super::chunk_count(n, threads);
+                assert!(chunks <= n, "n={n} t={threads}: {chunks} chunks");
+                assert!(
+                    chunks >= (threads * super::CHUNKS_PER_THREAD).min(n),
+                    "n={n} t={threads}: only {chunks} chunks"
+                );
+                // No chunk may exceed the length cap: the executor cuts
+                // [c·n/chunks, (c+1)·n/chunks), whose length is at most
+                // ⌈n / chunks⌉.
+                assert!(
+                    n.div_ceil(chunks) <= super::MAX_CHUNK_LEN,
+                    "n={n} t={threads}: chunks of {} items",
+                    n.div_ceil(chunks)
+                );
+            }
+        }
+        assert_eq!(super::chunk_count(0, 8), 0);
+    }
+
+    #[test]
+    fn skewed_workloads_keep_input_order_across_thread_counts() {
+        // A few expensive items next to many trivial ones (the shape that
+        // exposed the chunk-granularity bug) must still produce ordered,
+        // thread-count-invariant output.
+        let xs: Vec<u64> = (0..5000).collect();
+        let work = |x: &u64| {
+            let rounds = if x.is_multiple_of(1000) { 20_000 } else { 1 };
+            (0..rounds).fold(*x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        let seq: Vec<u64> = xs.iter().map(work).collect();
+        for threads in [2, 4, 8] {
+            let par: Vec<u64> = pool(threads).install(|| xs.par_iter().map(work).collect());
+            assert_eq!(par, seq, "thread count {threads}");
+        }
     }
 }
