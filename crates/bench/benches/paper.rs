@@ -317,6 +317,46 @@ fn bench_trainsim(c: &mut Criterion) {
     g.finish();
 }
 
+/// The reliability layer: a goodput-objective planner sweep (every
+/// candidate pays the `assess()` overhead — interval solver included)
+/// and one fault-injected training replay (trace sampling + three
+/// iteration-variant sims + the multi-day replay loop).
+fn bench_reliability(c: &mut Criterion) {
+    use perfmodel::{Objective, Planner};
+    use systems::ReliabilitySpec;
+    use trainsim::{simulate_training, FaultPlan, TrainingParams};
+    let model = gpt3_175b().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let mut g = c.benchmark_group("reliability-search");
+    g.sample_size(10);
+    g.bench_function("gpt175b_n4096_goodput", |b| {
+        b.iter(|| {
+            Planner::new(&model, &sys)
+                .gpus(4096)
+                .global_batch(1024)
+                .strategy(TpStrategy::OneD)
+                .objective(Objective::ExpectedGoodput)
+                .execute()
+        })
+    });
+    let a100 = perlmutter(4);
+    let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
+    let pl = Placement {
+        v1: 4,
+        v2: 1,
+        vp: 1,
+        vd: 1,
+    };
+    let spec = ReliabilitySpec::datacenter().with_gpu_mtbf_hours(2_000.0);
+    let a100 = a100.with_reliability(spec);
+    let plan = FaultPlan::sample(&spec, 512, a100.nics_for(512), 127, 10.0 * 86_400.0, 11);
+    let params = TrainingParams::new(300.0, 1.0, spec.restart_overhead_s);
+    g.bench_function("gpt175b_512gpu_replay_10d", |b| {
+        b.iter(|| simulate_training(&model, &cfg, &pl, 1024, &a100, &plan, &params).unwrap())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_profile,
@@ -327,7 +367,8 @@ criterion_group!(
     bench_search_scaling,
     bench_netsim,
     bench_netsim_algorithms,
-    bench_trainsim
+    bench_trainsim,
+    bench_reliability
 );
 
 fn main() {
@@ -364,6 +405,7 @@ fn main() {
     bench_netsim(&mut c);
     bench_netsim_algorithms(&mut c);
     bench_trainsim(&mut c);
+    bench_reliability(&mut c);
     c.final_summary();
     emit_bench_json(&out);
 }

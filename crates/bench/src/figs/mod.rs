@@ -12,5 +12,6 @@ pub mod figa3;
 pub mod figa4;
 pub mod figa5;
 pub mod figa6;
+pub mod reliability;
 pub mod tables;
 pub mod validation;

@@ -33,7 +33,8 @@
 //! * `groups` — one object per Criterion benchmark group, keyed by group
 //!   name (`profile`, `placement`, `search`, `moe-search`,
 //!   `planner-topk`, `search-scaling`, `netsim`, `netsim-algorithms`,
-//!   `trainsim`), each mapping function name to a measurement cell.
+//!   `trainsim`, `reliability-search`), each mapping function name to a
+//!   measurement cell.
 //!   Insertion order follows bench registration order.
 //! * cell `mean_ns` — mean wall-clock nanoseconds per iteration over the
 //!   measurement window (warm: memo tables and caches carry across
@@ -72,6 +73,7 @@ pub const ALL_IDS: &[&str] = &[
     "figa6",
     "validation",
     "ablations",
+    "reliability",
 ];
 
 /// Generates the artifact set for one identifier (a figure may produce
@@ -97,6 +99,7 @@ pub fn generate(id: &str) -> Vec<Artifact> {
         "figa6" => figs::figa6::generate(),
         "validation" => vec![figs::validation::generate()],
         "ablations" => figs::ablations::generate(),
+        "reliability" => figs::reliability::generate(),
         other => panic!("unknown artifact id {other:?}; known: {ALL_IDS:?}"),
     }
 }

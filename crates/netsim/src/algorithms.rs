@@ -72,6 +72,14 @@ fn ring_path(n: u64, origin: u64, hops: u64) -> Vec<u32> {
     (0..hops).map(|h| ((origin + h) % n) as u32).collect()
 }
 
+/// Runs a builder-generated flow set. The schedule builders in this
+/// module only emit acyclic dependency graphs, so a stall here is an
+/// engine or builder bug, not a scenario — externally-scripted flow sets
+/// go through the fallible engine entry instead.
+fn run(topo: &Topology, flows: &[Flow], pieces: u64) -> SimResult {
+    simulate_flows(topo, flows, pieces).expect("builder schedules are acyclic")
+}
+
 /// AllGather/ReduceScatter flows on a lowered ring: every position
 /// originates one shard of `vol/n` bytes which travels `n−1` hops
 /// (ReduceScatter is the same flow with reduction at each hop).
@@ -79,7 +87,7 @@ fn ring_ag_or_rs(topo: &Topology, n: u64, vol: f64, pieces: u64) -> SimResult {
     let flows: Vec<Flow> = (0..n)
         .map(|o| Flow::new(vol / n as f64, ring_path(n, o, n - 1)))
         .collect();
-    simulate_flows(topo, &flows, pieces)
+    run(topo, &flows, pieces)
 }
 
 /// Ring AllReduce: a ReduceScatter phase followed by an AllGather phase.
@@ -94,9 +102,18 @@ fn ring_allreduce(topo: &Topology, n: u64, vol: f64, pieces: u64) -> SimResult {
 /// domain-major binary tree. Each phase moves the full (per-rail) tensor
 /// across every tree edge once; a parent edge's piece waits for the same
 /// piece from both child edges (and vice versa on the way down).
-fn tree_allreduce(group: CommGroup, sys: &SystemSpec, volume: f64, pieces: u64) -> SimResult {
+fn tree_allreduce(
+    group: CommGroup,
+    sys: &SystemSpec,
+    volume: f64,
+    pieces: u64,
+    derate: f64,
+) -> SimResult {
     let tree = TreeTopology::build(group, sys);
-    let topo = tree.topology();
+    let mut topo = tree.topology();
+    if derate != 1.0 {
+        topo.derate_slow(derate);
+    }
     let vol = volume / tree.rails as f64;
     let n = tree.size;
     // children[r] lists the ranks whose parent is r.
@@ -123,7 +140,7 @@ fn tree_allreduce(group: CommGroup, sys: &SystemSpec, volume: f64, pieces: u64) 
             Flow::after(vol, vec![(r - 1) as u32], deps)
         })
         .collect();
-    simulate_flows(&topo, &reduce, pieces).then(simulate_flows(&topo, &broadcast, pieces))
+    run(&topo, &reduce, pieces).then(run(&topo, &broadcast, pieces))
 }
 
 /// Hierarchical AllReduce: intra-domain ReduceScatter over the fast tier,
@@ -136,6 +153,7 @@ fn hierarchical_allreduce(
     sys: &SystemSpec,
     volume: f64,
     pieces: u64,
+    derate: f64,
 ) -> SimResult {
     let p = group.per_domain();
     let d = group.domains();
@@ -149,7 +167,7 @@ fn hierarchical_allreduce(
     }
     if d > 1 {
         let nic_share = sys.nics_per_node.min(p).max(1) as f64 / p as f64;
-        let bw = sys.network.effective_ib_bandwidth(1) * nic_share;
+        let bw = sys.network.effective_ib_bandwidth(1) * nic_share * derate;
         let mut topo = Topology::new(1);
         for _ in 0..d {
             topo.add_link(LinkKind::Slow, sys.network.ib_latency, bw);
@@ -176,7 +194,7 @@ fn ring_alltoall(topo: &Topology, n: u64, vol: f64) -> SimResult {
     let flows: Vec<Flow> = (0..n)
         .flat_map(|o| (1..n).map(move |dist| Flow::new(chunk, ring_path(n, o, dist))))
         .collect();
-    simulate_flows(topo, &flows, 1)
+    run(topo, &flows, 1)
 }
 
 /// Pairwise-exchange AllToAll: `n−1` rounds for a representative GPU
@@ -195,7 +213,7 @@ fn ring_alltoall(topo: &Topology, n: u64, vol: f64) -> SimResult {
 /// bandwidth terms — the two effects
 /// [`collectives::alltoall_pairwise_time`] sums analytically. Each round
 /// moves one already-small `V/n²` chunk, so chunks are not split further.
-fn pairwise_alltoall(group: CommGroup, sys: &SystemSpec, volume: f64) -> SimResult {
+fn pairwise_alltoall(group: CommGroup, sys: &SystemSpec, volume: f64, derate: f64) -> SimResult {
     let n = group.size();
     let p = group.per_domain();
     let chunk = volume / (n * n) as f64;
@@ -221,7 +239,10 @@ fn pairwise_alltoall(group: CommGroup, sys: &SystemSpec, volume: f64) -> SimResu
             Flow::after(chunk, vec![handshake, port], deps)
         })
         .collect();
-    simulate_flows(&topo, &flows, 1)
+    if derate != 1.0 {
+        topo.derate_slow(derate);
+    }
+    run(&topo, &flows, 1)
 }
 
 /// Rooted ring flow (Broadcast/Reduce): the full ring volume pipelined
@@ -268,7 +289,7 @@ fn rooted_ring(
         }
         pos => {
             let flows = [Flow::new(vol, ring_path(n, origin_of(pos), n - 1))];
-            simulate_flows(topo, &flows, pieces)
+            run(topo, &flows, pieces)
         }
     }
 }
@@ -289,6 +310,36 @@ pub fn simulate_collective(
     sys: &SystemSpec,
     opts: &SimOptions,
 ) -> SimResult {
+    simulate_impl(collective, volume, group, sys, opts, 1.0)
+}
+
+/// [`simulate_collective`] on a *degraded* fabric: every slow-tier link
+/// is lowered at `slow_derate` times its nominal bandwidth (latencies
+/// unchanged) before the schedule runs — the netsim lowering of a link-
+/// degradation fault (`ReliabilitySpec::link_degradation` in the
+/// `systems` crate). `slow_derate = 1.0` is bit-identical to the
+/// undegraded simulation; the fault-replay harness in `trainsim` uses
+/// the ratio of the two to price degraded iterations.
+pub fn simulate_collective_derated(
+    collective: Collective,
+    volume: f64,
+    group: CommGroup,
+    sys: &SystemSpec,
+    opts: &SimOptions,
+    slow_derate: f64,
+) -> SimResult {
+    assert!(slow_derate > 0.0, "derate factor must be positive");
+    simulate_impl(collective, volume, group, sys, opts, slow_derate)
+}
+
+fn simulate_impl(
+    collective: Collective,
+    volume: f64,
+    group: CommGroup,
+    sys: &SystemSpec,
+    opts: &SimOptions,
+    derate: f64,
+) -> SimResult {
     let n = group.size();
     if n <= 1 || volume <= 0.0 {
         return SimResult::zero();
@@ -297,15 +348,20 @@ pub fn simulate_collective(
         return match opts.algorithm {
             Algorithm::Ring => {
                 let ring = RingTopology::build(group, sys);
-                let topo = ring.topology();
+                let mut topo = ring.topology();
+                if derate != 1.0 {
+                    topo.derate_slow(derate);
+                }
                 ring_allreduce(&topo, n, volume / topo.rails as f64, opts.pieces)
             }
-            Algorithm::Tree => tree_allreduce(group, sys, volume, opts.pieces),
-            Algorithm::Hierarchical => hierarchical_allreduce(group, sys, volume, opts.pieces),
+            Algorithm::Tree => tree_allreduce(group, sys, volume, opts.pieces, derate),
+            Algorithm::Hierarchical => {
+                hierarchical_allreduce(group, sys, volume, opts.pieces, derate)
+            }
             Algorithm::Auto => {
                 // NCCL-style autotuning: execute all three, keep the
                 // fastest (deterministic tie-break on the listed order).
-                let ring = simulate_collective(
+                let ring = simulate_impl(
                     collective,
                     volume,
                     group,
@@ -314,9 +370,10 @@ pub fn simulate_collective(
                         algorithm: Algorithm::Ring,
                         ..*opts
                     },
+                    derate,
                 );
-                let tree = tree_allreduce(group, sys, volume, opts.pieces);
-                let hier = hierarchical_allreduce(group, sys, volume, opts.pieces);
+                let tree = tree_allreduce(group, sys, volume, opts.pieces, derate);
+                let hier = hierarchical_allreduce(group, sys, volume, opts.pieces, derate);
                 [ring, tree, hier]
                     .into_iter()
                     .min_by(|a, b| a.time.total_cmp(&b.time))
@@ -328,18 +385,26 @@ pub fn simulate_collective(
         return match opts.algorithm {
             Algorithm::Ring => {
                 let ring = RingTopology::build(group, sys);
-                let topo = ring.topology();
+                let mut topo = ring.topology();
+                if derate != 1.0 {
+                    topo.derate_slow(derate);
+                }
                 ring_alltoall(&topo, n, volume / topo.rails as f64)
             }
             // Tree/hierarchical schedules do not exist for AllToAll; the
             // non-ring schedule is the direct pairwise exchange (as in the
             // analytic `alltoall_time` dispatch).
-            Algorithm::Tree | Algorithm::Hierarchical => pairwise_alltoall(group, sys, volume),
+            Algorithm::Tree | Algorithm::Hierarchical => {
+                pairwise_alltoall(group, sys, volume, derate)
+            }
             Algorithm::Auto => {
                 let ring = RingTopology::build(group, sys);
-                let topo = ring.topology();
+                let mut topo = ring.topology();
+                if derate != 1.0 {
+                    topo.derate_slow(derate);
+                }
                 let rr = ring_alltoall(&topo, n, volume / topo.rails as f64);
-                let pw = pairwise_alltoall(group, sys, volume);
+                let pw = pairwise_alltoall(group, sys, volume, derate);
                 if pw.time <= rr.time {
                     pw
                 } else {
@@ -349,7 +414,10 @@ pub fn simulate_collective(
         };
     }
     let ring = RingTopology::build(group, sys);
-    let topo = ring.topology();
+    let mut topo = ring.topology();
+    if derate != 1.0 {
+        topo.derate_slow(derate);
+    }
     let rail_volume = volume / topo.rails as f64;
     match collective {
         Collective::AllGather | Collective::ReduceScatter => {
@@ -616,6 +684,66 @@ mod tests {
             assert!(best < worst, "{coll:?}: best {best} vs worst {worst}");
             assert!((avg - 0.5 * (best + worst)).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn derated_simulation_slows_cross_domain_collectives() {
+        // Halving every slow link's bandwidth at bandwidth-dominated
+        // volume roughly doubles the slow-tier-bound completion time;
+        // derate 1.0 is bit-identical to the plain simulation — for every
+        // algorithm, including the autotuned ones.
+        let sys = a100_nvs4();
+        let g = CommGroup::new(16, 4);
+        for (coll, algorithm) in [
+            (Collective::AllGather, Algorithm::Ring),
+            (Collective::AllReduce, Algorithm::Ring),
+            (Collective::AllReduce, Algorithm::Tree),
+            (Collective::AllReduce, Algorithm::Hierarchical),
+            (Collective::AllReduce, Algorithm::Auto),
+            (Collective::AllToAll, Algorithm::Auto),
+        ] {
+            let opts = SimOptions {
+                algorithm,
+                ..SimOptions::default()
+            };
+            let base = simulate_collective(coll, 1e9, g, &sys, &opts);
+            let same = simulate_collective_derated(coll, 1e9, g, &sys, &opts, 1.0);
+            assert_eq!(
+                base, same,
+                "{coll:?}/{algorithm:?}: derate 1 must be identity"
+            );
+            let slow = simulate_collective_derated(coll, 1e9, g, &sys, &opts, 0.5);
+            assert!(
+                slow.time > base.time,
+                "{coll:?}/{algorithm:?}: {} !> {}",
+                slow.time,
+                base.time
+            );
+        }
+        // The ring AllGather is slow-tier bound at this shape: derating to
+        // half bandwidth should land near 2× (within pipelining slack).
+        let base = simulate_collective(Collective::AllGather, 1e9, g, &sys, &SimOptions::default());
+        let slow = simulate_collective_derated(
+            Collective::AllGather,
+            1e9,
+            g,
+            &sys,
+            &SimOptions::default(),
+            0.5,
+        );
+        let ratio = slow.time / base.time;
+        assert!(ratio > 1.6 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn intra_domain_collectives_ignore_slow_derate() {
+        // No slow links in a single-domain group: derating is a no-op.
+        let sys = a100_nvs4();
+        let g = CommGroup::single_domain(4);
+        let opts = SimOptions::default();
+        let base = simulate_collective(Collective::AllGather, 1e9, g, &sys, &opts);
+        let derated = simulate_collective_derated(Collective::AllGather, 1e9, g, &sys, &opts, 0.1);
+        assert_eq!(base, derated);
     }
 
     #[test]

@@ -7,6 +7,45 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// A simulation that could not run to completion.
+///
+/// The engine executes whatever flow set it is given; a flow set whose
+/// dependency graph contains a cycle (or a dependency on a flow that
+/// never runs) would previously drain the heap silently and report the
+/// completion time of whatever *did* run — an undercounted time
+/// masquerading as success. Schedule builders inside this crate only
+/// emit acyclic graphs, but the engine is also the substrate for
+/// externally-scripted scenarios (fault replay, hand-built schedules),
+/// so no-progress states are detected and surfaced as typed errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The event loop stopped making progress before every scheduled
+    /// transfer executed: the heap drained with pieces still gated on
+    /// unmet dependencies (a dependency cycle or a dependency on a
+    /// flow that never completes), or the event-count watchdog tripped.
+    Stalled {
+        /// Link transfers actually executed.
+        executed: u64,
+        /// Link transfers the flow set schedules (`Σ hops · pieces`).
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { executed, expected } => write!(
+                f,
+                "simulation stalled: {executed} of {expected} scheduled \
+                 transfers executed (dependency cycle or unsatisfiable gate \
+                 in the flow set)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Engine counters (useful for tests and for demonstrating that the
 /// simulation actually executed the schedule rather than a formula).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -118,13 +157,39 @@ impl PartialOrd for Transfer {
 /// has been received (and its cross-flow dependencies have completed);
 /// each link carries one piece at a time.
 ///
-/// Returns the completion time of the last piece plus engine stats.
-pub(crate) fn simulate_flows(topo: &Topology, flows: &[Flow], pieces: u64) -> SimResult {
+/// Returns the completion time of the last piece plus engine stats, or
+/// [`SimError::Stalled`] when the flow set cannot run to completion
+/// (dependency cycle, dependency on a flow that never runs, or the
+/// event-count watchdog tripping).
+pub(crate) fn simulate_flows(
+    topo: &Topology,
+    flows: &[Flow],
+    pieces: u64,
+) -> Result<SimResult, SimError> {
     let pieces = pieces.max(1) as usize;
     let mut link_free = vec![0.0f64; topo.len()];
     let mut heap: BinaryHeap<Reverse<Transfer>> = BinaryHeap::new();
     let mut stats = EventStats::default();
     let mut finish = 0.0f64;
+
+    // Progress accounting for stall detection. Every piece of every flow
+    // crosses every hop of its path exactly once, so the completed
+    // schedule executes exactly `expected` transfers; draining the heap
+    // short of that means some pieces' gates never opened. The watchdog
+    // bounds total heap pops: each pop either executes a transfer or
+    // requeues behind a busy link, and a queued transfer requeues at
+    // most once per transfer that executes on its link ahead of it, so a
+    // healthy run pops O(expected²) events in the worst case — the
+    // budget is that with slack; tripping it means the loop is spinning
+    // without executing, which the requeue discipline (strictly
+    // advancing ready times) should make impossible. It is a defensive
+    // backstop; the heap-drain check below is the real detector.
+    let expected: u64 = flows
+        .iter()
+        .map(|f| f.path.len() as u64 * pieces as u64)
+        .sum();
+    let budget = 1024u64.saturating_add(expected.saturating_mul(expected.saturating_add(4)));
+    let mut pops = 0u64;
 
     // Dependency bookkeeping: dependents[f] lists the flows gated on f;
     // pending[g][p] counts unmet dependencies of piece p of flow g;
@@ -157,6 +222,13 @@ pub(crate) fn simulate_flows(topo: &Topology, flows: &[Flow], pieces: u64) -> Si
     }
 
     while let Some(Reverse(t)) = heap.pop() {
+        pops += 1;
+        if pops > budget {
+            return Err(SimError::Stalled {
+                executed: stats.transfers,
+                expected,
+            });
+        }
         let flow = &flows[t.flow as usize];
         let link = flow.path[t.hop as usize];
         let start = t.ready.max(link_free[link as usize]);
@@ -200,10 +272,16 @@ pub(crate) fn simulate_flows(topo: &Topology, flows: &[Flow], pieces: u64) -> Si
         }
     }
 
-    SimResult {
+    if stats.transfers < expected {
+        return Err(SimError::Stalled {
+            executed: stats.transfers,
+            expected,
+        });
+    }
+    Ok(SimResult {
         time: finish,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -226,7 +304,7 @@ mod tests {
     #[test]
     fn single_hop_single_piece() {
         let t = topo(4, 4);
-        let r = simulate_flows(&t, &[Flow::new(1e6, ring_path(4, 0, 1))], 1);
+        let r = simulate_flows(&t, &[Flow::new(1e6, ring_path(4, 0, 1))], 1).unwrap();
         let (lat, bw) = t.link_params(0);
         let expect = lat + 1e6 / bw;
         assert!((r.time - expect).abs() / expect < 1e-12);
@@ -239,8 +317,8 @@ mod tests {
         // bytes/bw + hops·lat instead of hops·bytes/bw.
         let t = topo(4, 4);
         let flow = [Flow::new(4e6, ring_path(4, 0, 3))];
-        let unpipelined = simulate_flows(&t, &flow, 1).time;
-        let pipelined = simulate_flows(&t, &flow, 64).time;
+        let unpipelined = simulate_flows(&t, &flow, 1).unwrap().time;
+        let pipelined = simulate_flows(&t, &flow, 64).unwrap().time;
         assert!(pipelined < 0.5 * unpipelined);
         let (lat, bw) = t.link_params(0);
         let floor = 3.0 * lat + 4e6 / bw;
@@ -251,7 +329,9 @@ mod tests {
     fn contention_serializes_a_link() {
         // Two flows entering the same link at once must queue.
         let t = topo(4, 4);
-        let one = simulate_flows(&t, &[Flow::new(1e8, ring_path(4, 0, 1))], 1).time;
+        let one = simulate_flows(&t, &[Flow::new(1e8, ring_path(4, 0, 1))], 1)
+            .unwrap()
+            .time;
         let both = simulate_flows(
             &t,
             &[
@@ -259,7 +339,8 @@ mod tests {
                 Flow::new(1e8, ring_path(4, 0, 1)),
             ],
             1,
-        );
+        )
+        .unwrap();
         assert!(both.time > 1.9 * one);
         assert!(both.stats.requeues > 0);
     }
@@ -267,8 +348,12 @@ mod tests {
     #[test]
     fn slow_hop_dominates_cross_domain() {
         let t = topo(8, 4); // one slow boundary at positions 3 and 7
-        let fast_only = simulate_flows(&t, &[Flow::new(8e6, ring_path(8, 0, 3))], 1).time;
-        let with_slow = simulate_flows(&t, &[Flow::new(8e6, ring_path(8, 0, 4))], 1).time;
+        let fast_only = simulate_flows(&t, &[Flow::new(8e6, ring_path(8, 0, 3))], 1)
+            .unwrap()
+            .time;
+        let with_slow = simulate_flows(&t, &[Flow::new(8e6, ring_path(8, 0, 4))], 1)
+            .unwrap()
+            .time;
         let (slow_lat, slow_bw) = t.link_params(3);
         let slow_hop = slow_lat + 8e6 / slow_bw;
         assert!((with_slow - fast_only - slow_hop).abs() / slow_hop < 1e-9);
@@ -277,7 +362,7 @@ mod tests {
     #[test]
     fn empty_flow_set_is_free() {
         let t = topo(4, 4);
-        assert_eq!(simulate_flows(&t, &[], 4).time, 0.0);
+        assert_eq!(simulate_flows(&t, &[], 4).unwrap().time, 0.0);
     }
 
     #[test]
@@ -287,10 +372,10 @@ mod tests {
         let t = topo(4, 4);
         let flows = [Flow::new(8e6, vec![0]), Flow::after(8e6, vec![2], vec![0])];
         let (lat, bw) = t.link_params(0);
-        let serial = simulate_flows(&t, &flows, 1).time;
+        let serial = simulate_flows(&t, &flows, 1).unwrap().time;
         let expect = 2.0 * (lat + 8e6 / bw);
         assert!((serial - expect).abs() / expect < 1e-12);
-        let pipelined = simulate_flows(&t, &flows, 64).time;
+        let pipelined = simulate_flows(&t, &flows, 64).unwrap().time;
         assert!(pipelined < 0.6 * serial, "{pipelined} vs {serial}");
     }
 
@@ -304,7 +389,7 @@ mod tests {
             Flow::new(64e6, vec![1]),
             Flow::after(1e6, vec![2], vec![0, 1]),
         ];
-        let r = simulate_flows(&t, &flows, 1);
+        let r = simulate_flows(&t, &flows, 1).unwrap();
         let (lat, bw) = t.link_params(0);
         let expect = (lat + 64e6 / bw) + (lat + 1e6 / bw);
         assert!((r.time - expect).abs() / expect < 1e-12);
@@ -315,8 +400,77 @@ mod tests {
     fn deterministic() {
         let t = topo(8, 4);
         let flows: Vec<Flow> = (0..8).map(|o| Flow::new(3e6, ring_path(8, o, 7))).collect();
-        let a = simulate_flows(&t, &flows, 8);
-        let b = simulate_flows(&t, &flows, 8);
+        let a = simulate_flows(&t, &flows, 8).unwrap();
+        let b = simulate_flows(&t, &flows, 8).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cyclic_dependencies_stall_instead_of_undercounting() {
+        // A two-flow dependency cycle: neither piece can ever enter its
+        // first link. Before the guard this drained the heap and returned
+        // time 0 as if the schedule had completed.
+        let t = topo(4, 4);
+        let cycle = [
+            Flow::after(1e6, vec![0], vec![1]),
+            Flow::after(1e6, vec![1], vec![0]),
+        ];
+        assert_eq!(
+            simulate_flows(&t, &cycle, 2),
+            Err(SimError::Stalled {
+                executed: 0,
+                expected: 4,
+            })
+        );
+    }
+
+    #[test]
+    fn partial_progress_before_a_stall_is_reported() {
+        // One healthy flow plus a three-flow cycle: the healthy flow runs
+        // to completion, then the loop stalls with its transfers counted.
+        let t = topo(4, 4);
+        let flows = [
+            Flow::new(1e6, ring_path(4, 0, 2)),
+            Flow::after(1e6, vec![2], vec![2]),
+            Flow::after(1e6, vec![3], vec![3, 0]),
+            Flow::after(1e6, vec![1], vec![1]),
+        ];
+        let err = simulate_flows(&t, &flows, 4).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Stalled {
+                executed: 8,
+                expected: 20,
+            }
+        );
+        assert!(err.to_string().contains("8 of 20"));
+    }
+
+    #[test]
+    fn self_dependency_stalls() {
+        let t = topo(4, 4);
+        let flows = [Flow::after(1e6, vec![0], vec![0])];
+        assert!(matches!(
+            simulate_flows(&t, &flows, 1),
+            Err(SimError::Stalled { executed: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn dependency_on_a_gated_never_run_flow_stalls() {
+        // Flow 1 waits on flow 0, which itself waits on flow 1: even
+        // though the graph is just a 2-cycle reached through an extra
+        // healthy dependency level, flow 2 (gated on 1) must stall too —
+        // nothing downstream of a cycle ever runs.
+        let t = topo(4, 4);
+        let flows = [
+            Flow::after(1e6, vec![0], vec![1]),
+            Flow::after(1e6, vec![1], vec![0]),
+            Flow::after(1e6, vec![2], vec![1]),
+        ];
+        assert!(matches!(
+            simulate_flows(&t, &flows, 1),
+            Err(SimError::Stalled { executed: 0, .. })
+        ));
     }
 }

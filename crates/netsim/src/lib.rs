@@ -41,9 +41,9 @@ mod algorithms;
 mod engine;
 mod topology;
 
-pub use algorithms::{simulate_collective, RootPosition, SimOptions};
+pub use algorithms::{simulate_collective, simulate_collective_derated, RootPosition, SimOptions};
 pub use collectives::Algorithm;
-pub use engine::{EventStats, SimResult};
+pub use engine::{EventStats, SimError, SimResult};
 pub use topology::{Link, LinkKind, RingTopology, Topology, TreeTopology};
 
 #[cfg(test)]

@@ -93,6 +93,20 @@ impl Topology {
             .filter(|l| l.kind == LinkKind::Slow)
             .count()
     }
+
+    /// Rescales every slow-tier link's bandwidth by `factor` — the
+    /// per-link lowering of a degraded-fabric fault (flapping optics, a
+    /// congested leaf switch): the links still carry traffic, just
+    /// slower. `factor` must be positive; latencies and fast-tier links
+    /// are untouched. Infinite-bandwidth handshake links stay infinite.
+    pub fn derate_slow(&mut self, factor: f64) {
+        assert!(factor > 0.0, "derate factor must be positive");
+        for l in &mut self.links {
+            if l.kind == LinkKind::Slow {
+                l.bandwidth *= factor;
+            }
+        }
+    }
 }
 
 /// A logical ring over the collective's GPUs, plus the link
@@ -362,6 +376,31 @@ mod tests {
         // Slow links keep the full per-NIC bandwidth (each rail has its own
         // NIC).
         assert!((lowered.link(3).bandwidth - sys.network.ib_bandwidth * 0.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn derate_slow_touches_only_slow_links() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let ring = RingTopology::build(CommGroup::new(16, 4), &sys);
+        let nominal = ring.topology();
+        let mut derated = nominal.clone();
+        derated.derate_slow(0.4);
+        for id in 0..nominal.len() as u32 {
+            let (a, b) = (nominal.link(id), derated.link(id));
+            assert_eq!(a.latency, b.latency);
+            match a.kind {
+                LinkKind::Fast => assert_eq!(a.bandwidth, b.bandwidth),
+                LinkKind::Slow => assert!((b.bandwidth - 0.4 * a.bandwidth).abs() < 1e-6),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "derate factor must be positive")]
+    fn derate_zero_panics() {
+        let sys = system(GpuGeneration::A100, NvsSize::Nvs4);
+        let mut t = RingTopology::build(CommGroup::new(16, 4), &sys).topology();
+        t.derate_slow(0.0);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod partition;
 pub mod placement;
 pub mod plan;
 pub mod planner;
+pub mod reliability;
 pub mod search;
 pub mod sensitivity;
 pub mod timing;
@@ -79,9 +80,10 @@ pub use memory::MemoryUsage;
 pub use partition::{reset_search_stats, search_stats, ProfileCache, ProfileKey, SearchStats};
 pub use placement::enumerate_placements;
 pub use planner::{
-    LexStage, Objective, ObjectiveCtx, Plan, PlanSet, Planner, PlannerConfig, Score, SearchSpace,
-    WeightedTerm,
+    ConfigError, LexStage, Objective, ObjectiveCtx, Plan, PlanSet, Planner, PlannerConfig, Score,
+    SearchSpace, WeightedTerm,
 };
+pub use reliability::GoodputReport;
 pub use search::{
     best_placement_eval, best_placement_eval_with_profile, enumerate_partitions, optimize,
     sweep_partitions, SearchOptions,

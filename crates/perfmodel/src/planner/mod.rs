@@ -59,10 +59,12 @@
 mod objective;
 mod plan;
 mod space;
+mod validate;
 
 pub use objective::{LexStage, Objective, ObjectiveCtx, Score, WeightedTerm};
 pub use plan::{Plan, PlanSet};
 pub use space::SearchSpace;
+pub use validate::{validate_system, ConfigError, MAX_GPU_COUNTS, MAX_SCALE};
 
 use crate::config::{ParallelConfig, Placement};
 use crate::evaluate::{
@@ -269,12 +271,19 @@ impl<'a> Planner<'a> {
         self
     }
 
-    /// The scoring context shared by every candidate of this space.
+    /// The scoring context shared by every candidate of this space. The
+    /// reliability fields feed the goodput objectives only; the
+    /// checkpoint bandwidth is the per-NIC effective slow-tier rate —
+    /// the same path the DP gradient sync drains over.
     pub fn objective_ctx(&self) -> ObjectiveCtx {
         ObjectiveCtx {
             global_batch: self.config.space.global_batch,
             seq_len: self.model.seq_len,
             hbm_capacity: self.system.gpu.hbm_capacity,
+            reliability: self.system.reliability,
+            nvs_size: self.system.nvs_size,
+            nics_per_node: self.system.nics_per_node,
+            checkpoint_bandwidth: self.system.network.effective_ib_bandwidth(1),
         }
     }
 
@@ -655,10 +664,28 @@ impl<'a> Planner<'a> {
         )
     }
 
+    /// [`Planner::execute`] behind typed validation: rejects structurally
+    /// invalid configurations (empty axes, zero degrees, out-of-bound
+    /// scales, non-finite objective weights — see [`ConfigError`]) and
+    /// adversarial system numerics (non-finite MTBF rates, non-positive
+    /// bandwidths) *before* any search work. This is the entry point for
+    /// configurations replayed from JSON ([`Planner::from_config`]),
+    /// where every field is untrusted input; given `Ok`, the search
+    /// itself cannot panic on the configuration.
+    pub fn try_execute(&self) -> Result<PlanSet, ConfigError> {
+        self.config.validate()?;
+        validate::validate_system(self.system)?;
+        Ok(self.execute())
+    }
+
     /// Runs the search and assembles the [`PlanSet`]: feasible candidates
     /// are ranked under the objective (top-k retained) and the exact
     /// Pareto frontier is computed across the selected objectives.
     /// Deterministic and thread-count invariant.
+    ///
+    /// Trusts its configuration (builder-constructed spaces are valid by
+    /// construction); replayed/deserialized configurations should go
+    /// through [`Planner::try_execute`] instead.
     pub fn execute(&self) -> PlanSet {
         let evals = self.evaluations();
         let ctx = self.objective_ctx();
@@ -827,6 +854,69 @@ mod tests {
         assert!(cost(c).is_none());
         let gpu_s = |p: &Plan| p.eval.config.total_gpus() as f64 * p.eval.iteration_time;
         assert!(gpu_s(c) < gpu_s(f));
+    }
+
+    #[test]
+    fn expected_goodput_optimum_differs_from_iteration_time_optimum() {
+        // The reliability acceptance experiment: on GPT3-175B at 4096
+        // B200 GPUs under the realistic datacenter failure regime
+        // (~50k h per-GPU MTBF ⇒ a failure every ~12 h at this scale),
+        // the plan that maximizes *delivered* tokens is not the plan
+        // that minimizes failure-free iteration time. The time optimum
+        // leans on cross-domain tensor parallelism and a huge DP degree
+        // (big optimizer shards ⇒ expensive checkpoints, slow-tier TP
+        // exposed to link degradation); the goodput optimum trades a
+        // slower failure-free iteration for in-domain TP and deep
+        // pipelining with tiny checkpoint shards.
+        let model = gpt3_175b().config;
+        let sys = b200_nvs8();
+        assert!(!sys.reliability.is_failure_free());
+        let base = Planner::new(&model, &sys)
+            .gpus(4096)
+            .global_batch(1024)
+            .strategy(TpStrategy::OneD);
+        let fastest = base.clone().objective(Objective::IterationTime).execute();
+        let goodput = base.clone().objective(Objective::ExpectedGoodput).execute();
+        let f = fastest.best().unwrap();
+        let g = goodput.best().unwrap();
+        assert_ne!(
+            f.eval.config, g.eval.config,
+            "goodput optimum must differ from the failure-free optimum"
+        );
+        // The selections differ in the core (tp, pp, dp) split, not just
+        // a microbatch knob.
+        assert_ne!(
+            (
+                f.eval.config.tensor_parallel(),
+                f.eval.config.np,
+                f.eval.config.nd
+            ),
+            (
+                g.eval.config.tensor_parallel(),
+                g.eval.config.np,
+                g.eval.config.nd
+            )
+        );
+        // And each wins its own game: f is strictly faster failure-free,
+        // g strictly delivers more under failures.
+        let ctx = base.objective_ctx();
+        assert!(f.eval.iteration_time < g.eval.iteration_time);
+        let deliver = |e: &Evaluation| crate::reliability::assess(e, &ctx).tokens_per_gpu_second;
+        assert!(deliver(&g.eval) > deliver(&f.eval));
+        // Under a failure-free spec the two objectives agree again.
+        let ff = sys
+            .clone()
+            .with_reliability(systems::ReliabilitySpec::failure_free());
+        let agree = Planner::new(&model, &ff)
+            .gpus(4096)
+            .global_batch(1024)
+            .strategy(TpStrategy::OneD)
+            .objective(Objective::ExpectedGoodput)
+            .execute();
+        assert_eq!(
+            agree.best().unwrap().eval.iteration_time,
+            f.eval.iteration_time
+        );
     }
 
     #[test]

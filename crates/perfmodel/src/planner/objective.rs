@@ -16,6 +16,7 @@
 
 use crate::evaluate::Evaluation;
 use serde::{Deserialize, Serialize};
+use systems::ReliabilitySpec;
 use txmodel::TrainingWorkload;
 
 /// Per-candidate scoring context: the space-level quantities a metric
@@ -30,6 +31,16 @@ pub struct ObjectiveCtx {
     pub seq_len: u64,
     /// Device HBM capacity in bytes for headroom metrics.
     pub hbm_capacity: f64,
+    /// The system's failure regime, for the goodput metrics (inert under
+    /// [`ReliabilitySpec::failure_free`]).
+    pub reliability: ReliabilitySpec,
+    /// GPUs per NVS domain, to count cross-domain links and NICs.
+    pub nvs_size: u64,
+    /// NICs per NVS domain, to scale NIC failure rates with job size.
+    pub nics_per_node: u64,
+    /// Bytes/s one checkpoint writer drains its shard at (the per-NIC
+    /// effective slow-tier bandwidth — the DP-sync path).
+    pub checkpoint_bandwidth: f64,
 }
 
 /// One term of a weighted-sum objective.
@@ -91,6 +102,20 @@ pub enum Objective {
         /// The refinement stages, primary first.
         stages: Vec<LexStage>,
     },
+    /// Delivered training throughput under the system's failure regime:
+    /// tokens per GPU-second *after* checkpoint overhead, failure
+    /// rework, degraded links and stragglers
+    /// (see [`crate::reliability`]). Maximized. Reduces exactly to
+    /// [`Objective::TokensPerGpuSecond`] on a failure-free spec.
+    ExpectedGoodput,
+    /// Wall-clock days to *complete* `iterations` optimizer steps under
+    /// the failure regime — [`Objective::TrainingDays`] divided by the
+    /// expected goodput fraction, with slowdown-inflated iteration
+    /// times. Minimized; `∞` when the regime delivers nothing.
+    EffectiveTrainingDays {
+        /// Total optimizer iterations of the run.
+        iterations: f64,
+    },
 }
 
 impl Objective {
@@ -147,7 +172,10 @@ impl Objective {
 
     /// True for metrics where larger natural values are better.
     pub fn maximize(&self) -> bool {
-        matches!(self, Objective::TokensPerGpuSecond | Objective::HbmHeadroom)
+        matches!(
+            self,
+            Objective::TokensPerGpuSecond | Objective::HbmHeadroom | Objective::ExpectedGoodput
+        )
     }
 
     /// Display name (figure legends, artifact columns).
@@ -169,6 +197,8 @@ impl Objective {
                 let parts: Vec<String> = stages.iter().map(|s| s.objective.name()).collect();
                 format!("lex[{}]", parts.join(" > "))
             }
+            Objective::ExpectedGoodput => "goodput (tokens/s/GPU)".into(),
+            Objective::EffectiveTrainingDays { .. } => "effective days".into(),
         }
     }
 
@@ -191,6 +221,10 @@ impl Objective {
                 Some(s) => s.objective.value(e, ctx),
                 None => 0.0,
             },
+            Objective::ExpectedGoodput => crate::reliability::assess(e, ctx).tokens_per_gpu_second,
+            Objective::EffectiveTrainingDays { iterations } => {
+                crate::reliability::assess(e, ctx).effective_days(*iterations)
+            }
         }
     }
 

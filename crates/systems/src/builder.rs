@@ -66,6 +66,20 @@ impl SystemBuilder {
         self
     }
 
+    /// Replaces the whole failure regime (see
+    /// [`crate::ReliabilitySpec`]).
+    pub fn reliability(mut self, spec: crate::ReliabilitySpec) -> Self {
+        self.spec.reliability = spec;
+        self
+    }
+
+    /// Overrides the per-GPU MTBF in hours (`0` disables GPU failures),
+    /// keeping the rest of the failure regime.
+    pub fn gpu_mtbf_hours(mut self, hours: f64) -> Self {
+        self.spec.reliability = self.spec.reliability.with_gpu_mtbf_hours(hours);
+        self
+    }
+
     /// Renames the resulting system.
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.spec.name = name.into();

@@ -1,6 +1,6 @@
 //! Built-in system catalog (paper Table A3).
 
-use crate::{GpuSpec, NetworkSpec, SystemSpec};
+use crate::{GpuSpec, NetworkSpec, ReliabilitySpec, SystemSpec};
 
 /// GPU generations studied in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +109,7 @@ pub fn system(gen: GpuGeneration, nvs: NvsSize) -> SystemSpec {
         network: gen.network(),
         nvs_size: nvs_gpus,
         nics_per_node: nvs_gpus,
+        reliability: ReliabilitySpec::datacenter(),
     }
 }
 
@@ -143,6 +144,7 @@ pub fn perlmutter(nvlink_gpus: u64) -> SystemSpec {
         nvs_size: nvlink_gpus,
         // One SlingShot NIC per participating GPU (4 per node total).
         nics_per_node: nvlink_gpus.min(4),
+        reliability: ReliabilitySpec::datacenter(),
     }
 }
 

@@ -18,11 +18,13 @@ mod builder;
 mod catalog;
 mod gpu;
 mod network;
+mod reliability;
 
 pub use builder::SystemBuilder;
 pub use catalog::{perlmutter, system, GpuGeneration, NvsSize, ALL_GENERATIONS, ALL_NVS_SIZES};
 pub use gpu::GpuSpec;
 pub use network::NetworkSpec;
+pub use reliability::ReliabilitySpec;
 
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +47,10 @@ pub struct SystemSpec {
     pub nvs_size: u64,
     /// NICs available per NVS domain for inter-node traffic.
     pub nics_per_node: u64,
+    /// Failure regime (MTBFs, link flaps, stragglers). Catalog systems
+    /// carry [`ReliabilitySpec::datacenter`]; the failure-free code
+    /// paths never read it.
+    pub reliability: ReliabilitySpec,
 }
 
 impl SystemSpec {
@@ -62,6 +68,20 @@ impl SystemSpec {
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// Replaces the failure regime (builder-style convenience).
+    pub fn with_reliability(mut self, reliability: ReliabilitySpec) -> Self {
+        self.reliability = reliability;
+        self
+    }
+
+    /// Total NICs available to a job spanning `n` GPUs: the per-domain
+    /// NIC count times the number of (fully or partially) occupied NVS
+    /// domains. Used by the reliability model to scale NIC failure
+    /// rates with machine size.
+    pub fn nics_for(&self, n: u64) -> u64 {
+        self.domains_for(n) * self.nics_per_node
     }
 }
 

@@ -1,0 +1,247 @@
+//! Failure characteristics of a training cluster.
+//!
+//! The paper's model (and every figure it produces) assumes a
+//! failure-free machine; at its own target scale — thousands of GPUs for
+//! weeks — delivered throughput is gated as much by node failures, link
+//! flaps and stragglers as by the parallelization. [`ReliabilitySpec`]
+//! is the plain-data description of that failure regime, carried by
+//! [`crate::SystemSpec`] exactly like the compute and network
+//! characteristics: the *time* formulas (expected goodput, Young/Daly
+//! checkpoint intervals) live in `perfmodel::reliability`, and the
+//! seeded fault-injection harness in `trainsim` replays event streams
+//! sampled from these rates.
+//!
+//! Three independent fault processes are described:
+//!
+//! * **Hard failures** — a GPU or NIC dies and the job restarts from the
+//!   last checkpoint. Poisson with per-component MTBFs, so the system
+//!   rate scales linearly with the GPU count (the paper's regime: a
+//!   50 000 h per-GPU MTBF means a 4096-GPU job fails roughly every
+//!   12 hours — the rate reported for production runs of this scale).
+//! * **Link degradation** — an inter-node link drops to a fraction of
+//!   its bandwidth for a while (flapping optics, congested leaf switch)
+//!   without killing the job. Modeled per slow link as a Poisson flap
+//!   process with a fixed degraded duration and bandwidth factor.
+//! * **Stragglers** — a node runs slow (thermal throttling, ECC
+//!   scrubbing) for a while. A two-point slowdown distribution: at any
+//!   instant each GPU is a straggler with probability
+//!   `straggler_prob`, slowed by `straggler_slowdown`; episodes last
+//!   `straggler_duration_s` (which fixes the episode arrival rate).
+
+use serde::{Deserialize, Serialize};
+
+/// Failure-regime description of a system (all plain data; `Copy`).
+///
+/// Defaults come from [`ReliabilitySpec::datacenter`]. A failure-free
+/// machine — the implicit assumption of every pre-existing code path —
+/// is [`ReliabilitySpec::failure_free`], which zeroes every rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilitySpec {
+    /// Mean time between hard failures of one GPU, hours. `0` disables
+    /// GPU failures (the failure-free limit), matching production
+    /// observations only as `∞` would.
+    pub gpu_mtbf_hours: f64,
+    /// Mean time between hard failures of one NIC, hours. `0` disables.
+    pub nic_mtbf_hours: f64,
+    /// Bandwidth factor of a degraded inter-node link, in `(0, 1]`
+    /// (e.g. `0.4` = the link runs at 40% of nominal while degraded).
+    pub link_degradation: f64,
+    /// Degradation episodes per slow link per hour (Poisson rate).
+    pub link_flap_rate_per_hour: f64,
+    /// Mean duration of one degradation episode, seconds.
+    pub flap_duration_s: f64,
+    /// Stationary probability that a given GPU is a straggler.
+    pub straggler_prob: f64,
+    /// Slowdown factor of a straggling GPU's compute (≥ 1).
+    pub straggler_slowdown: f64,
+    /// Mean duration of one straggler episode, seconds (fixes the
+    /// episode arrival rate `straggler_prob / straggler_duration_s`).
+    pub straggler_duration_s: f64,
+    /// Time to detect a failure, reschedule and reload the last
+    /// checkpoint, seconds (on top of the lost rework).
+    pub restart_overhead_s: f64,
+}
+
+impl Default for ReliabilitySpec {
+    fn default() -> Self {
+        Self::datacenter()
+    }
+}
+
+impl ReliabilitySpec {
+    /// A realistic large-cluster failure regime, anchored to published
+    /// production numbers: ~50 000 h per-GPU MTBF (one interruption
+    /// every ~3 h at 16K GPUs, as reported for frontier-scale runs),
+    /// NICs an order of magnitude more reliable, occasional link
+    /// degradation to 40% bandwidth, and rare 1.5× straggler episodes.
+    pub fn datacenter() -> Self {
+        Self {
+            gpu_mtbf_hours: 50_000.0,
+            nic_mtbf_hours: 500_000.0,
+            link_degradation: 0.4,
+            link_flap_rate_per_hour: 0.01,
+            flap_duration_s: 120.0,
+            straggler_prob: 1e-4,
+            straggler_slowdown: 1.5,
+            straggler_duration_s: 300.0,
+            restart_overhead_s: 600.0,
+        }
+    }
+
+    /// The failure-free limit: every rate zero, every factor identity.
+    /// Under this spec the reliability layer reproduces the plain
+    /// failure-free model bit for bit.
+    pub fn failure_free() -> Self {
+        Self {
+            gpu_mtbf_hours: 0.0,
+            nic_mtbf_hours: 0.0,
+            link_degradation: 1.0,
+            link_flap_rate_per_hour: 0.0,
+            flap_duration_s: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+            straggler_duration_s: 0.0,
+            restart_overhead_s: 0.0,
+        }
+    }
+
+    /// Overrides the per-GPU MTBF (hours); `0` disables GPU failures.
+    pub fn with_gpu_mtbf_hours(mut self, hours: f64) -> Self {
+        self.gpu_mtbf_hours = hours;
+        self
+    }
+
+    /// Overrides the per-NIC MTBF (hours); `0` disables NIC failures.
+    pub fn with_nic_mtbf_hours(mut self, hours: f64) -> Self {
+        self.nic_mtbf_hours = hours;
+        self
+    }
+
+    /// Overrides the link-degradation process: bandwidth `factor` while
+    /// degraded, `flaps_per_hour` episodes per slow link, each lasting
+    /// `duration_s` seconds.
+    pub fn with_link_flaps(mut self, factor: f64, flaps_per_hour: f64, duration_s: f64) -> Self {
+        self.link_degradation = factor;
+        self.link_flap_rate_per_hour = flaps_per_hour;
+        self.flap_duration_s = duration_s;
+        self
+    }
+
+    /// Overrides the straggler distribution: each GPU straggles with
+    /// stationary probability `prob` at slowdown `slowdown`, in
+    /// episodes of `duration_s` seconds.
+    pub fn with_stragglers(mut self, prob: f64, slowdown: f64, duration_s: f64) -> Self {
+        self.straggler_prob = prob;
+        self.straggler_slowdown = slowdown;
+        self.straggler_duration_s = duration_s;
+        self
+    }
+
+    /// Overrides the restart overhead (detection + reschedule +
+    /// checkpoint reload), seconds.
+    pub fn with_restart_overhead_s(mut self, seconds: f64) -> Self {
+        self.restart_overhead_s = seconds;
+        self
+    }
+
+    /// Hard-failure rate of one GPU, per second (`0` MTBF ⇒ rate 0).
+    pub fn gpu_failure_rate(&self) -> f64 {
+        if self.gpu_mtbf_hours > 0.0 {
+            1.0 / (self.gpu_mtbf_hours * 3600.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Hard-failure rate of one NIC, per second (`0` MTBF ⇒ rate 0).
+    pub fn nic_failure_rate(&self) -> f64 {
+        if self.nic_mtbf_hours > 0.0 {
+            1.0 / (self.nic_mtbf_hours * 3600.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whole-job hard-failure rate for `gpus` GPUs with `nics` NICs, per
+    /// second — independent Poisson components, so rates add and the
+    /// system rate scales linearly with machine size.
+    pub fn system_failure_rate(&self, gpus: u64, nics: u64) -> f64 {
+        gpus as f64 * self.gpu_failure_rate() + nics as f64 * self.nic_failure_rate()
+    }
+
+    /// Stationary fraction of time one slow link spends degraded
+    /// (`rate · duration`, clamped to 1).
+    pub fn link_degraded_duty(&self) -> f64 {
+        (self.link_flap_rate_per_hour / 3600.0 * self.flap_duration_s).clamp(0.0, 1.0)
+    }
+
+    /// True when every process is off — the spec of
+    /// [`ReliabilitySpec::failure_free`] or anything equivalent to it.
+    pub fn is_failure_free(&self) -> bool {
+        self.gpu_failure_rate() == 0.0
+            && self.nic_failure_rate() == 0.0
+            && (self.link_degraded_duty() == 0.0 || self.link_degradation >= 1.0)
+            && (self.straggler_prob == 0.0 || self.straggler_slowdown <= 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_scale_linearly_with_machine_size() {
+        let r = ReliabilitySpec::datacenter();
+        let one = r.system_failure_rate(1, 1);
+        let big = r.system_failure_rate(4096, 4096);
+        assert!((big / one - 4096.0).abs() < 1e-9);
+        // 50k h per-GPU MTBF at 4096 GPUs: a failure every ~12 h.
+        let mtbf_s = 1.0 / r.system_failure_rate(4096, 4096);
+        assert!(mtbf_s > 8.0 * 3600.0 && mtbf_s < 14.0 * 3600.0, "{mtbf_s}");
+    }
+
+    #[test]
+    fn failure_free_is_inert() {
+        let r = ReliabilitySpec::failure_free();
+        assert!(r.is_failure_free());
+        assert_eq!(r.system_failure_rate(1 << 20, 1 << 20), 0.0);
+        assert_eq!(r.link_degraded_duty(), 0.0);
+        assert!(!ReliabilitySpec::datacenter().is_failure_free());
+    }
+
+    #[test]
+    fn zero_mtbf_means_no_failures_not_infinite_rate() {
+        let r = ReliabilitySpec::datacenter()
+            .with_gpu_mtbf_hours(0.0)
+            .with_nic_mtbf_hours(0.0);
+        assert_eq!(r.system_failure_rate(4096, 4096), 0.0);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let r = ReliabilitySpec::failure_free()
+            .with_gpu_mtbf_hours(1000.0)
+            .with_link_flaps(0.5, 1.0, 60.0)
+            .with_stragglers(0.01, 2.0, 30.0)
+            .with_restart_overhead_s(42.0);
+        assert_eq!(r.gpu_mtbf_hours, 1000.0);
+        assert_eq!(r.link_degradation, 0.5);
+        assert!((r.link_degraded_duty() - 60.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(r.straggler_slowdown, 2.0);
+        assert_eq!(r.restart_overhead_s, 42.0);
+    }
+
+    #[test]
+    fn duty_cycle_clamps_to_one() {
+        let r = ReliabilitySpec::failure_free().with_link_flaps(0.5, 3600.0, 10.0);
+        assert_eq!(r.link_degraded_duty(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = ReliabilitySpec::datacenter();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ReliabilitySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

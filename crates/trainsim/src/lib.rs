@@ -28,11 +28,23 @@
 //! supported: stage times price the expert AllToAlls through the same
 //! shared `stage_times`/`dp_sync_time` helpers as the analytic model, so
 //! the two can never silently diverge.
+//!
+//! On top of the single-iteration simulator sits a *fault-injected
+//! multi-iteration replay* ([`simulate_training`]): a deterministic
+//! [`FaultPlan`] of timestamped node-kill / link-degradation / straggler
+//! events, sampled from a `systems::ReliabilitySpec`, is replayed
+//! against a training run with checkpoint/restart semantics — the
+//! measured counterpart of the analytic expected-goodput model in
+//! `perfmodel::reliability`.
 
+mod faults;
 mod report;
 mod schedule;
 mod sim;
 
+pub use faults::{
+    simulate_training, FaultEvent, FaultPlan, TimedFault, TrainingParams, TrainingReport,
+};
 pub use report::{compare, compare_plan, ValidationRow};
 pub use schedule::{stage_schedule, WorkItem};
 pub use sim::{simulate_iteration, IterationReport, SimParams, UnsupportedConfig};

@@ -17,8 +17,11 @@
 //! * [`perfmodel`] — the paper's performance model + the composable
 //!   [`Planner`](perfmodel::Planner) over the joint `(tp, pp, dp, ep)`
 //!   design space (typed search spaces, multi-objective Pareto search,
-//!   top-k retention, serializable plans).
-//! * [`trainsim`] — 1F1B schedule simulator for model validation.
+//!   top-k retention, serializable plans), including the analytic
+//!   expected-goodput model behind the failure-aware objectives.
+//! * [`trainsim`] — 1F1B schedule simulator for model validation, plus
+//!   fault-injected multi-iteration replay with checkpoint/restart
+//!   semantics ([`trainsim::simulate_training`]).
 //! * [`report`] — tables, ASCII charts, JSON/CSV artifacts.
 //!
 //! ```
@@ -61,10 +64,13 @@ pub mod prelude {
     pub use collectives::{allreduce_time, collective_time, Algorithm, Collective, CommGroup};
     pub use perfmodel::{
         best_placement_eval, evaluate, optimize, reset_search_stats, search_stats, training_days,
-        Evaluation, Objective, ParallelConfig, Placement, Plan, PlanSet, Planner, SearchOptions,
-        SearchSpace, SearchStats, TpStrategy,
+        ConfigError, Evaluation, GoodputReport, Objective, ParallelConfig, Placement, Plan,
+        PlanSet, Planner, SearchOptions, SearchSpace, SearchStats, TpStrategy,
     };
-    pub use systems::{perlmutter, system, GpuGeneration, NvsSize, SystemBuilder, SystemSpec};
+    pub use systems::{
+        perlmutter, system, GpuGeneration, NvsSize, ReliabilitySpec, SystemBuilder, SystemSpec,
+    };
+    pub use trainsim::{simulate_training, FaultPlan, TrainingParams, TrainingReport};
     pub use txmodel::{
         gpt3_175b, gpt3_175b_moe, gpt3_1t, moe_1t, vit_32k, vit_64k, vit_multimodal, MoeConfig,
         TrainingWorkload, TransformerConfig,

@@ -217,3 +217,61 @@ fn validate_against_simulator_path() {
     let row = trainsim::compare_plan(&artifact, &psys, &SimParams::default()).unwrap();
     assert!(row.rel_err() < 0.30, "error {:.3}", row.rel_err());
 }
+
+/// `examples/reliability_planner.rs`: the objective flip plus the
+/// fault-injected replay cross-check, at the example's own scale.
+#[test]
+fn reliability_planner_path() {
+    use perfmodel::reliability::assess;
+    // Objective flip at 4096 B200s: different winners, and the goodput
+    // winner delivers more once failures are priced in.
+    let model = gpt3_175b().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let planner = Planner::new(&model, &sys)
+        .gpus(4096)
+        .global_batch(1024)
+        .strategy(TpStrategy::OneD);
+    let ctx = planner.objective_ctx();
+    let fast = planner
+        .clone()
+        .objective(Objective::IterationTime)
+        .execute();
+    let good = planner
+        .clone()
+        .objective(Objective::ExpectedGoodput)
+        .execute();
+    let (fast, good) = (fast.best().unwrap(), good.best().unwrap());
+    assert_ne!(fast.eval.config, good.eval.config);
+    assert!(fast.eval.iteration_time < good.eval.iteration_time);
+    let (rf, rg) = (assess(&fast.eval, &ctx), assess(&good.eval, &ctx));
+    assert!(rg.tokens_per_gpu_second > rf.tokens_per_gpu_second);
+
+    // Replay path on the validated 512-GPU configuration (short horizon
+    // for smoke speed; the example runs ten days).
+    let sys = perlmutter(4).with_reliability(
+        ReliabilitySpec::failure_free()
+            .with_gpu_mtbf_hours(2_000.0)
+            .with_restart_overhead_s(600.0),
+    );
+    let cfg = ParallelConfig::new(TpStrategy::OneD, 4, 1, 16, 8, 1);
+    let pl = Placement {
+        v1: 4,
+        v2: 1,
+        vp: 1,
+        vd: 1,
+    };
+    let e = evaluate(&model, &cfg, &pl, 1024, &sys);
+    let ctx = Planner::new(&model, &sys)
+        .global_batch(1024)
+        .objective_ctx();
+    let r = assess(&e, &ctx);
+    let plan = FaultPlan::sample(&sys.reliability, 512, sys.nics_for(512), 127, 86_400.0, 11);
+    let params = TrainingParams::new(
+        r.optimal_interval,
+        r.checkpoint_time,
+        sys.reliability.restart_overhead_s,
+    );
+    let rep = simulate_training(&model, &cfg, &pl, 1024, &sys, &plan, &params).unwrap();
+    assert!(rep.goodput_fraction > 0.85 && rep.goodput_fraction < 1.0);
+    assert_eq!(rep.restarts as usize, plan.kills());
+}

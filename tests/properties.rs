@@ -1,6 +1,9 @@
 //! Property-based tests on the model's core invariants.
 
 use fmperf::prelude::*;
+use perfmodel::reliability::{
+    assess, optimal_checkpoint_interval, solve_optimal_interval, waste_rate,
+};
 use perfmodel::{enumerate_placements, PlannerConfig};
 use proptest::prelude::*;
 use trainsim::stage_schedule;
@@ -343,6 +346,57 @@ proptest! {
         prop_assert!(err < 0.25, "err {err} at vol {vol} per {per}");
     }
 
+    /// The Young/Daly closed form `τ* = sqrt(2·C/λ)` and the
+    /// golden-section waste minimizer agree across the whole practical
+    /// (checkpoint cost, MTBF, restart) range, and the closed form is a
+    /// true minimum of the waste objective.
+    #[test]
+    fn young_daly_solver_matches_closed_form(
+        c in 1e-2f64..1e4,
+        mtbf_s in 1e3f64..1e9,
+        restart in 0.0f64..1e4,
+    ) {
+        let lambda = 1.0 / mtbf_s;
+        let closed = optimal_checkpoint_interval(c, lambda);
+        prop_assert!((closed - (2.0 * c / lambda).sqrt()).abs() <= 1e-9 * closed);
+        let solved = solve_optimal_interval(c, lambda, restart);
+        prop_assert!(
+            (solved - closed).abs() / closed < 1e-5,
+            "solver {solved} vs closed form {closed} (C={c}, λ={lambda}, R={restart})"
+        );
+        for f in [0.25, 0.5, 0.9, 1.1, 2.0, 4.0] {
+            let at_opt = waste_rate(closed, c, lambda, restart);
+            let moved = waste_rate(closed * f, c, lambda, restart);
+            prop_assert!(at_opt <= moved * (1.0 + 1e-12), "waste not minimal at τ*·{f}");
+        }
+    }
+
+    /// Expected goodput is monotonically non-increasing in the failure
+    /// rate and never exceeds the failure-free throughput.
+    #[test]
+    fn goodput_non_increasing_in_failure_rate(
+        mtbf in 200.0f64..200_000.0,
+        scale in 1.05f64..50.0,
+    ) {
+        let model = gpt3_175b().config;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 1, 64, 2);
+        let report = |spec: ReliabilitySpec| {
+            let sys = system(GpuGeneration::B200, NvsSize::Nvs8).with_reliability(spec);
+            let e = best_placement_eval(&model, &cfg, 512, &sys);
+            let ctx = Planner::new(&model, &sys).global_batch(512).objective_ctx();
+            assess(&e, &ctx)
+        };
+        let harsh = report(ReliabilitySpec::datacenter().with_gpu_mtbf_hours(mtbf));
+        let mild = report(ReliabilitySpec::datacenter().with_gpu_mtbf_hours(mtbf * scale));
+        let free = report(ReliabilitySpec::failure_free());
+        prop_assert!(harsh.failure_rate > mild.failure_rate);
+        prop_assert!(harsh.goodput_fraction <= mild.goodput_fraction + 1e-12);
+        prop_assert!(harsh.tokens_per_gpu_second <= mild.tokens_per_gpu_second + 1e-12);
+        prop_assert!(mild.tokens_per_gpu_second <= free.tokens_per_gpu_second + 1e-12);
+        prop_assert_eq!(free.goodput_fraction, 1.0);
+        prop_assert!(free.tokens_per_gpu_second > 0.0);
+    }
+
     /// Straggler injection slows the simulated iteration by at most the
     /// straggler factor and at least something.
     #[test]
@@ -357,5 +411,144 @@ proptest! {
         let slow = simulate_iteration(&model, &cfg, &pl, 1024, &sys, &params).unwrap();
         let ratio = slow.iteration_time / base.iteration_time;
         prop_assert!(ratio > 1.0 && ratio < factor + 1e-9, "ratio {ratio} factor {factor}");
+    }
+}
+
+/// Integer values an adversarial document might carry: zero, sane,
+/// just over the enumeration-safety bound, and the maximum.
+fn hostile_u64() -> impl Strategy<Value = u64> {
+    (0u64..1 << 20).prop_map(|r| match r % 4 {
+        0 => 0,
+        1 => 1 + (r >> 2) % 32,
+        2 => perfmodel::planner::MAX_SCALE + 1,
+        _ => u64::MAX,
+    })
+}
+
+/// Float values an adversarial document might carry (NaN/∞ cannot
+/// survive a JSON round-trip, but `from_config` accepts any
+/// `PlannerConfig` value, so the validator must still catch them).
+fn hostile_f64_from(r: u64) -> f64 {
+    match r % 6 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -1.0,
+        4 => 0.0,
+        _ => 1.0 + (r >> 3) as f64,
+    }
+}
+
+fn hostile_objective() -> impl Strategy<Value = Objective> {
+    (0u64..1 << 20).prop_map(|r| {
+        let x = hostile_f64_from(r >> 3);
+        match r % 6 {
+            0 => Objective::IterationTime,
+            1 => Objective::ExpectedGoodput,
+            2 => Objective::TrainingDays { iterations: x },
+            3 => Objective::EffectiveTrainingDays { iterations: x },
+            4 => Objective::weighted([(Objective::IterationTime, x)]),
+            _ => Objective::IterationTime.then(x, Objective::HbmHeadroom),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary adversarial configurations — zero degrees, absurd GPU
+    /// counts, non-finite objective floats, empty lists — never panic
+    /// anywhere in the `from_config` → `try_execute` path: either
+    /// `validate` rejects them with a typed error, or the search runs
+    /// to completion. Documents that survive a JSON round-trip are
+    /// replayed through it first, exactly like a persisted plan.
+    #[test]
+    fn adversarial_configs_never_panic(
+        c0 in hostile_u64(),
+        c1 in hostile_u64(),
+        n_counts in 0usize..3,
+        batch in hostile_u64(),
+        clear_strategies in 0u32..2,
+        max_microbatch in hostile_u64(),
+        max_pipeline in hostile_u64(),
+        max_tensor_parallel in hostile_u64(),
+        top_k in 0usize..5,
+        objective in hostile_objective(),
+    ) {
+        let model = gpt3_175b().config;
+        let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+        let counts = [c0, c1][..n_counts.min(2)].to_vec();
+        let mut space = SearchSpace::new().gpu_counts(counts).global_batch(batch);
+        if clear_strategies == 0 {
+            space.strategies.clear();
+        }
+        space.max_microbatch = max_microbatch;
+        space.max_pipeline = max_pipeline;
+        space.max_tensor_parallel = max_tensor_parallel;
+        let cfg = PlannerConfig {
+            space,
+            objective,
+            top_k,
+            ..Default::default()
+        };
+        // Replay through JSON where representable (non-finite floats
+        // are not valid JSON: the vendored serde_json writes them as
+        // `null` and refuses them on the way back in).
+        let cfg = match serde_json::to_string(&cfg) {
+            Ok(json) => serde_json::from_str::<PlannerConfig>(&json).unwrap_or(cfg),
+            Err(_) => cfg,
+        };
+        let verdict = cfg.validate();
+        match Planner::from_config(&model, &sys, cfg).try_execute() {
+            Ok(plans) => {
+                prop_assert!(verdict.is_ok());
+                prop_assert!(plans.feasible <= plans.candidates);
+            }
+            Err(e) => prop_assert_eq!(Err(e), verdict),
+        }
+    }
+}
+
+/// Hand-written hostile JSON documents: malformed, type-confused and
+/// numerically extreme payloads either fail to parse or fail
+/// `validate` — never a panic, never an unbounded search.
+#[test]
+fn hostile_planner_json_is_rejected_not_panicked() {
+    let model = gpt3_175b().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let base = serde_json::to_string(&PlannerConfig::default()).unwrap();
+    let hostile = [
+        "{}".to_string(),
+        "null".to_string(),
+        "[]".to_string(),
+        "{\"space\":{}}".to_string(),
+        base.replace("\"global_batch\":4096", "\"global_batch\":0"),
+        base.replace("\"global_batch\":4096", "\"global_batch\":1e999"),
+        base.replace("\"gpu_counts\":[512]", "\"gpu_counts\":[]"),
+        base.replace("\"gpu_counts\":[512]", "\"gpu_counts\":[0]"),
+        base.replace(
+            "\"gpu_counts\":[512]",
+            "\"gpu_counts\":[18446744073709551615]",
+        ),
+        base.replace("\"strategies\":[\"OneD\"]", "\"strategies\":[]"),
+        base.replace("\"top_k\":8", "\"top_k\":0"),
+        base.replace("\"max_microbatch\":16", "\"max_microbatch\":0"),
+        base.replace(
+            "\"objective\":\"IterationTime\"",
+            "\"objective\":{\"Weighted\":{\"terms\":[]}}",
+        ),
+    ];
+    for (i, doc) in hostile.iter().enumerate() {
+        // Every `replace` above must have actually mutated the document.
+        assert_ne!(
+            doc, &base,
+            "hostile document {i} is identical to the default"
+        );
+        if let Ok(cfg) = serde_json::from_str::<PlannerConfig>(doc) {
+            let err = fmperf::perfmodel::Planner::from_config(&model, &sys, cfg)
+                .try_execute()
+                .expect_err("hostile document passed validation");
+            assert!(!err.to_string().is_empty());
+        }
     }
 }
