@@ -382,7 +382,7 @@ fn main() {
     if !quick {
         for id in paperbench::ALL_IDS {
             let t0 = std::time::Instant::now();
-            for art in paperbench::generate(id) {
+            for art in paperbench::generate(id).expect("ALL_IDS ids are known") {
                 println!("{}", art.render());
                 if let Err(e) = art.write(&out) {
                     eprintln!("warning: could not write {}: {e}", art.id);

@@ -83,6 +83,7 @@ pub fn generate() -> Artifact {
     );
     for (label, model, cfg, pl) in cases() {
         let row = compare(&label, &model, &cfg, &pl, 1024, &sys, &SimParams::default())
+            // fmlint::allow(panic-in-lib, reason = "pinned §IV validation cases; all run the plain 1F1B schedule")
             .expect("every validation case runs the plain 1F1B schedule");
         art.push(vec![
             json!(label),

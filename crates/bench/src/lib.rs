@@ -47,6 +47,9 @@
 //! (`gpt_summa_n16384_t{1,2,4,8}`); the 8-vs-1-thread ratio on that
 //! group is the scaling gate CI enforces on multi-core runners.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod figs;
 
@@ -76,10 +79,22 @@ pub const ALL_IDS: &[&str] = &[
     "reliability",
 ];
 
+/// An artifact identifier not present in [`ALL_IDS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownArtifact(pub String);
+
+impl std::fmt::Display for UnknownArtifact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown artifact id {:?}; known: {ALL_IDS:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownArtifact {}
+
 /// Generates the artifact set for one identifier (a figure may produce
 /// several artifacts, e.g. its (a) and (b) panels).
-pub fn generate(id: &str) -> Vec<Artifact> {
-    match id {
+pub fn generate(id: &str) -> Result<Vec<Artifact>, UnknownArtifact> {
+    Ok(match id {
         "table1" => vec![figs::tables::table1()],
         "table2" => vec![figs::tables::table2()],
         "tablea2" => vec![figs::tables::tablea2()],
@@ -100,8 +115,8 @@ pub fn generate(id: &str) -> Vec<Artifact> {
         "validation" => vec![figs::validation::generate()],
         "ablations" => figs::ablations::generate(),
         "reliability" => figs::reliability::generate(),
-        other => panic!("unknown artifact id {other:?}; known: {ALL_IDS:?}"),
-    }
+        other => return Err(UnknownArtifact(other.to_string())),
+    })
 }
 
 /// CLI entry point shared by `crates/bench/src/bin/figures.rs` and the
@@ -133,7 +148,14 @@ pub fn figures_main() {
     };
     for id in ids {
         let t0 = std::time::Instant::now();
-        for art in generate(id) {
+        let arts = match generate(id) {
+            Ok(arts) => arts,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        for art in arts {
             println!("{}", art.render());
             if let Some(hm) = crate::common::grid_heatmap(&art) {
                 println!("{hm}");
@@ -161,7 +183,7 @@ mod tests {
         // Smoke-generate the cheap artifacts; the expensive sweeps are
         // covered by the figures binary / benches.
         for id in ["table1", "table2", "tablea2", "tablea3", "fig1"] {
-            let arts = generate(id);
+            let arts = generate(id).expect("known id");
             assert!(!arts.is_empty(), "{id} produced nothing");
             for a in arts {
                 assert!(!a.rows.is_empty(), "{id}/{} has no rows", a.id);
@@ -170,8 +192,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown artifact id")]
-    fn unknown_id_panics() {
-        let _ = generate("nope");
+    fn unknown_id_is_a_typed_error() {
+        let err = generate("nope").expect_err("unknown id");
+        assert_eq!(err, UnknownArtifact("nope".to_string()));
+        assert!(err.to_string().contains("known:"), "{err}");
     }
 }

@@ -1,0 +1,289 @@
+//! The fmlint baseline ratchet.
+//!
+//! Pre-existing findings the repo has consciously deferred live in a
+//! committed baseline file (`crates/fmcheck/baseline.toml`). The ratchet
+//! contract, enforced by `fmlint --workspace --deny-new` in CI:
+//!
+//! * a `(lint, file)` pair may never exceed its baselined count — new
+//!   debt is rejected at review time;
+//! * when a count *drops*, fmlint says so and `--update-baseline`
+//!   rewrites the file — the baseline only ever shrinks;
+//! * findings not in the baseline at all are new by definition.
+//!
+//! The file is a deliberately tiny TOML subset (one `schema` line plus
+//! `[[entry]]` tables with `lint` / `file` / `count` keys) so the
+//! zero-dependency parser below stays ~60 lines and the diff in review
+//! is the finding delta, nothing else. Entries are written sorted, so
+//! regeneration is byte-deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag written to (and required of) every baseline file.
+pub const SCHEMA: &str = "fmlint-baseline-v1";
+
+/// Baselined finding counts, keyed by `(lint, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(lint, file) -> allowed count`. Sorted map: serialization and
+    /// comparison order are deterministic.
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+/// A baseline file that could not be parsed (with the offending line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the first unparsable construct.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let mut entries = BTreeMap::new();
+        let mut schema_seen = false;
+        // Current [[entry]] under construction.
+        let mut current: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+        let mut current_line = 0usize;
+
+        let flush = |cur: Option<(Option<String>, Option<String>, Option<u64>)>,
+                     line: usize,
+                     entries: &mut BTreeMap<(String, String), u64>|
+         -> Result<(), BaselineError> {
+            match cur {
+                None => Ok(()),
+                Some((Some(lint), Some(file), Some(count))) => {
+                    entries.insert((lint, file), count);
+                    Ok(())
+                }
+                Some(_) => Err(BaselineError {
+                    line,
+                    message: "[[entry]] needs lint, file and count keys".to_string(),
+                }),
+            }
+        };
+
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(current.take(), current_line, &mut entries)?;
+                current = Some((None, None, None));
+                current_line = line_no;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: line_no,
+                    message: format!("expected key = value, got {line:?}"),
+                });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (key, &mut current) {
+                ("schema", None) => {
+                    if value != format!("\"{SCHEMA}\"") {
+                        return Err(BaselineError {
+                            line: line_no,
+                            message: format!("unsupported schema {value}; expected \"{SCHEMA}\""),
+                        });
+                    }
+                    schema_seen = true;
+                }
+                ("lint", Some(cur)) => cur.0 = Some(unquote(value, line_no)?),
+                ("file", Some(cur)) => cur.1 = Some(unquote(value, line_no)?),
+                ("count", Some(cur)) => {
+                    cur.2 = Some(value.parse().map_err(|_| BaselineError {
+                        line: line_no,
+                        message: format!("count must be a non-negative integer, got {value:?}"),
+                    })?)
+                }
+                _ => {
+                    return Err(BaselineError {
+                        line: line_no,
+                        message: format!("unexpected key {key:?}"),
+                    })
+                }
+            }
+        }
+        flush(current.take(), current_line, &mut entries)?;
+        if !schema_seen {
+            return Err(BaselineError {
+                line: 1,
+                message: format!("missing schema = \"{SCHEMA}\" header"),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Serializes back to the canonical (sorted, byte-deterministic)
+    /// file format.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# fmlint baseline: pre-existing findings the ratchet tolerates.\n\
+             # Never edit counts upward by hand — fix the finding or add an\n\
+             # inline `fmlint::allow(<lint>, reason = \"…\")` instead. Regenerate\n\
+             # (downward only) with: cargo run -p fmcheck --bin fmlint -- --workspace --update-baseline\n",
+        );
+        let _ = writeln!(out, "schema = \"{SCHEMA}\"");
+        for ((lint, file), count) in &self.entries {
+            let _ = write!(
+                out,
+                "\n[[entry]]\nlint = \"{lint}\"\nfile = \"{file}\"\ncount = {count}\n"
+            );
+        }
+        out
+    }
+
+    /// Total baselined finding count (the number CI records; strictly
+    /// non-increasing over the repo's history).
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+}
+
+fn unquote(value: &str, line: usize) -> Result<String, BaselineError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| BaselineError {
+            line,
+            message: format!("expected a quoted string, got {value}"),
+        })?;
+    Ok(inner.to_string())
+}
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ratchet {
+    /// `(lint, file, excess)` — counts above baseline. Any entry here
+    /// fails `--deny-new`.
+    pub new: Vec<(String, String, u64)>,
+    /// `(lint, file, slack)` — baselined counts that have improved; the
+    /// baseline should be regenerated to lock the progress in.
+    pub improved: Vec<(String, String, u64)>,
+}
+
+impl Ratchet {
+    /// Compares current `(lint, file)` counts against `baseline`.
+    pub fn compare(counts: &BTreeMap<(String, String), u64>, baseline: &Baseline) -> Self {
+        let mut out = Ratchet::default();
+        for ((lint, file), &n) in counts {
+            let allowed = baseline
+                .entries
+                .get(&(lint.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if n > allowed {
+                out.new.push((lint.clone(), file.clone(), n - allowed));
+            }
+        }
+        for ((lint, file), &allowed) in &baseline.entries {
+            let n = counts
+                .get(&(lint.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if n < allowed {
+                out.improved.push((lint.clone(), file.clone(), allowed - n));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, &str, u64)]) -> BTreeMap<(String, String), u64> {
+        pairs
+            .iter()
+            .map(|(l, f, n)| ((l.to_string(), f.to_string()), *n))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_canonically() {
+        let b = Baseline {
+            entries: counts(&[
+                ("panic-in-lib", "crates/a/src/lib.rs", 2),
+                ("wall-clock", "crates/b/src/x.rs", 1),
+            ]),
+        };
+        let text = b.to_toml();
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(parsed, b);
+        // Canonical: serializing again is byte-identical.
+        assert_eq!(parsed.to_toml(), text);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::default();
+        let parsed = Baseline::parse(&b.to_toml()).expect("empty");
+        assert!(parsed.entries.is_empty());
+        assert_eq!(parsed.total(), 0);
+    }
+
+    #[test]
+    fn missing_schema_is_rejected() {
+        let err = Baseline::parse("[[entry]]\nlint = \"x\"\nfile = \"y\"\ncount = 1\n")
+            .expect_err("no schema");
+        assert!(err.message.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn incomplete_entry_is_rejected() {
+        let text = format!("schema = \"{SCHEMA}\"\n\n[[entry]]\nlint = \"x\"\ncount = 1\n");
+        let err = Baseline::parse(&text).expect_err("missing file key");
+        assert!(err.message.contains("needs"), "{err}");
+    }
+
+    #[test]
+    fn bad_count_is_rejected() {
+        let text =
+            format!("schema = \"{SCHEMA}\"\n[[entry]]\nlint = \"x\"\nfile = \"y\"\ncount = -3\n");
+        assert!(Baseline::parse(&text).is_err());
+    }
+
+    #[test]
+    fn ratchet_flags_new_and_improved() {
+        let base = Baseline {
+            entries: counts(&[("panic-in-lib", "a.rs", 2), ("wall-clock", "b.rs", 1)]),
+        };
+        // a.rs regressed (3 > 2), b.rs fixed its finding, c.rs is new.
+        let now = counts(&[("panic-in-lib", "a.rs", 3), ("hash-iteration", "c.rs", 1)]);
+        let r = Ratchet::compare(&now, &base);
+        assert_eq!(
+            r.new,
+            vec![
+                ("hash-iteration".to_string(), "c.rs".to_string(), 1),
+                ("panic-in-lib".to_string(), "a.rs".to_string(), 1),
+            ]
+        );
+        assert_eq!(
+            r.improved,
+            vec![("wall-clock".to_string(), "b.rs".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn clean_tree_against_empty_baseline_is_quiet() {
+        let r = Ratchet::compare(&BTreeMap::new(), &Baseline::default());
+        assert!(r.new.is_empty() && r.improved.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! The fmlint CLI: walks the workspace, runs every lint, and compares
+//! the findings against the committed baseline ratchet.
+//!
+//! ```text
+//! fmlint --workspace                    # report all findings
+//! fmlint --workspace --deny-new        # CI mode: exit 1 on new findings
+//! fmlint --workspace --update-baseline # rewrite baseline.toml (sorted)
+//! fmlint --list-lints                  # print the lint registry
+//! ```
+//!
+//! Exit codes: 0 = clean (or informational run), 1 = `--deny-new` found
+//! findings above the baseline, 2 = usage or I/O error.
+
+use fmcheck::baseline::{Baseline, Ratchet};
+use fmcheck::lint::{count_by_lint_and_file, lint_source, Finding, LINTS};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directory names never descended into, anywhere in the tree.
+const SKIP_DIRS: &[&str] = &["target", ".git", "out", ".github"];
+
+struct Options {
+    workspace: bool,
+    deny_new: bool,
+    update_baseline: bool,
+    baseline_path: Option<PathBuf>,
+    list_lints: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fmlint --workspace [--deny-new] [--update-baseline] [--baseline PATH]\n\
+     \x20      fmlint --list-lints\n\
+     \n\
+     --workspace        lint every .rs file under the repo root\n\
+     --deny-new         exit 1 if any (lint, file) count exceeds the baseline\n\
+     --update-baseline  rewrite the baseline file from current findings\n\
+     --baseline PATH    baseline file (default: crates/fmcheck/baseline.toml)\n\
+     --list-lints       print the lint registry and exit"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        deny_new: false,
+        update_baseline: false,
+        baseline_path: None,
+        list_lints: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => opts.workspace = true,
+            "--deny-new" => opts.deny_new = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--list-lints" => opts.list_lints = true,
+            "--baseline" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .ok_or_else(|| "--baseline needs a path".to_string())?;
+                opts.baseline_path = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if !opts.workspace && !opts.list_lints {
+        return Err("nothing to do: pass --workspace or --list-lints".to_string());
+    }
+    Ok(opts)
+}
+
+/// The repo root, two levels above this crate's manifest. Compile-time
+/// constant, so the walk is independent of the invocation directory.
+fn repo_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+/// Collects every `.rs` file under `root` (skipping [`SKIP_DIRS`]),
+/// sorted by repo-relative path so output and baselines are
+/// deterministic.
+fn collect_rs_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args).map_err(|e| format!("{e}\n\n{}", usage()))?;
+
+    if opts.list_lints {
+        let width = LINTS.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, desc) in LINTS {
+            println!("{name:width$}  {desc}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = repo_root();
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("crates/fmcheck/baseline.toml"));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let files = collect_rs_files(&root)?;
+    for (rel, path) in &files {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        findings.extend(lint_source(rel, &src));
+    }
+    findings.sort();
+
+    for f in &findings {
+        println!("{f}");
+    }
+
+    let counts = count_by_lint_and_file(&findings);
+
+    if opts.update_baseline {
+        let baseline = Baseline {
+            entries: counts.clone(),
+        };
+        std::fs::write(&baseline_path, baseline.to_toml())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        println!(
+            "fmlint: wrote {} ({} entries, {} findings)",
+            baseline_path.display(),
+            baseline.entries.len(),
+            baseline.total()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| e.to_string())?,
+        // A missing baseline is an empty one: everything is new.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("read {}: {e}", baseline_path.display())),
+    };
+
+    let ratchet = Ratchet::compare(&counts, &baseline);
+    println!(
+        "fmlint: {} file(s), {} finding(s), {} baselined, {} new, {} improved",
+        files.len(),
+        findings.len(),
+        baseline.total(),
+        ratchet.new.iter().map(|(_, _, n)| n).sum::<u64>(),
+        ratchet.improved.iter().map(|(_, _, n)| n).sum::<u64>()
+    );
+    for (lint, file, excess) in &ratchet.new {
+        println!("fmlint: NEW {file}: [{lint}] +{excess} over baseline");
+    }
+    for (lint, file, slack) in &ratchet.improved {
+        println!("fmlint: improved {file}: [{lint}] -{slack}; run --update-baseline to lock it in");
+    }
+
+    if opts.deny_new && !ratchet.new.is_empty() {
+        eprintln!(
+            "fmlint: {} new finding(s) above the baseline; fix them or add an \
+             inline fmlint::allow with a reason",
+            ratchet.new.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("fmlint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

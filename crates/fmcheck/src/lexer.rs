@@ -1,0 +1,388 @@
+//! A minimal, dependency-free Rust token scanner.
+//!
+//! [`lex`] reduces a source file to the token stream the lints in
+//! [`crate::lint`] pattern-match on: identifiers, single-character
+//! punctuation, and comments (kept as tokens so suppression markers and
+//! `SAFETY:` annotations can be read). Everything the lints do *not*
+//! need — literal values, keywords-vs-identifiers, operator gluing — is
+//! deliberately not modeled.
+//!
+//! The scanner is exact about the lexical features that would otherwise
+//! produce false findings:
+//!
+//! * line comments and (nested) block comments,
+//! * string literals with escapes, including multi-line strings,
+//! * raw and byte strings (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * numeric literals (including float exponents, so `1.0e-3` never
+//!   yields a spurious `.` punctuation token).
+//!
+//! so that `// TODO: drop this unwrap()` or `"panic!"` inside a string
+//! can never be reported as code.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `cfg`, `mod`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `{`, `#`, `!`, …).
+    Punct,
+    /// A `//…` or `/*…*/` comment, text included (suppression markers
+    /// and `SAFETY:` annotations live here).
+    Comment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The token's text. For [`TokenKind::Punct`] this is one character;
+    /// for comments it includes the `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// True when the token is the first non-whitespace item on its line
+    /// (used to distinguish standalone suppression comments, which apply
+    /// to the *next* source line, from trailing ones).
+    pub first_on_line: bool,
+}
+
+/// Lexes `src` into the token stream described in the module docs.
+/// String/char/numeric literals are consumed (for position tracking) but
+/// not emitted. The scanner never fails: unterminated constructs simply
+/// run to end-of-file, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        fresh_line: true,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// No token emitted yet on the current line.
+    fresh_line: bool,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.fresh_line = true;
+        }
+        b
+    }
+
+    fn emit(&mut self, kind: TokenKind, text: String, line: u32, first: bool) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            first_on_line: first,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => {
+                    self.bump();
+                    self.string_body();
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    let (line, first) = (self.line, self.fresh_line);
+                    self.fresh_line = false;
+                    self.bump();
+                    self.emit(TokenKind::Punct, (b as char).to_string(), line, first);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let (line, first) = (self.line, self.fresh_line);
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.fresh_line = false;
+        self.emit(TokenKind::Comment, text, line, first);
+    }
+
+    fn block_comment(&mut self) {
+        let (line, first) = (self.line, self.fresh_line);
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.fresh_line = false;
+        self.emit(TokenKind::Comment, text, line, first);
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed).
+    fn string_body(&mut self) {
+        self.fresh_line = false;
+        while self.pos < self.bytes.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump(); // escaped char (covers \" and \\)
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body: `#` marks counted before the opening
+    /// quote, closed only by `"` followed by the same number of `#`.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.fresh_line = false;
+        while self.pos < self.bytes.len() {
+            if self.bump() == b'"' && (0..hashes).all(|h| self.peek(h) == b'#') {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` prefixes.
+    /// Returns false when the `r`/`b` is an ordinary identifier start.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut j = 0;
+        let mut raw = false;
+        while j < 2 && matches!(self.peek(j), b'r' | b'b') {
+            raw |= self.peek(j) == b'r';
+            j += 1;
+        }
+        let mut hashes = 0;
+        if raw {
+            while self.peek(j + hashes) == b'#' {
+                hashes += 1;
+            }
+        }
+        match self.peek(j + hashes) {
+            b'"' => {
+                for _ in 0..=(j + hashes) {
+                    self.bump(); // prefix + opening quote
+                }
+                if raw {
+                    self.raw_string_body(hashes);
+                } else {
+                    self.string_body();
+                }
+                true
+            }
+            b'\'' if !raw && j == 1 => {
+                self.bump(); // 'b'
+                self.char_or_lifetime();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes): a quote followed by an escape or by a single
+    /// character and a closing quote is a literal; otherwise a lifetime.
+    fn char_or_lifetime(&mut self) {
+        self.fresh_line = false;
+        self.bump(); // opening '
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+            if self.peek(0) == b'\'' {
+                self.bump();
+            }
+            return;
+        }
+        let next_is_ident = self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric();
+        if next_is_ident && self.peek(1) != b'\'' {
+            // Lifetime: consume the identifier, no closing quote.
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                self.bump();
+            }
+        } else {
+            // Char literal (possibly multi-byte UTF-8): consume to the
+            // closing quote.
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            if self.peek(0) == b'\'' {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a numeric literal, including `0x1f`, `1_000u64`, `1.5`,
+    /// `1.0e-3` — but not the `..` of `0..n`, which must stay punctuation.
+    fn number(&mut self) {
+        self.fresh_line = false;
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                if (b == b'e' || b == b'E') && matches!(self.peek(1), b'+' | b'-') {
+                    self.bump();
+                }
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let (line, first) = (self.line, self.fresh_line);
+        self.fresh_line = false;
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.emit(TokenKind::Ident, text, line, first);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code_words() {
+        let src = r###"
+            let s = "unwrap() inside a string";
+            // a comment mentioning panic!(…)
+            let r = r##"raw unwrap()"## + "tail";
+            value.unwrap();
+        "###;
+        // Only the trailing real call survives as identifiers.
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|t| t.as_str() == "unwrap").count(),
+            1,
+            "{ids:?}"
+        );
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let src = "let a = r##\"has \"# inside\"##; b.expect(\"x\");";
+        let ids = idents(src);
+        assert!(ids.contains(&"expect".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"inside".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If 'a were parsed as an unterminated char literal, the rest of
+        // the line would be swallowed.
+        let src = "fn f<'a>(x: &'a str) { x.unwrap(); } let c = 'x'; let nl = '\\n';";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"x'".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ real.unwrap()";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert!(toks.iter().any(|t| t.text == "unwrap"));
+        assert!(!toks.iter().any(|t| t.text == "still"));
+    }
+
+    #[test]
+    fn float_exponents_do_not_split() {
+        let src = "let x = 1.0e-3; let r = 0..n; y.unwrap()";
+        let toks = lex(src);
+        // `0..n` must produce two '.' puncts; `1.0e-3` none.
+        let dots = toks.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 3, "{toks:?}"); // 2 from the range, 1 from y.unwrap
+    }
+
+    #[test]
+    fn line_numbers_and_first_on_line() {
+        let src = "a\n  b // trailing\n// standalone\nc";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!((b.line, b.first_on_line), (2, true));
+        let trailing = toks
+            .iter()
+            .find(|t| t.text.contains("trailing"))
+            .expect("trailing");
+        assert!(!trailing.first_on_line);
+        let standalone = toks
+            .iter()
+            .find(|t| t.text.contains("standalone"))
+            .expect("standalone");
+        assert!(standalone.first_on_line);
+        assert_eq!(standalone.line, 3);
+        let c = toks.iter().find(|t| t.text == "c").expect("c");
+        assert_eq!(c.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!\"; let c = b'x'; real.expect(\"m\")";
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"expect".to_string()));
+    }
+}

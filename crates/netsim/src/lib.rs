@@ -37,6 +37,9 @@
 //!   collective), selected by [`SimOptions::algorithm`] —
 //!   [`Algorithm::Auto`] executes every applicable schedule and keeps the
 //!   fastest, as NCCL's autotuner would.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 mod algorithms;
 mod engine;
 mod topology;

@@ -71,6 +71,7 @@ impl Topology {
         self.links.len()
     }
 
+    /// True when the topology has no links.
     pub fn is_empty(&self) -> bool {
         self.links.is_empty()
     }

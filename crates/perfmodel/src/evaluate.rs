@@ -803,9 +803,11 @@ pub fn evaluate(
     sys: &SystemSpec,
 ) -> Evaluation {
     cfg.validate(model, global_batch)
+        // fmlint::allow(panic-in-lib, reason = "documented API contract: callers validate user input first")
         .unwrap_or_else(|e| panic!("invalid configuration {cfg}: {e}"));
     placement
         .validate(cfg, sys.nvs_size)
+        // fmlint::allow(panic-in-lib, reason = "documented API contract: callers validate user input first")
         .unwrap_or_else(|e| panic!("invalid placement {placement:?}: {e}"));
     let profile = build_profile(
         model,

@@ -55,10 +55,14 @@
 //! assert!(best.eval.iteration_time > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod breakdown;
 pub mod config;
 pub mod evaluate;
 pub mod memory;
+pub mod ord;
 pub mod partition;
 pub mod placement;
 pub mod plan;

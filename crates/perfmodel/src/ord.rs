@@ -1,0 +1,177 @@
+//! Total-order float comparisons for the search stack.
+//!
+//! Every ranking, tie-break and incumbent update in the search goes
+//! through these helpers so NaN and infinite values behave *one* way
+//! everywhere (fmlint's `partial-cmp-unwrap` lint points here):
+//!
+//! * Ordering is [`f64::total_cmp`]: `-inf < finite < +inf < NaN`. A NaN
+//!   candidate time therefore never wins a minimization, and a NaN
+//!   incumbent is displaced by any real value — with bare `<`/`>` a NaN
+//!   incumbent is *sticky* (every comparison against it is false), which
+//!   silently disables branch-and-bound publishing for the rest of the
+//!   sweep.
+//! * Bound pruning is deliberately **not** total-order:
+//!   [`exceeds_bound`] uses IEEE `>`, so a NaN lower bound (vacuous
+//!   information) never prunes. Under `total_cmp` NaN sorts *above*
+//!   every incumbent and would prune a candidate whose true time is
+//!   unknown — an unsound cutoff. The distinction is pinned by the
+//!   property tests below and by the `bb-incumbent` fmsched model
+//!   (`fmcheck::models::CasIncumbent`).
+//!
+//! The shared-incumbent cell stores times as raw bits in an `AtomicU64`
+//! ([`publish_min`]). For non-negative floats (iteration times), bit
+//! patterns order exactly as `total_cmp` — including NaN above +inf — so
+//! the CAS loop and these helpers agree by construction.
+
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
+
+/// Total-order comparison of two times (`f64::total_cmp`): the single
+/// comparator behind every search ranking and tie-break.
+#[inline]
+pub fn time_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// True when `candidate` strictly improves on `current` in the total
+/// order. NaN candidates never improve; a NaN `current` is improved by
+/// anything else (unlike `candidate < current`, which is always false
+/// when either side is NaN).
+#[inline]
+pub fn is_improvement(candidate: f64, current: f64) -> bool {
+    time_cmp(candidate, current) == Ordering::Less
+}
+
+/// Sound branch-and-bound cutoff: true when the admissible lower bound
+/// `lb` provably exceeds `bound`. IEEE `>` on purpose — a NaN `lb` or
+/// NaN `bound` yields `false` (never prune on vacuous information); see
+/// the module docs for why `total_cmp` would be unsound here.
+#[inline]
+pub fn exceeds_bound(lb: f64, bound: f64) -> bool {
+    lb > bound
+}
+
+/// Lowers the shared incumbent to `time` if it improves (lock-free
+/// compare-exchange loop over the time's raw bits). Returns `true` when
+/// `time` was published.
+///
+/// The cell must hold non-negative times (or the `f64::INFINITY` seed):
+/// over that range, bit order equals total order, so "improves" here is
+/// exactly [`is_improvement`]. The loop terminates because the cell's
+/// value strictly decreases between a load and a failed exchange. This
+/// is the protocol model-checked as `fmcheck::models::CasIncumbent`.
+pub fn publish_min(cell: &AtomicU64, time: f64) -> bool {
+    let bits = time.to_bits();
+    let mut cur = cell.load(MemOrdering::Relaxed);
+    while is_improvement(time, f64::from_bits(cur)) {
+        match cell.compare_exchange_weak(cur, bits, MemOrdering::Relaxed, MemOrdering::Relaxed) {
+            Ok(_) => return true,
+            Err(c) => cur = c,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn total_order_places_nan_last() {
+        assert_eq!(time_cmp(1.0, 2.0), Ordering::Less);
+        assert!(is_improvement(1.0, f64::INFINITY));
+        assert!(is_improvement(f64::INFINITY, f64::NAN));
+        assert!(!is_improvement(f64::NAN, f64::INFINITY));
+        assert!(!is_improvement(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn nan_incumbent_is_not_sticky() {
+        // The latent bug the helper fixes: with bare `>`, a NaN incumbent
+        // rejects every candidate.
+        let cell = AtomicU64::new(f64::NAN.to_bits());
+        assert!(publish_min(&cell, 3.5));
+        assert_eq!(f64::from_bits(cell.load(MemOrdering::Relaxed)), 3.5);
+    }
+
+    #[test]
+    fn nan_bounds_never_prune() {
+        assert!(!exceeds_bound(f64::NAN, 1.0));
+        assert!(!exceeds_bound(1.0, f64::NAN));
+        assert!(exceeds_bound(f64::INFINITY, 1.0));
+        assert!(!exceeds_bound(1.0, f64::INFINITY));
+    }
+
+    /// Decodes a sampled pair into a candidate `(lb, time)`, steering a
+    /// healthy fraction of cases into the degenerate corners (NaN and
+    /// infinite lower bounds, infinite times).
+    fn candidate(kind: u32, x: f64) -> (f64, f64) {
+        let time = x.abs();
+        match kind {
+            0 => (f64::NAN, time),               // vacuous bound
+            1 => (f64::NEG_INFINITY, time),      // trivial bound
+            2 => (f64::INFINITY, f64::INFINITY), // infeasible candidate
+            3 => (time, f64::NAN),               // evaluation blew up
+            _ => ((time * 0.5).min(time), time), // admissible finite bound
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(500))]
+
+        /// Replays the planner's branch-and-bound loop (prune on a stale
+        /// incumbent, evaluate, publish) over adversarial candidates and
+        /// requires the surviving minimum to equal the exact sequential
+        /// minimum: pruning with NaN/infinite bounds must stay exact.
+        #[test]
+        fn bb_pruning_stays_exact_under_nan_and_inf(
+            k0 in 0u32..5, x0 in 0.0f64..1e6,
+            k1 in 0u32..5, x1 in 0.0f64..1e6,
+            k2 in 0u32..5, x2 in 0.0f64..1e6,
+            k3 in 0u32..5, x3 in 0.0f64..1e6,
+            k4 in 0u32..5, x4 in 0.0f64..1e6,
+        ) {
+            let cands = [
+                candidate(k0, x0),
+                candidate(k1, x1),
+                candidate(k2, x2),
+                candidate(k3, x3),
+                candidate(k4, x4),
+            ];
+            let cell = AtomicU64::new(f64::INFINITY.to_bits());
+            let mut survivors = Vec::new();
+            for &(lb, time) in &cands {
+                let inc = f64::from_bits(cell.load(MemOrdering::Relaxed));
+                // The planner's cutoff: prune only on a provable excess.
+                if exceeds_bound(lb, inc) {
+                    // Soundness of the prune itself: the bound was
+                    // admissible, so the skipped time cannot beat inc.
+                    let beats_inc = time.partial_cmp(&inc) == Some(Ordering::Less);
+                    prop_assert!(!beats_inc, "pruned a better candidate");
+                    continue;
+                }
+                publish_min(&cell, time);
+                survivors.push(time);
+            }
+            let true_min = cands
+                .iter()
+                .map(|&(_, t)| t)
+                .min_by(|a, b| time_cmp(*a, *b));
+            let got = survivors.into_iter().min_by(|a, b| time_cmp(*a, *b));
+            // Every candidate the exact minimum could come from survived.
+            // Pruning must not change the optimum.
+            prop_assert_eq!(got.map(f64::to_bits), true_min.map(f64::to_bits));
+            // And the shared incumbent converged to it (NaN times are
+            // never published, so the cell holds the best real time).
+            let best_real = cands
+                .iter()
+                .map(|&(_, t)| t)
+                .filter(|t| !t.is_nan())
+                .min_by(|a, b| time_cmp(*a, *b))
+                .unwrap_or(f64::INFINITY);
+            // The incumbent must converge to the sequential minimum.
+            prop_assert_eq!(cell.load(MemOrdering::Relaxed), best_real.to_bits());
+        }
+    }
+}

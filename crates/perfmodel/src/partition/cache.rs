@@ -35,9 +35,13 @@ use txmodel::TransformerConfig;
 /// The exact subset of [`ParallelConfig`] a layer profile depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProfileKey {
+    /// Tensor-parallel strategy (1D / 2D SUMMA).
     pub strategy: TpStrategy,
+    /// First tensor-parallel mesh dimension.
     pub n1: u64,
+    /// Second tensor-parallel mesh dimension.
     pub n2: u64,
+    /// Microbatch size the profile was built for.
     pub microbatch: u64,
     /// Normalized to 1 unless `strategy == TpStrategy::Summa`.
     pub summa_panels: u64,
@@ -126,6 +130,7 @@ impl ProfileCache {
     pub(crate) fn get_with_fps(&self, cfg: &ParallelConfig) -> &(LayerProfile, PassFingerprints) {
         self.map
             .get(&ProfileKey::of(cfg))
+            // fmlint::allow(panic-in-lib, reason = "documented API contract: the cache is built from the same enumeration the caller iterates")
             .unwrap_or_else(|| panic!("no cached profile for {cfg}"))
     }
 
@@ -134,6 +139,7 @@ impl ProfileCache {
         self.map.len()
     }
 
+    /// True when no profiles are held.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
@@ -401,9 +407,13 @@ pub(crate) fn memo_f64(key: u64, compute: impl FnOnce() -> f64) -> f64 {
         return v;
     }
     let shard = shard_of(key);
+    // Poison-tolerant: a panicked holder can at worst have skipped an
+    // insert of a pure value — the map is never torn, so continuing with
+    // the inner guard is sound (and keeps one worker's panic from
+    // cascading into every other search thread).
     let shared = shard
         .read()
-        .expect("memo shard poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .get(&key)
         .copied();
     let v = match shared {
@@ -417,7 +427,10 @@ pub(crate) fn memo_f64(key: u64, compute: impl FnOnce() -> f64) -> f64 {
             // rare and harmless — identical bits).
             let v = compute();
             bump(|c| &c.misses);
-            shard.write().expect("memo shard poisoned").insert(key, v);
+            shard
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(key, v);
             v
         }
     };

@@ -36,8 +36,11 @@ pub enum CommPattern {
     /// `volume` is the *full tensor* bytes, matching
     /// [`collectives::collective_time`] semantics.
     Exposed {
+        /// Which collective runs.
         coll: Collective,
+        /// Full-tensor bytes moved.
         volume: f64,
+        /// TP group the collective spans.
         group: TpGroup,
     },
     /// A SUMMA distributed GEMM: `nb` panel iterations, each performing a
@@ -48,11 +51,17 @@ pub enum CommPattern {
     /// roofline time of one panel's GEMM, used to compute the exposed
     /// remainder (paper Appendix A: `t_comm = t_prologue + nb·t_exposed`).
     SummaOverlapped {
+        /// Total A-panel bytes each GPU receives over the GEMM.
         vol_a: f64,
+        /// Group the A-panel broadcasts span.
         group_a: TpGroup,
+        /// Total B-panel bytes each GPU receives over the GEMM.
         vol_b: f64,
+        /// Group the B-panel broadcasts span.
         group_b: TpGroup,
+        /// Panel iterations (`nb`).
         panels: u64,
+        /// Roofline time of one panel's GEMM (for the overlap remainder).
         panel_compute: f64,
     },
 }

@@ -71,6 +71,7 @@ use crate::evaluate::{
     evaluate_placement, iteration_time_lower_bound, placement_breakdown, Evaluation,
 };
 use crate::memory::{memory_usage, MemoryUsage};
+use crate::ord;
 use crate::partition::cache::{note_bound_pruned, note_dominated_pruned, system_fingerprint};
 use crate::partition::{build_profile, ProfileCache};
 use crate::placement::enumerate_placements;
@@ -481,7 +482,8 @@ impl<'a> Planner<'a> {
         let mut seed: Option<(usize, Evaluation)> = None;
         let mut incumbent0 = f64::INFINITY;
         if use_dom {
-            if let Some(&(si, memory, _)) = survivors.iter().min_by(|a, b| a.2.total_cmp(&b.2)) {
+            if let Some(&(si, memory, _)) = survivors.iter().min_by(|a, b| ord::time_cmp(a.2, b.2))
+            {
                 let cfg = &partitions[si];
                 let (profile, _) = cache.get_with_fps(cfg);
                 let e = best_placement_with_memory(
@@ -516,7 +518,7 @@ impl<'a> Planner<'a> {
             }
             return evals
                 .into_iter()
-                .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time));
+                .min_by(|a, b| ord::time_cmp(a.iteration_time, b.iteration_time));
         }
 
         // Pass 2: branch-and-bound sweep. The incumbent is the running
@@ -528,7 +530,9 @@ impl<'a> Planner<'a> {
             .map(|&(i, memory, lb)| {
                 if use_bb {
                     let inc = f64::from_bits(incumbent.load(Ordering::Relaxed));
-                    if lb > inc * (1.0 + PRUNE_EPS) {
+                    // IEEE `>` (not total_cmp): a NaN bound must never
+                    // prune — see `crate::ord::exceeds_bound`.
+                    if ord::exceeds_bound(lb, inc * (1.0 + PRUNE_EPS)) {
                         return None;
                     }
                 }
@@ -547,19 +551,7 @@ impl<'a> Planner<'a> {
                         )
                     }
                 };
-                let bits = e.iteration_time.to_bits();
-                let mut cur = incumbent.load(Ordering::Relaxed);
-                while f64::from_bits(cur) > e.iteration_time {
-                    match incumbent.compare_exchange_weak(
-                        cur,
-                        bits,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    ) {
-                        Ok(_) => break,
-                        Err(c) => cur = c,
-                    }
-                }
+                ord::publish_min(&incumbent, e.iteration_time);
                 if let Some(hook) = &self.on_candidate {
                     hook(&e);
                 }
@@ -570,7 +562,7 @@ impl<'a> Planner<'a> {
         results
             .into_iter()
             .flatten()
-            .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
+            .min_by(|a, b| ord::time_cmp(a.iteration_time, b.iteration_time))
     }
 
     /// Placement-level parallel evaluation of `work` (pairs of candidate
@@ -621,7 +613,7 @@ impl<'a> Planner<'a> {
                 let cfg = &partitions[i];
                 let mut best = start;
                 for j in start + 1..end {
-                    if times[j].total_cmp(&times[best]) == std::cmp::Ordering::Less {
+                    if ord::is_improvement(times[j], times[best]) {
                         best = j;
                     }
                 }

@@ -363,13 +363,14 @@ pub(crate) fn best_placement_with_memory(
     let mut best_t = f64::INFINITY;
     for (i, p) in placements.iter().enumerate() {
         let t = placement_breakdown(profile, model, cfg, p, global_batch, sys, sys_fp, fps).total();
-        if t.total_cmp(&best_t) == std::cmp::Ordering::Less {
+        if crate::ord::is_improvement(t, best_t) {
             best = i;
             best_t = t;
         }
     }
     let winner = placements
         .get(best)
+        // fmlint::allow(panic-in-lib, reason = "enumerate_placements always yields the trivial placement, so index 0 exists")
         .expect("at least the trivial placement exists");
     evaluate_placement(profile, model, cfg, winner, global_batch, sys, memory)
 }
@@ -391,7 +392,7 @@ pub fn sweep_partitions(
         .evaluations();
     // Stable sort: equal iteration times keep enumeration order, so the
     // output is identical for any thread count.
-    evals.sort_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time));
+    evals.sort_by(|a, b| crate::ord::time_cmp(a.iteration_time, b.iteration_time));
     evals
 }
 

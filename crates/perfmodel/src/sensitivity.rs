@@ -76,6 +76,7 @@ impl HardwareAxis {
 /// (perfectly bound by it); 0 means insensitive.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Elasticity {
+    /// The perturbed hardware parameter.
     pub axis: HardwareAxis,
     /// `d ln t / d ln p` (≤ 0 for beneficial parameters).
     pub value: f64,

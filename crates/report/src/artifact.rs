@@ -11,9 +11,13 @@ use std::path::{Path, PathBuf};
 /// title, column names and data rows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Artifact {
+    /// Stable identifier the output files are named after (e.g. `"fig4a"`).
     pub id: String,
+    /// Human-readable caption printed above the rendered table.
     pub title: String,
+    /// Column names, in display order.
     pub columns: Vec<String>,
+    /// Data rows; each row has one JSON value per column.
     pub rows: Vec<Vec<Value>>,
 }
 

@@ -5,16 +5,22 @@ use crate::{GpuSpec, NetworkSpec, ReliabilitySpec, SystemSpec};
 /// GPU generations studied in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuGeneration {
+    /// NVIDIA A100 (Perlmutter's GPU; the paper's validation platform).
     A100,
+    /// NVIDIA H200 (projected system, paper Table A3).
     H200,
+    /// NVIDIA B200 (projected system, paper Table A3).
     B200,
 }
 
 /// NVSwitch domain sizes studied in the paper (Fig. 5: NVS4/NVS8/NVS64).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NvsSize {
+    /// 4 GPUs per NVSwitch domain (one Perlmutter node).
     Nvs4,
+    /// 8 GPUs per NVSwitch domain (DGX-style node).
     Nvs8,
+    /// 64 GPUs per NVSwitch domain (rail-scale NVLink fabric).
     Nvs64,
 }
 

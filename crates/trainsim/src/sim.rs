@@ -63,7 +63,7 @@ impl SimParams {
 /// of the space; when its candidates are cross-validated against this
 /// simulator, unsupported corners surface as this typed error (they were
 /// hard `assert!`s before, which aborted whole sweeps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UnsupportedConfig {
     /// `interleave > 1`: trainsim executes the plain 1F1B order only.
     Interleaved {
@@ -73,6 +73,13 @@ pub enum UnsupportedConfig {
     /// ZeRO-3 weight sharding: per-microbatch weight gathers are not in
     /// the simulated schedule.
     Zero3,
+    /// The configuration failed [`perfmodel::ParallelConfig::validate`]
+    /// outright — not a simulator limitation but a caller error, reported
+    /// as data instead of a panic so sweeps survive bad corners.
+    Invalid {
+        /// The validator's rejection message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for UnsupportedConfig {
@@ -88,6 +95,9 @@ impl std::fmt::Display for UnsupportedConfig {
                 "trainsim models the baseline ZeRO-1 optimizer sharding only \
                  (configuration enables ZeRO-3)"
             ),
+            UnsupportedConfig::Invalid { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
         }
     }
 }
@@ -112,9 +122,9 @@ pub struct IterationReport {
 ///
 /// Returns [`UnsupportedConfig`] for schedule features the simulator
 /// does not model (interleaved pipelines, ZeRO-3) so joint-search
-/// cross-checks can skip those candidates; panics on configurations that
-/// are outright *invalid* (validate first, as with
-/// [`perfmodel::evaluate()`]).
+/// cross-checks can skip those candidates, and
+/// [`UnsupportedConfig::Invalid`] for configurations that fail
+/// validation outright.
 pub fn simulate_iteration(
     model: &TransformerConfig,
     cfg: &ParallelConfig,
@@ -124,7 +134,7 @@ pub fn simulate_iteration(
     params: &SimParams,
 ) -> Result<IterationReport, UnsupportedConfig> {
     cfg.validate(model, global_batch)
-        .expect("invalid configuration");
+        .map_err(|message| UnsupportedConfig::Invalid { message })?;
     if cfg.interleave > 1 {
         return Err(UnsupportedConfig::Interleaved {
             interleave: cfg.interleave,

@@ -16,6 +16,9 @@
 //! strategy agnostic. [`TrainingWorkload`] converts per-iteration times
 //! into full-run wall-clock days (paper Fig. 5).
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 mod config;
 mod ops;
 mod presets;

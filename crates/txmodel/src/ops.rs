@@ -54,9 +54,13 @@ impl OpCost {
 /// repeated `batch` times (e.g. per attention head).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MatmulShape {
+    /// Rows of `A` and `C`.
     pub m: u64,
+    /// Shared inner dimension.
     pub k: u64,
+    /// Columns of `B` and `C`.
     pub n: u64,
+    /// Number of independent GEMMs (e.g. one per attention head).
     pub batch: u64,
 }
 

@@ -5,7 +5,9 @@ use crate::TransformerConfig;
 /// A named model preset.
 #[derive(Debug, Clone)]
 pub struct Preset {
+    /// Paper's name for the model (e.g. `"GPT3-1T"`).
     pub name: &'static str,
+    /// The architecture hyperparameters.
     pub config: TransformerConfig,
 }
 

@@ -25,6 +25,15 @@
 //! nested *inside* a worker run sequentially by default (the outer
 //! fan-out already owns the thread budget); an explicit
 //! [`ThreadPool::install`] inside the worker overrides that.
+//!
+//! Safety audit (fmcheck PR 8): this shim contains **zero** `unsafe`
+//! blocks — the per-slot synchronization that upstream rayon does with
+//! raw pointers is done here with plain owned `Vec`s per worker and an
+//! ordered reassembly pass. `#![forbid(unsafe_code)]` plus fmlint's
+//! `vendor-safety` lint (every future `unsafe` needs a `// SAFETY:`
+//! comment) keep the audit binding.
+
+#![forbid(unsafe_code)]
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -197,6 +206,7 @@ fn execute<P: ParallelIterator>(iter: &P) -> Vec<P::Item> {
                         if c >= chunks {
                             break;
                         }
+                        sched_hook::observe(c, chunks);
                         let lo = c * n / chunks;
                         let hi = (c + 1) * n / chunks;
                         local.push((c, (lo..hi).filter_map(|i| iter.pi_get(i)).collect()));
@@ -507,6 +517,51 @@ where
 }
 
 /// Parallel counterpart of `Extend` (rayon's `par_extend`).
+/// Test-observation hook into the chunk self-scheduler.
+///
+/// `fmcheck`'s bridge tests install an observer here to witness the
+/// *real* claim sequence the pool executes (one `(chunk, chunks)` call
+/// per successful `fetch_add` claim) and replay it against the
+/// `chunk-claim` fmsched model — tying the model-checked protocol to the
+/// code that actually runs. Production code never installs an observer;
+/// the disabled fast path is a single relaxed atomic load.
+pub mod sched_hook {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// An installed observer: called with `(chunk, chunks)` after every
+    /// successful chunk claim, from the claiming worker thread.
+    pub type Observer = Box<dyn Fn(usize, usize) + Send + Sync>;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static OBSERVER: Mutex<Option<Observer>> = Mutex::new(None);
+
+    /// Installs `f` as the process-wide claim observer (replacing any
+    /// previous one). Tests that install an observer must [`clear`] it
+    /// before finishing and must not run concurrently with other
+    /// pool-observing tests (use a serial test group or a dedicated
+    /// integration-test binary).
+    pub fn set(f: Observer) {
+        *OBSERVER.lock().unwrap_or_else(|e| e.into_inner()) = Some(f);
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Removes the observer installed by [`set`].
+    pub fn clear() {
+        ENABLED.store(false, Ordering::SeqCst);
+        *OBSERVER.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    pub(crate) fn observe(chunk: usize, chunks: usize) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(f) = OBSERVER.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            f(chunk, chunks);
+        }
+    }
+}
+
 pub trait ParallelExtend<T: Send> {
     fn par_extend<I: IntoParallelIterator<Item = T>>(&mut self, par_iter: I);
 }
