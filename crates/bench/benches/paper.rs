@@ -11,6 +11,9 @@
 //! * `planner-topk`   — the `Planner` execution path (top-k ranking +
 //!   Pareto frontier + plan assembly) over the same spaces, so the
 //!   redesigned API's overhead over the raw sweep stays visible
+//! * `planner-topk-pruned` — the ranked-path exact prune (k-th-incumbent
+//!   and Pareto lower-bound domination) against a pruning-off leg on the
+//!   largest dense and MoE spaces, so the prune's speedup stays visible
 //! * `search-scaling` — the same S3 search pinned to 1/2/4/8 pool threads
 //! * `netsim`         — collective DES (Fig. A1 path)
 //! * `netsim-algorithms` — ring vs tree vs hierarchical vs auto AllReduce
@@ -265,6 +268,57 @@ fn bench_planner_topk(c: &mut Criterion) {
     g.finish();
 }
 
+/// The ranked-path exact prune: top-8 + Pareto planning on the paper's
+/// largest dense space (GPT-3 1T, SUMMA, 16 384 GPUs) and on MoE-1T,
+/// with a pruning-off leg beside each pruned leg so the speedup from the
+/// k-th-incumbent and Pareto-bound prunes (and its exactness cost, were
+/// it to regress to a slowdown) stays visible in the trajectory.
+fn bench_planner_topk_pruned(c: &mut Criterion) {
+    use perfmodel::{Objective, Planner};
+    let gpt = gpt3_1t().config;
+    let moe = moe_1t().config;
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let mut g = c.benchmark_group("planner-topk-pruned");
+    g.sample_size(10);
+    let gpt_planner = |pruned: bool| {
+        Planner::new(&gpt, &sys)
+            .gpus(16384)
+            .global_batch(4096)
+            .strategy(TpStrategy::Summa)
+            .top_k(8)
+            .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+            .branch_and_bound(pruned)
+            .prune_dominated(pruned)
+    };
+    g.bench_function("gpt_summa_n16384_top8_pruned", |b| {
+        let p = gpt_planner(true);
+        b.iter(|| p.execute())
+    });
+    g.bench_function("gpt_summa_n16384_top8_unpruned", |b| {
+        let p = gpt_planner(false);
+        b.iter(|| p.execute())
+    });
+    let moe_planner = |pruned: bool| {
+        Planner::new(&moe, &sys)
+            .gpus(1024)
+            .global_batch(4096)
+            .strategy(TpStrategy::OneD)
+            .top_k(8)
+            .pareto([Objective::IterationTime, Objective::HbmHeadroom])
+            .branch_and_bound(pruned)
+            .prune_dominated(pruned)
+    };
+    g.bench_function("moe1t_n1024_top8_pruned", |b| {
+        let p = moe_planner(true);
+        b.iter(|| p.execute())
+    });
+    g.bench_function("moe1t_n1024_top8_unpruned", |b| {
+        let p = moe_planner(false);
+        b.iter(|| p.execute())
+    });
+    g.finish();
+}
+
 fn bench_netsim(c: &mut Criterion) {
     use collectives::{Collective, CommGroup};
     use netsim::{simulate_collective, SimOptions};
@@ -364,6 +418,7 @@ criterion_group!(
     bench_search,
     bench_moe_search,
     bench_planner_topk,
+    bench_planner_topk_pruned,
     bench_search_scaling,
     bench_netsim,
     bench_netsim_algorithms,
@@ -401,6 +456,7 @@ fn main() {
     bench_search(&mut c);
     bench_moe_search(&mut c);
     bench_planner_topk(&mut c);
+    bench_planner_topk_pruned(&mut c);
     bench_search_scaling(&mut c);
     bench_netsim(&mut c);
     bench_netsim_algorithms(&mut c);

@@ -1,4 +1,4 @@
-//! fmsched models of the three real concurrency protocols on the search
+//! fmsched models of the four real concurrency protocols on the search
 //! hot path, each with a *regression twin* re-introducing a historical
 //! (or representative) bug so the checker's teeth are themselves tested.
 //!
@@ -6,13 +6,16 @@
 //! |-------|-----------|-------|
 //! | [`ShardedMemo`] | `perfmodel::partition::cache::memo_f64` (L2 shard insert race) | racing first-computes of a *pure* function publish bit-identical values; no lost insert; every caller returns the same bits |
 //! | [`CasIncumbent`] | `perfmodel::planner` branch-and-bound incumbent (`AtomicU64` CAS loop) | incumbent is monotone non-increasing and ends at the sequential minimum on every schedule; admissible-bound pruning never loses the optimum |
+//! | [`TopkIncumbent`] | `perfmodel::ord::TopkIncumbent` (ranked-path k-th-best threshold: mutex k-set + CAS-published threshold, relaxed readers) | threshold is monotone non-increasing, never below the true k-th-best key, and ends at the k-th-best published key; k-th-incumbent pruning never drops a true top-k candidate |
 //! | [`ChunkClaim`] | `vendor/rayon` chunk claim/steal (`fetch_add` self-scheduling) | every chunk is claimed exactly once, all slots are filled, and the reassembled output is input-ordered regardless of interleaving |
 //!
-//! The twins (`impure_compute`, `torn_store`, `split_claim`) correspond
-//! to the pre-PR-6 duplicate profile build (which was only harmless
-//! because the build is pure — the twin shows exactly why purity is
-//! load-bearing), a store-instead-of-CAS incumbent that can move
-//! *backwards*, and a read-then-write chunk claim that double-processes
+//! The twins (`impure_compute`, `torn_store`, `torn_publish`,
+//! `split_claim`) correspond to the pre-PR-6 duplicate profile build
+//! (which was only harmless because the build is pure — the twin shows
+//! exactly why purity is load-bearing), a store-instead-of-CAS incumbent
+//! that can move *backwards*, a k-th-best threshold published outside
+//! the k-set lock with a blind store (a stale maximum raises the
+//! threshold), and a read-then-write chunk claim that double-processes
 //! chunks. The regression tests in `tests/sched_protocols.rs` assert
 //! [`crate::sched::explore`] finds each of them.
 
@@ -340,6 +343,253 @@ impl Model for CasIncumbent {
 }
 
 // ---------------------------------------------------------------------------
+// Ranked-path k-th-best threshold: locked k-set + published min-threshold
+// ---------------------------------------------------------------------------
+
+/// Per-thread program counter for [`TopkIncumbent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopkPc {
+    /// Relaxed-read the published threshold for the prune check.
+    ReadThreshold,
+    /// Insert into the k-set and min-publish the new maximum — one atomic
+    /// step, because the real code does both under the k-set mutex.
+    Insert,
+    /// `torn_publish` twin only: the threshold store escaped the lock and
+    /// lands later, blindly.
+    StorePublish,
+    /// Finished (published or pruned).
+    Done,
+}
+
+/// Model of the ranked planner's shared k-th-best threshold
+/// (`perfmodel::ord::TopkIncumbent`): each thread holds one candidate
+/// with an admissible lower bound (`lb <= key`); it relaxed-reads the
+/// published threshold, gives up if `lb` already exceeds it (the
+/// k-th-incumbent prune), otherwise evaluates and inserts its key into
+/// the mutex-guarded k-best set, publishing the set's maximum as the new
+/// threshold through the same monotone `publish_min` discipline as the
+/// single-optimum incumbent.
+///
+/// Claims, on **every** schedule:
+/// * the threshold is monotone non-increasing and never falls below the
+///   true k-th-best key over *all* candidates — a stale read can only be
+///   conservative ([`crate::sched::Model::check_step`]);
+/// * no pruned thread held a true top-k candidate (at least `k` strictly
+///   better keys exist), and the final threshold equals the k-th-best
+///   *published* key exactly ([`crate::sched::Model::check_final`]).
+///
+/// The `torn_publish` twin hoists the threshold store out of the k-set
+/// lock and drops the min: a thread computes the set's maximum, stalls,
+/// and blindly stores it after a faster thread already published a lower
+/// threshold — the threshold moves *up*, re-admitting candidates the
+/// tighter threshold had excluded.
+#[derive(Debug, Clone)]
+pub struct TopkIncumbent {
+    /// Regression twin: publish with an out-of-lock blind store instead
+    /// of an in-lock monotone min.
+    pub torn_publish: bool,
+    k: usize,
+    /// `(lower_bound, key)` per thread; `lb <= key` is asserted at
+    /// construction (admissibility is a documented precondition of the
+    /// real code, not something the checker should discover).
+    candidates: Vec<(u64, u64)>,
+    /// The k best published keys (mutex-serialized in the real code).
+    kept: Vec<u64>,
+    threshold: u64,
+    prev_threshold: u64,
+    pc: Vec<TopkPc>,
+    /// Twin only: the stale maximum awaiting its blind store.
+    register: Vec<u64>,
+    /// Threads that pruned (for the final claim's bookkeeping).
+    pruned: Vec<bool>,
+}
+
+impl TopkIncumbent {
+    /// One thread per candidate, retaining the `k` best keys. Panics if
+    /// `k` is zero, there are fewer than `k` candidates (the threshold
+    /// would never publish), or any bound is inadmissible (`lb > key`).
+    pub fn new(k: usize, candidates: &[(u64, u64)], torn_publish: bool) -> Self {
+        assert!(k > 0, "a zero-k threshold retains nothing");
+        assert!(
+            candidates.len() >= k,
+            "need at least k candidates to ever publish a threshold"
+        );
+        assert!(
+            candidates.iter().all(|&(lb, key)| lb <= key),
+            "lower bounds must be admissible (lb <= key): {candidates:?}"
+        );
+        let n = candidates.len();
+        Self {
+            torn_publish,
+            k,
+            candidates: candidates.to_vec(),
+            kept: Vec::new(),
+            threshold: u64::MAX,
+            prev_threshold: u64::MAX,
+            pc: vec![TopkPc::ReadThreshold; n],
+            register: vec![0; n],
+            pruned: vec![false; n],
+        }
+    }
+
+    /// Index of the worst (largest) retained key.
+    fn worst(&self) -> usize {
+        let mut worst = 0;
+        for i in 1..self.kept.len() {
+            if self.kept[i] > self.kept[worst] {
+                worst = i;
+            }
+        }
+        worst
+    }
+}
+
+impl Model for TopkIncumbent {
+    fn name(&self) -> &'static str {
+        "topk-incumbent"
+    }
+
+    fn threads(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn reset(&mut self) {
+        self.kept.clear();
+        self.threshold = u64::MAX;
+        self.prev_threshold = u64::MAX;
+        self.pc.fill(TopkPc::ReadThreshold);
+        self.register.fill(0);
+        self.pruned.fill(false);
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        self.pc[tid] == TopkPc::Done
+    }
+
+    fn step(&mut self, tid: usize) {
+        self.prev_threshold = self.threshold;
+        let (lb, key) = self.candidates[tid];
+        match self.pc[tid] {
+            TopkPc::ReadThreshold => {
+                // One relaxed load; pruning on a *stale* threshold is
+                // sound because the threshold only decreases.
+                if lb > self.threshold {
+                    self.pruned[tid] = true;
+                    self.pc[tid] = TopkPc::Done;
+                } else {
+                    self.pc[tid] = TopkPc::Insert;
+                }
+            }
+            TopkPc::Insert => {
+                // The k-set update and the threshold publish are one
+                // atomic step: the real code holds the mutex for both.
+                let entered = if self.kept.len() < self.k {
+                    self.kept.push(key);
+                    true
+                } else {
+                    let worst = self.worst();
+                    if key < self.kept[worst] {
+                        self.kept[worst] = key;
+                        true
+                    } else {
+                        false // k-set unchanged, threshold already right
+                    }
+                };
+                if entered && self.kept.len() == self.k {
+                    let max = self.kept[self.worst()];
+                    if self.torn_publish {
+                        // The bug: the store escapes the lock; publish
+                        // later, from a register that can go stale.
+                        self.register[tid] = max;
+                        self.pc[tid] = TopkPc::StorePublish;
+                        return;
+                    }
+                    // publish_min under the lock: monotone by
+                    // construction.
+                    self.threshold = self.threshold.min(max);
+                }
+                self.pc[tid] = TopkPc::Done;
+            }
+            TopkPc::StorePublish => {
+                // Blind store of the stale maximum — no min, no CAS.
+                self.threshold = self.register[tid];
+                self.pc[tid] = TopkPc::Done;
+            }
+            TopkPc::Done => unreachable!("stepped a finished thread"),
+        }
+    }
+
+    fn check_step(&self) -> Result<(), String> {
+        if self.threshold > self.prev_threshold {
+            return Err(format!(
+                "threshold moved up: {} -> {} (must be monotone non-increasing)",
+                self.prev_threshold, self.threshold
+            ));
+        }
+        // Admissible floor: the k-set only ever holds published keys, so
+        // its maximum — and therefore every published threshold — is at
+        // least the true k-th-best key over all candidates.
+        let mut keys: Vec<u64> = self.candidates.iter().map(|&(_, key)| key).collect();
+        keys.sort_unstable();
+        let kth_best = keys[self.k - 1];
+        if self.threshold < kth_best {
+            return Err(format!(
+                "threshold {} fell below the true k-th best {kth_best} \
+                 (prunes true top-k candidates)",
+                self.threshold
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        // No true top-k candidate pruned: every pruned key is provably
+        // outranked by at least k strictly better keys.
+        for (tid, &(_, key)) in self.candidates.iter().enumerate() {
+            if !self.pruned[tid] {
+                continue;
+            }
+            let outranked = self
+                .candidates
+                .iter()
+                .enumerate()
+                .filter(|&(j, &(_, kj))| j != tid && kj < key)
+                .count();
+            if outranked < self.k {
+                return Err(format!(
+                    "pruned thread {tid} (key {key}) with only {outranked} strictly \
+                     better keys (k = {}): a true top-k candidate was lost",
+                    self.k
+                ));
+            }
+        }
+        // Convergence: the final threshold is exactly the k-th-best
+        // published key (every unpruned thread published).
+        let mut published: Vec<u64> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|&(tid, _)| !self.pruned[tid])
+            .map(|(_, &(_, key))| key)
+            .collect();
+        published.sort_unstable();
+        let expect = if published.len() >= self.k {
+            published[self.k - 1]
+        } else {
+            u64::MAX
+        };
+        if self.threshold != expect {
+            return Err(format!(
+                "final threshold {} != k-th best published key {expect} \
+                 (published: {published:?})",
+                self.threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rayon-pool chunk claim/steal
 // ---------------------------------------------------------------------------
 
@@ -524,8 +774,32 @@ mod tests {
     }
 
     #[test]
+    fn topk_incumbent_is_correct_and_twin_is_caught() {
+        // A winner, a runner-up, a dominated straggler, and a candidate
+        // whose bound prunes against the published threshold.
+        let cands = [(2, 9), (1, 4), (3, 12), (10, 11)];
+        let r = explore(
+            &mut TopkIncumbent::new(2, &cands, false),
+            &Budget::default(),
+        );
+        assert!(r.passed(), "{:?}", r.violation);
+        assert!(r.exhaustive);
+        let bad = explore(
+            &mut TopkIncumbent::new(2, &cands[..3], true),
+            &Budget::default(),
+        );
+        assert!(bad.violation.is_some());
+    }
+
+    #[test]
     #[should_panic(expected = "admissible")]
     fn inadmissible_bounds_are_rejected_at_construction() {
         let _ = CasIncumbent::new(&[(11, 10)], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "admissible")]
+    fn inadmissible_topk_bounds_are_rejected_at_construction() {
+        let _ = TopkIncumbent::new(1, &[(11, 10)], false);
     }
 }

@@ -1,13 +1,13 @@
-//! fmsched acceptance suite: the three real protocols verified at
-//! CI-meaningful exploration depths, the two historical regression
-//! shapes provably *caught*, and the bridge test tying the `chunk-claim`
+//! fmsched acceptance suite: the four real protocols verified at
+//! CI-meaningful exploration depths, the historical regression shapes
+//! provably *caught*, and the bridge test tying the `chunk-claim`
 //! model to the vendored rayon pool that actually runs.
 //!
 //! This is a dedicated integration binary (not unit tests) because the
 //! bridge test installs a process-wide `rayon::sched_hook` observer and
 //! must not share a process with other pool users.
 
-use fmcheck::models::{CasIncumbent, ChunkClaim, ShardedMemo};
+use fmcheck::models::{CasIncumbent, ChunkClaim, ShardedMemo, TopkIncumbent};
 use fmcheck::sched::{explore, Budget, ViolationKind};
 
 /// The acceptance floor from the PR issue: the exhaustive explorer must
@@ -31,18 +31,34 @@ fn protocols_hold_on_every_schedule_at_acceptance_depth() {
     assert!(inc.passed(), "bb-incumbent: {:?}", inc.violation);
     assert!(inc.exhaustive, "bb-incumbent must be explored exhaustively");
 
+    // 4 candidates through the ranked path's k-th-best threshold with
+    // k = 2: a winner, a runner-up, a dominated straggler, and one whose
+    // admissible bound prunes against the published threshold on the
+    // schedules where it arrives late.
+    let topk_cands = [(2, 9), (1, 4), (3, 12), (10, 11)];
+    let topk = explore(
+        &mut TopkIncumbent::new(2, &topk_cands, false),
+        &Budget::default(),
+    );
+    assert!(topk.passed(), "topk-incumbent: {:?}", topk.violation);
+    assert!(
+        topk.exhaustive,
+        "topk-incumbent must be explored exhaustively"
+    );
+
     // 3 workers × 4 chunks through the claim counter.
     let pool = explore(&mut ChunkClaim::new(3, 4, false), &Budget::default());
     assert!(pool.passed(), "chunk-claim: {:?}", pool.violation);
     assert!(pool.exhaustive, "chunk-claim must be explored exhaustively");
 
-    let total = memo.schedules + inc.schedules + pool.schedules;
+    let total = memo.schedules + inc.schedules + topk.schedules + pool.schedules;
     assert!(
         total >= SCHEDULE_FLOOR,
         "exhaustive coverage regressed: {total} < {SCHEDULE_FLOOR} schedules \
-         (memo {}, incumbent {}, pool {})",
+         (memo {}, incumbent {}, topk {}, pool {})",
         memo.schedules,
         inc.schedules,
+        topk.schedules,
         pool.schedules
     );
 }
@@ -82,6 +98,30 @@ fn regression_torn_incumbent_is_caught() {
         "unexpected violation: {}",
         v.message
     );
+}
+
+/// Seeded regression for the ranked path: a k-th-best threshold store
+/// hoisted out of the k-set lock (and stripped of its monotone min) lets
+/// a stale maximum overwrite a lower threshold published in between —
+/// the threshold moves *up*, re-admitting candidates a tighter threshold
+/// had excluded. The monotonicity invariant must catch it on some
+/// schedule.
+#[test]
+fn regression_torn_topk_publish_is_caught() {
+    let cands = [(2, 9), (1, 4), (3, 12)];
+    let r = explore(&mut TopkIncumbent::new(2, &cands, true), &Budget::default());
+    let v = r
+        .violation
+        .expect("torn top-k threshold publish must be caught");
+    assert_eq!(v.kind, ViolationKind::Invariant);
+    assert!(
+        v.message.contains("moved up") || v.message.contains("k-th best"),
+        "unexpected violation: {}",
+        v.message
+    );
+    // The counterexample is a real schedule: two threads must have
+    // entered the k-set before either stale store landed.
+    assert!(v.schedule.len() >= 4, "counterexample too short: {v:?}");
 }
 
 /// A split (read-then-write) chunk claim double-processes chunks — the

@@ -792,6 +792,42 @@ pub(crate) fn iteration_time_lower_bound(
     m * (tf_lb + tb_lb) + bubble_lb + pp_lb
 }
 
+/// Placement-independent facts about one candidate, assessed *before*
+/// any full evaluation — the inputs every admissible per-objective key
+/// bound is derived from (see `Objective::key_lower_bound`).
+///
+/// # Admissibility
+///
+/// * `time_lb` is [`iteration_time_lower_bound`]: `time_lb ≤ t(p)` for
+///   every placement `p`, so any key that is *monotone non-decreasing*
+///   in iteration time is bounded below by substituting `time_lb` —
+///   `TrainingDays` (`iters·t/86400`, for `iters ≥ 0`) and `GpuSeconds`
+///   (`n·t`) directly, `TokensPerGpuSecond` through its negated key
+///   `−B·L/(t·n)`.
+/// * `memory_total` is **exact**, not a bound: per-GPU HBM usage depends
+///   only on the candidate's parallel configuration, never on the
+///   placement, so the `HbmHeadroom` key `−(capacity − memory_total)`
+///   computed from it *equals* the evaluated key bit-for-bit.
+/// * `gpus` is the candidate's exact GPU count (`cfg.total_gpus()`).
+///
+/// Composite objectives compose these per-leaf bounds: a `Weighted` sum
+/// adds `wᵢ·lbᵢ ≤ wᵢ·keyᵢ` term-wise (negative or zero weights are only
+/// sound over *exact* leaf keys, and fall back to `-inf` = no-prune
+/// otherwise — IEEE rounding is monotone, so the summed bound stays a
+/// bound), and a `Lexicographic` objective bounds its primary stage's
+/// key. Metrics with no placement-independent bound (`ExpectedGoodput`,
+/// `EffectiveTrainingDays`) report `-inf`, which never prunes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CandidateBounds {
+    /// Admissible lower bound on the candidate's iteration time over
+    /// every placement, seconds.
+    pub time_lb: f64,
+    /// Exact per-GPU HBM usage of the candidate, bytes.
+    pub memory_total: f64,
+    /// Exact GPU count of the candidate.
+    pub gpus: f64,
+}
+
 /// Evaluates a configuration + placement from scratch (builds the layer
 /// profile internally). Panics on invalid configurations — call
 /// [`ParallelConfig::validate`] first for user input.

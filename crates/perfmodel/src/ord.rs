@@ -25,6 +25,7 @@
 
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
+use std::sync::Mutex;
 
 /// Total-order comparison of two times (`f64::total_cmp`): the single
 /// comparator behind every search ranking and tie-break.
@@ -55,11 +56,14 @@ pub fn exceeds_bound(lb: f64, bound: f64) -> bool {
 /// compare-exchange loop over the time's raw bits). Returns `true` when
 /// `time` was published.
 ///
-/// The cell must hold non-negative times (or the `f64::INFINITY` seed):
-/// over that range, bit order equals total order, so "improves" here is
-/// exactly [`is_improvement`]. The loop terminates because the cell's
-/// value strictly decreases between a load and a failed exchange. This
-/// is the protocol model-checked as `fmcheck::models::CasIncumbent`.
+/// "Improves" is exactly [`is_improvement`] — the loop *decodes* the
+/// cell and compares under the total order, so the discipline is sound
+/// for any float, negative ranking keys included. (For the non-negative
+/// iteration times the single-optimum path stores, bit patterns happen
+/// to order identically to `total_cmp` too, NaN above +inf included.)
+/// The loop terminates because the cell's value strictly decreases
+/// between a load and a failed exchange. This is the protocol
+/// model-checked as `fmcheck::models::CasIncumbent`.
 pub fn publish_min(cell: &AtomicU64, time: f64) -> bool {
     let bits = time.to_bits();
     let mut cur = cell.load(MemOrdering::Relaxed);
@@ -70,6 +74,98 @@ pub fn publish_min(cell: &AtomicU64, time: f64) -> bool {
         }
     }
     false
+}
+
+/// Shared concurrent k-th-best threshold for the *ranked* branch-and-
+/// bound (the top-k analogue of the single-optimum atomic incumbent):
+/// workers [`TopkIncumbent::publish`] every evaluated ranking key, and
+/// readers prune a candidate when its admissible key lower bound exceeds
+/// [`TopkIncumbent::threshold`] — the current k-th best key.
+///
+/// Internals: the k best keys seen so far live behind a small mutex; the
+/// published threshold (the worst retained key) and the running best key
+/// are `AtomicU64` cells lowered through the same [`publish_min`] CAS
+/// discipline, so relaxed readers may observe a *stale* (higher)
+/// threshold but never a torn or raised one — staleness costs a missed
+/// prune, never an unsound one. The threshold is `+inf` until `k` keys
+/// have been published (nothing is prunable before k candidates are
+/// ranked) and `-inf` for `k = 0` (an empty top-k retains nothing).
+///
+/// NaN keys are kept in the k-set — they rank last under the total
+/// order, so any real key displaces them — but are never *published* as
+/// a threshold ([`publish_min`] rejects NaN), so a NaN score can neither
+/// make the threshold sticky nor prune through it. Keys may be negative
+/// (maximizing objectives negate their value), which is why the cells go
+/// through the decode-and-`total_cmp` CAS rather than raw bit order.
+/// Model-checked as `fmcheck::models::TopkIncumbent` (`topk-incumbent`).
+pub struct TopkIncumbent {
+    k: usize,
+    kept: Mutex<Vec<f64>>,
+    threshold: AtomicU64,
+    best: AtomicU64,
+}
+
+impl TopkIncumbent {
+    /// A threshold retaining the `k` best published keys.
+    pub fn new(k: usize) -> Self {
+        let seed = if k == 0 {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            k,
+            kept: Mutex::new(Vec::with_capacity(k.min(1024))),
+            threshold: AtomicU64::new(seed.to_bits()),
+            best: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// The current k-th-best key (relaxed load; stale reads are only ever
+    /// *higher* than the true threshold, i.e. conservative).
+    pub fn threshold(&self) -> f64 {
+        f64::from_bits(self.threshold.load(MemOrdering::Relaxed))
+    }
+
+    /// The best (total-order smallest) key published so far (relaxed).
+    pub fn best(&self) -> f64 {
+        f64::from_bits(self.best.load(MemOrdering::Relaxed))
+    }
+
+    /// Publishes one evaluated candidate's ranking key, lowering the
+    /// threshold when the key enters the k-set.
+    pub fn publish(&self, key: f64) {
+        publish_min(&self.best, key);
+        if self.k == 0 {
+            return;
+        }
+        let mut kept = self.kept.lock().unwrap_or_else(|e| e.into_inner());
+        if kept.len() < self.k {
+            kept.push(key);
+        } else {
+            let mut worst = 0;
+            for (i, &v) in kept.iter().enumerate().skip(1) {
+                if is_improvement(kept[worst], v) {
+                    worst = i;
+                }
+            }
+            if is_improvement(key, kept[worst]) {
+                kept[worst] = key;
+            } else {
+                // k-set unchanged, threshold already published.
+                return;
+            }
+        }
+        if kept.len() == self.k {
+            let mut max = kept[0];
+            for &v in &kept[1..] {
+                if is_improvement(max, v) {
+                    max = v;
+                }
+            }
+            publish_min(&self.threshold, max);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +268,87 @@ mod tests {
                 .unwrap_or(f64::INFINITY);
             // The incumbent must converge to the sequential minimum.
             prop_assert_eq!(cell.load(MemOrdering::Relaxed), best_real.to_bits());
+        }
+    }
+
+    /// Decodes a sampled pair into a ranked candidate `(lb, key)`. Keys
+    /// are *signed* (maximizing objectives negate their value), so the
+    /// offset pushes half the range negative; the degenerate corners
+    /// mirror [`candidate`] for the ranked path.
+    fn ranked_candidate(kind: u32, x: f64) -> (f64, f64) {
+        let key = x - 5e5;
+        match kind {
+            0 => (f64::NAN, key),                        // vacuous bound
+            1 => (f64::NEG_INFINITY, key),               // trivial bound
+            2 => (f64::INFINITY, f64::INFINITY),         // infeasible candidate
+            3 => (key.min(0.0), f64::NAN),               // evaluation blew up
+            _ => (key - x.abs().mul_add(0.5, 1.0), key), // admissible finite bound
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(500))]
+
+        /// Replays the ranked planner's k-th-incumbent loop (prune on a
+        /// stale threshold, evaluate, publish) over adversarial signed
+        /// keys and NaN/infinite bounds, and requires the surviving top-k
+        /// to equal the exact sequential top-k: a NaN key must never make
+        /// the threshold sticky, never prune an exactly-tied-or-better
+        /// candidate, and never survive into a top-k slot a real key
+        /// should hold.
+        #[test]
+        fn topk_pruning_stays_exact_under_nan_and_inf(
+            k in 0usize..4,
+            k0 in 0u32..5, x0 in 0.0f64..1e6,
+            k1 in 0u32..5, x1 in 0.0f64..1e6,
+            k2 in 0u32..5, x2 in 0.0f64..1e6,
+            k3 in 0u32..5, x3 in 0.0f64..1e6,
+            k4 in 0u32..5, x4 in 0.0f64..1e6,
+            k5 in 0u32..5, x5 in 0.0f64..1e6,
+        ) {
+            let cands = [
+                ranked_candidate(k0, x0),
+                ranked_candidate(k1, x1),
+                ranked_candidate(k2, x2),
+                ranked_candidate(k3, x3),
+                ranked_candidate(k4, x4),
+                ranked_candidate(k5, x5),
+            ];
+            let topk = TopkIncumbent::new(k);
+            let mut prev_thr = topk.threshold();
+            let mut survivors = Vec::new();
+            for (i, &(lb, key)) in cands.iter().enumerate() {
+                let thr = topk.threshold();
+                // The published threshold is never NaN-sticky and only
+                // ever moves down.
+                prop_assert!(!thr.is_nan());
+                prop_assert!(time_cmp(thr, prev_thr) != Ordering::Greater);
+                prev_thr = thr;
+                if exceeds_bound(lb, thr) {
+                    continue; // the planner's k-th-incumbent cutoff
+                }
+                topk.publish(key);
+                survivors.push(i);
+            }
+            // Exact sequential ranking: total order on keys, index ties.
+            let mut ranking: Vec<usize> = (0..cands.len()).collect();
+            ranking.sort_by(|&a, &b| time_cmp(cands[a].1, cands[b].1).then(a.cmp(&b)));
+            let true_topk = &ranking[..k];
+            // No true-top-k candidate was pruned, and the top-k computed
+            // from the survivors is bit-identical to the exact one.
+            let mut survivor_ranked = survivors.clone();
+            survivor_ranked.sort_by(|&a, &b| time_cmp(cands[a].1, cands[b].1).then(a.cmp(&b)));
+            prop_assert!(survivor_ranked.len() >= k);
+            prop_assert_eq!(&survivor_ranked[..k], true_topk);
+            // The final threshold is admissible: never below the true
+            // k-th-best real key (an unpublishable NaN k-th best leaves
+            // the threshold conservatively high).
+            if k > 0 {
+                let kth_true = cands[ranking[k - 1]].1;
+                if !kth_true.is_nan() {
+                    prop_assert!(time_cmp(topk.threshold(), kth_true) != Ordering::Less);
+                }
+            }
         }
     }
 }

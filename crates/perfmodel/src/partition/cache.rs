@@ -222,6 +222,9 @@ pub struct SearchStats {
     pub bound_pruned: u64,
     /// Candidates eliminated as dominated before placement enumeration.
     pub dominated_pruned: u64,
+    /// Candidates skipped by the ranked-path prune (k-th-incumbent test
+    /// *and* Pareto lower-bound domination both fired).
+    pub topk_pruned: u64,
 }
 
 static MEMO_LOCAL_HITS: AtomicU64 = AtomicU64::new(0);
@@ -231,6 +234,7 @@ static PROFILE_BUILDS: AtomicU64 = AtomicU64::new(0);
 static PROFILE_BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
 static BOUND_PRUNED: AtomicU64 = AtomicU64::new(0);
 static DOMINATED_PRUNED: AtomicU64 = AtomicU64::new(0);
+static TOPK_PRUNED: AtomicU64 = AtomicU64::new(0);
 
 /// Thread-local probe tallies: plain `Cell` bumps on the all-hit hot path
 /// (an atomic `fetch_add` per probe would cost real time at millions of
@@ -292,6 +296,7 @@ pub fn search_stats() -> SearchStats {
         profile_build_nanos: PROFILE_BUILD_NANOS.load(Ordering::Relaxed),
         bound_pruned: BOUND_PRUNED.load(Ordering::Relaxed),
         dominated_pruned: DOMINATED_PRUNED.load(Ordering::Relaxed),
+        topk_pruned: TOPK_PRUNED.load(Ordering::Relaxed),
     }
 }
 
@@ -307,6 +312,7 @@ pub fn reset_search_stats() {
         &PROFILE_BUILD_NANOS,
         &BOUND_PRUNED,
         &DOMINATED_PRUNED,
+        &TOPK_PRUNED,
     ] {
         g.store(0, Ordering::Relaxed);
     }
@@ -323,6 +329,14 @@ pub(crate) fn note_bound_pruned(n: u64) {
 pub(crate) fn note_dominated_pruned(n: u64) {
     if n > 0 {
         DOMINATED_PRUNED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Credits `n` ranked-path (top-k + Pareto) prunes to the profiling
+/// counters.
+pub(crate) fn note_topk_pruned(n: u64) {
+    if n > 0 {
+        TOPK_PRUNED.fetch_add(n, Ordering::Relaxed);
     }
 }
 

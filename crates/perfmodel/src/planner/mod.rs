@@ -17,11 +17,21 @@
 //! into a [`PlanSet`]: the top-k ranked [`Plan`]s **and** the exact
 //! Pareto frontier across the selected objectives, fully serializable.
 //!
-//! Two execution paths share the candidate machinery:
+//! Three execution paths share the candidate machinery:
 //!
-//! * [`Planner::evaluations`] / [`Planner::execute`] — the **full sweep**:
-//!   every candidate evaluated, needed whenever the caller consumes more
-//!   than the single optimum (top-k, Pareto, figures).
+//! * [`Planner::evaluations`] — the **full sweep**: every candidate
+//!   evaluated, needed whenever the caller consumes the raw evaluation
+//!   list (figures, `include_infeasible`, streaming hooks).
+//! * [`Planner::execute`] — the **pruned ranked** path (top-k + Pareto):
+//!   a k-th-incumbent branch-and-bound ([`crate::ord::TopkIncumbent`])
+//!   prunes candidates whose admissible per-objective key lower bound
+//!   (`Objective::key_lower_bound`) provably lands outside the top-k,
+//!   *and* whose bound vector is strictly dominated by an
+//!   already-evaluated point — only candidates failing both tests are
+//!   skipped, so the ranked list and the Pareto frontier stay
+//!   bit-identical to the full sweep's. Falls back to the full sweep
+//!   whenever a hook is installed, infeasible candidates are kept, the
+//!   pruning flags are off, or the objective admits no admissible bound.
 //! * [`Planner::best_evaluation`] — the **pruned single-optimum** path
 //!   (`optimize` delegates here): memory-infeasible candidates, provably
 //!   dominated candidates, and candidates whose admissible lower bound
@@ -68,18 +78,21 @@ pub use validate::{validate_system, ConfigError, MAX_GPU_COUNTS, MAX_SCALE};
 
 use crate::config::{ParallelConfig, Placement};
 use crate::evaluate::{
-    evaluate_placement, iteration_time_lower_bound, placement_breakdown, Evaluation,
+    evaluate_placement, iteration_time_lower_bound, placement_breakdown, CandidateBounds,
+    Evaluation,
 };
 use crate::memory::{memory_usage, MemoryUsage};
 use crate::ord;
-use crate::partition::cache::{note_bound_pruned, note_dominated_pruned, system_fingerprint};
+use crate::partition::cache::{
+    note_bound_pruned, note_dominated_pruned, note_topk_pruned, system_fingerprint,
+};
 use crate::partition::{build_profile, ProfileCache};
 use crate::placement::enumerate_placements;
 use crate::search::{best_placement_with_memory, enumerate_partitions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use systems::SystemSpec;
 use txmodel::TransformerConfig;
 
@@ -96,6 +109,73 @@ const PRUNE_EPS: f64 = 1e-9;
 /// `(candidate, placement)` pairs instead of candidates (in units of the
 /// current thread count).
 const FANOUT_FACTOR: usize = 4;
+
+/// Widens `bound` upward by the relative [`PRUNE_EPS`] slack (identity on
+/// non-finite bounds). The signed-key analogue of the single-optimum
+/// path's `incumbent · (1 + PRUNE_EPS)`, which would *tighten* a negative
+/// bound: ranking keys may be negative (maximizing objectives negate, a
+/// weighted sum can land anywhere), so the slack must be applied through
+/// `|bound|`.
+fn relax_up(bound: f64) -> f64 {
+    if bound.is_finite() {
+        bound + PRUNE_EPS * bound.abs()
+    } else {
+        bound
+    }
+}
+
+/// Narrows `bound` downward by the relative [`PRUNE_EPS`] slack (identity
+/// on non-finite bounds) — the dominance-side margin: a point only counts
+/// as beating a lower bound when it clears it by more than float rounding
+/// could explain.
+fn relax_down(bound: f64) -> f64 {
+    if bound.is_finite() {
+        bound - PRUNE_EPS * bound.abs()
+    } else {
+        bound
+    }
+}
+
+/// Shared archive of evaluated candidates' exact Pareto key vectors —
+/// the ranked sweep's dominance oracle, kept frontier-filtered so it
+/// stays small. Workers race on it through a mutex; a stale read only
+/// misses a prune, never fabricates one.
+#[derive(Default)]
+struct DominanceArchive {
+    points: Mutex<Vec<Vec<f64>>>,
+}
+
+impl DominanceArchive {
+    /// True when some evaluated point beats `lb` strictly in *every*
+    /// component by more than the [`PRUNE_EPS`] margin. The candidate's
+    /// true key vector is componentwise ≥ `lb` (up to rounding the margin
+    /// absorbs), so it is strictly dominated by that point and can never
+    /// sit on the Pareto frontier — and because dominance is transitive,
+    /// dropping it cannot promote any other point onto the frontier
+    /// either. NaN or `-inf` components make every comparison false:
+    /// vacuous bounds never prune.
+    fn strictly_covers(&self, lb: &[f64]) -> bool {
+        let points = self.points.lock().unwrap_or_else(|e| e.into_inner());
+        points
+            .iter()
+            .any(|p| p.len() == lb.len() && p.iter().zip(lb).all(|(&pj, &lj)| pj < relax_down(lj)))
+    }
+
+    /// Records one evaluated point's exact key vector, dropping it if an
+    /// archived point already dominates it and evicting points it
+    /// dominates (IEEE dominance, same predicate as the final frontier).
+    fn insert(&self, kv: Vec<f64>) {
+        let dominates = |a: &[f64], b: &[f64]| {
+            a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+        };
+        let mut points = self.points.lock().unwrap_or_else(|e| e.into_inner());
+        if points.iter().any(|p| dominates(p, &kv)) {
+            return;
+        }
+        points.retain(|p| !dominates(&kv, p));
+        points.push(kv);
+    }
+}
 
 /// The serializable part of a planner: everything except the model/system
 /// borrows and the closure hooks. Round-trips through JSON so a planning
@@ -242,13 +322,15 @@ impl<'a> Planner<'a> {
     }
 
     /// Shorthand for [`SearchSpace::branch_and_bound`] on the current
-    /// space (affects [`Planner::best_evaluation`] only; exact).
+    /// space (gates the pruned paths of [`Planner::best_evaluation`] and
+    /// [`Planner::execute`]; both exact).
     pub fn branch_and_bound(self, yes: bool) -> Self {
         self.with_space(|s| s.branch_and_bound(yes))
     }
 
     /// Shorthand for [`SearchSpace::prune_dominated`] on the current
-    /// space (affects [`Planner::best_evaluation`] only; exact).
+    /// space (gates the pruned paths of [`Planner::best_evaluation`] and
+    /// [`Planner::execute`]; both exact).
     pub fn prune_dominated(self, yes: bool) -> Self {
         self.with_space(|s| s.prune_dominated(yes))
     }
@@ -675,22 +757,42 @@ impl<'a> Planner<'a> {
     /// Pareto frontier is computed across the selected objectives.
     /// Deterministic and thread-count invariant.
     ///
+    /// When the space's pruning flags are on (the default) and the
+    /// objectives admit admissible bounds, the sweep runs through the
+    /// ranked branch-and-bound (`ranked_pruned_evaluations`):
+    /// provably out-of-top-k *and* dominated candidates skip their
+    /// placement loops, with the resulting `PlanSet` — counts, top-k
+    /// ranking, Pareto frontier, every score — bit-identical to the full
+    /// sweep's.
+    ///
     /// Trusts its configuration (builder-constructed spaces are valid by
     /// construction); replayed/deserialized configurations should go
     /// through [`Planner::try_execute`] instead.
     pub fn execute(&self) -> PlanSet {
-        let evals = self.evaluations();
         let ctx = self.objective_ctx();
+        let pareto_objectives: Vec<Objective> = if self.config.pareto.is_empty() {
+            vec![self.config.objective.clone()]
+        } else {
+            self.config.pareto.clone()
+        };
+        let (evals, pruned_counts) = match self.ranked_pruned_evaluations(&ctx, &pareto_objectives)
+        {
+            Some((evals, fitting)) => (evals, Some(fitting)),
+            None => (self.evaluations(), None),
+        };
         let feasible_idx: Vec<usize> = evals
             .iter()
             .enumerate()
             .filter(|(_, e)| e.feasible)
             .map(|(i, _)| i)
             .collect();
-        let pareto_objectives: Vec<Objective> = if self.config.pareto.is_empty() {
-            vec![self.config.objective.clone()]
-        } else {
-            self.config.pareto.clone()
+        // The pruned path skips candidates it proved irrelevant, but the
+        // reported counts cover the whole space: memory feasibility is
+        // placement-independent, so the assess pass counts exactly the
+        // candidates the full sweep would have returned (all feasible).
+        let (candidates, feasible) = match pruned_counts {
+            Some(fitting) => (fitting, fitting),
+            None => (evals.len() as u64, feasible_idx.len() as u64),
         };
         // Scores reported per plan: ranking objective first, then the
         // frontier's (plan_of dedups).
@@ -704,11 +806,193 @@ impl<'a> Planner<'a> {
         PlanSet {
             objective: self.config.objective.clone(),
             pareto_objectives,
-            candidates: evals.len() as u64,
-            feasible: feasible_idx.len() as u64,
+            candidates,
+            feasible,
             top,
             pareto,
         }
+    }
+
+    /// The ranked branch-and-bound sweep behind [`Planner::execute`]:
+    /// returns the evaluated (feasible) candidates in enumeration order
+    /// plus the exact count of memory-feasible candidates, or `None` when
+    /// the configuration requires the full sweep.
+    ///
+    /// A candidate is skipped only when **both** exact prunes fire:
+    ///
+    /// * **k-th-incumbent prune** — its admissible ranking-key lower
+    ///   bound ([`Objective::key_lower_bound`]) exceeds the shared
+    ///   concurrent k-th-best key ([`ord::TopkIncumbent`], the top-k
+    ///   analogue of the single-optimum atomic incumbent), so at least k
+    ///   already-evaluated candidates outrank it and it can never enter
+    ///   [`PlanSet::top`]. For a multi-stage lexicographic objective the
+    ///   bound must *additionally* clear the primary stage's tolerance
+    ///   cut above the running best key — a candidate inside the
+    ///   tolerance band survives to later stages, where no admissible
+    ///   bound exists. (The cut `b + tol·|b|` is monotone in `b` only for
+    ///   `tol ≤ 1`; wider tolerances fall back to no-prune.)
+    /// * **Pareto-safe prune** — its per-objective lower-bound vector is
+    ///   strictly dominated, in every component and beyond the float
+    ///   slack, by an already-evaluated point
+    ///   ([`DominanceArchive::strictly_covers`]), so it can never sit on
+    ///   [`PlanSet::pareto`].
+    ///
+    /// Candidates are processed in ascending-bound order with the first
+    /// `top_k` evaluated unconditionally as threshold seeds, which is
+    /// what makes the threshold bite early; the race on the shared
+    /// threshold/archive only changes *which redundant work is skipped*,
+    /// never a result bit (stale reads are conservative). Skip counts are
+    /// reported as `topk_pruned` in [`crate::search_stats`].
+    ///
+    /// Falls back (`None`) when: a [`Planner::on_candidate`] hook is
+    /// installed (its contract is one call per candidate of the full
+    /// sweep), [`Planner::include_infeasible`] is set, either
+    /// [`SearchSpace::branch_and_bound`] or
+    /// [`SearchSpace::prune_dominated`] is off, any selected objective
+    /// admits no bound, or the space is small enough that the full
+    /// sweep's placement-level fan-out is the better shape.
+    fn ranked_pruned_evaluations(
+        &self,
+        ctx: &ObjectiveCtx,
+        pareto_objectives: &[Objective],
+    ) -> Option<(Vec<Evaluation>, u64)> {
+        let space = &self.config.space;
+        if self.config.include_infeasible
+            || self.on_candidate.is_some()
+            || !space.branch_and_bound
+            || !space.prune_dominated
+        {
+            return None;
+        }
+        let objective = &self.config.objective;
+        if !objective.bounds_key() || !pareto_objectives.iter().all(|o| o.bounds_key()) {
+            return None;
+        }
+        let partitions = self.candidates();
+        let threads = rayon::current_num_threads();
+        if threads > 1 && partitions.len() < threads * FANOUT_FACTOR {
+            return None;
+        }
+        let cache = ProfileCache::build(self.model, &self.system.gpu, &partitions);
+        let global_batch = space.global_batch;
+        let sys_fp = system_fingerprint(self.system);
+        // Primary-stage tolerance of a multi-stage lexicographic
+        // objective (see the method docs); `None` means the k-th
+        // incumbent alone decides.
+        let lex_cut_tol: Option<f64> = match objective {
+            Objective::Lexicographic { stages } if stages.len() > 1 => {
+                Some(stages[0].rel_tolerance.max(0.0))
+            }
+            _ => None,
+        };
+
+        // Pass 1 (assess, parallel): placement-independent memory
+        // accounting plus the admissible key bounds for the ranking
+        // objective and every Pareto axis.
+        let assessed: Vec<Option<(MemoryUsage, f64, Vec<f64>)>> = partitions
+            .par_iter()
+            .map(|cfg| {
+                let (profile, fps) = cache.get_with_fps(cfg);
+                let memory = memory_usage(profile, self.model, cfg, global_batch);
+                if !memory.fits(self.system.gpu.hbm_capacity) {
+                    return None;
+                }
+                let time_lb = iteration_time_lower_bound(
+                    profile,
+                    self.model,
+                    cfg,
+                    global_batch,
+                    self.system,
+                    sys_fp,
+                    *fps,
+                );
+                let b = CandidateBounds {
+                    time_lb,
+                    memory_total: memory.total(),
+                    gpus: cfg.total_gpus() as f64,
+                };
+                let rank_lb = objective.key_lower_bound(&b, ctx);
+                let pareto_lb: Vec<f64> = pareto_objectives
+                    .iter()
+                    .map(|o| o.key_lower_bound(&b, ctx))
+                    .collect();
+                Some((memory, rank_lb, pareto_lb))
+            })
+            .collect();
+
+        // Ascending-bound evaluation order (ties broken by enumeration
+        // index): classic best-first B&B, so the threshold tightens as
+        // fast as the bounds allow.
+        let mut work: Vec<(usize, MemoryUsage, f64, Vec<f64>)> = assessed
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|(m, r, p)| (i, m, r, p)))
+            .collect();
+        let fitting = work.len() as u64;
+        work.sort_by(|a, b| ord::time_cmp(a.2, b.2).then(a.0.cmp(&b.0)));
+
+        let topk = ord::TopkIncumbent::new(self.config.top_k);
+        let archive = DominanceArchive::default();
+        let evaluate = |i: usize, memory: MemoryUsage| -> Evaluation {
+            let cfg = &partitions[i];
+            let (profile, _) = cache.get_with_fps(cfg);
+            let e = best_placement_with_memory(
+                profile,
+                self.model,
+                cfg,
+                global_batch,
+                self.system,
+                memory,
+            );
+            topk.publish(objective.key(&e, ctx));
+            archive.insert(pareto_objectives.iter().map(|o| o.key(&e, ctx)).collect());
+            e
+        };
+
+        // Pass 2a (seeds): the top_k smallest-bound candidates are the
+        // likeliest top-k members — evaluate them unconditionally to warm
+        // the threshold before any prune decision is made.
+        let (seed_work, rest_work) = work.split_at(self.config.top_k.min(work.len()));
+        let seed_evals: Vec<(usize, Evaluation)> = seed_work
+            .par_iter()
+            .map(|&(i, memory, _, _)| (i, evaluate(i, memory)))
+            .collect();
+
+        // Pass 2b (branch-and-bound sweep).
+        let rest: Vec<Option<(usize, Evaluation)>> = rest_work
+            .par_iter()
+            .map(|&(i, memory, rank_lb, ref pareto_lb)| {
+                let out_of_topk = ord::exceeds_bound(rank_lb, relax_up(topk.threshold()));
+                let past_lex_cut = match lex_cut_tol {
+                    None => true,
+                    Some(tol) if tol <= 1.0 => {
+                        let best = topk.best();
+                        ord::exceeds_bound(rank_lb, relax_up(best + tol * best.abs()))
+                    }
+                    Some(_) => false,
+                };
+                if out_of_topk && past_lex_cut && archive.strictly_covers(pareto_lb) {
+                    return None;
+                }
+                Some((i, evaluate(i, memory)))
+            })
+            .collect();
+
+        // Reassemble in enumeration order; report the skips.
+        let mut slots: Vec<Option<Evaluation>> = vec![None; partitions.len()];
+        for (i, e) in seed_evals {
+            slots[i] = Some(e);
+        }
+        let mut pruned = 0u64;
+        for r in rest {
+            match r {
+                Some((i, e)) => slots[i] = Some(e),
+                None => pruned += 1,
+            }
+        }
+        note_topk_pruned(pruned);
+        let evals: Vec<Evaluation> = slots.into_iter().flatten().collect();
+        Some((evals, fitting))
     }
 }
 

@@ -14,7 +14,7 @@
 //! * [`Objective::key`] — a *lower-is-better* scalar used for ranking and
 //!   Pareto dominance (maximizing objectives negate their value).
 
-use crate::evaluate::Evaluation;
+use crate::evaluate::{CandidateBounds, Evaluation};
 use serde::{Deserialize, Serialize};
 use systems::ReliabilitySpec;
 use txmodel::TrainingWorkload;
@@ -249,6 +249,108 @@ impl Objective {
                 } else {
                     v
                 }
+            }
+        }
+    }
+
+    /// Admissible lower bound on [`Objective::key`] over every placement
+    /// of the candidate described by `b`: the objective-to-bound mapping
+    /// of the ranked branch-and-bound. Derivations and the admissibility
+    /// argument live on [`CandidateBounds`]; the invariants are
+    ///
+    /// * `key_lower_bound(b) ≤ key(e)` for every evaluation `e` of that
+    ///   candidate (up to the `PRUNE_EPS` slack the planner adds), and
+    /// * when [`Objective::key_is_exact`] is true, the bound *equals* the
+    ///   evaluated key bit-for-bit (it mirrors `key`'s expressions over
+    ///   placement-independent inputs).
+    ///
+    /// Metrics with no admissible bound return `-inf`, which never
+    /// prunes ([`crate::ord::exceeds_bound`] is IEEE `>`); NaN inputs
+    /// propagate to a NaN bound, which never prunes either.
+    pub(crate) fn key_lower_bound(&self, b: &CandidateBounds, ctx: &ObjectiveCtx) -> f64 {
+        match self {
+            Objective::IterationTime => b.time_lb,
+            Objective::TrainingDays { iterations } => {
+                // Monotone in t only for non-negative run lengths (a NaN
+                // length fails the guard and falls back to no-prune).
+                if *iterations >= 0.0 {
+                    iterations * b.time_lb / 86_400.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+            // key = −B·L/(t·n) is monotone non-decreasing in t, so
+            // substituting `time_lb` bounds it below (a zero bound gives
+            // −inf: harmless, never prunes). Mirrors `value`'s expression
+            // shape so a mathematical tie stays a bitwise tie.
+            Objective::TokensPerGpuSecond => {
+                -((ctx.global_batch * ctx.seq_len) as f64 / (b.time_lb * b.gpus))
+            }
+            // Exact: memory is placement-independent.
+            Objective::HbmHeadroom => -(ctx.hbm_capacity - b.memory_total),
+            Objective::GpuSeconds => b.gpus * b.time_lb,
+            // Term-wise composition; see [`CandidateBounds`] for why
+            // non-positive weights demand an exact leaf key.
+            Objective::Weighted { terms } => terms
+                .iter()
+                .map(|t| {
+                    if t.weight > 0.0 || t.objective.key_is_exact() {
+                        t.weight * t.objective.key_lower_bound(b, ctx)
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                })
+                .sum(),
+            // The lexicographic ranking key is the primary stage's key.
+            Objective::Lexicographic { stages } => match stages.first() {
+                Some(s) => s.objective.key_lower_bound(b, ctx),
+                None => 0.0,
+            },
+            // No placement-independent bound: reliability assessment
+            // depends on the evaluated breakdown. Never prunes.
+            Objective::ExpectedGoodput | Objective::EffectiveTrainingDays { .. } => {
+                f64::NEG_INFINITY
+            }
+        }
+    }
+
+    /// True when [`Objective::key_lower_bound`] is not a bound but the
+    /// *exact* evaluated key (bit-for-bit): the key depends only on
+    /// placement-independent candidate facts. Required for composing
+    /// bounds under non-positive weights.
+    pub(crate) fn key_is_exact(&self) -> bool {
+        match self {
+            Objective::HbmHeadroom => true,
+            Objective::Weighted { terms } => terms.iter().all(|t| t.objective.key_is_exact()),
+            Objective::Lexicographic { stages } => {
+                stages.first().is_none_or(|s| s.objective.key_is_exact())
+            }
+            _ => false,
+        }
+    }
+
+    /// True when [`Objective::key_lower_bound`] can ever be informative
+    /// (i.e. not identically `-inf`): the planner's cheap static gate for
+    /// enabling the ranked branch-and-bound at all. A `true` here is
+    /// *not* a soundness claim — that lives in `key_lower_bound` — only
+    /// a "worth trying" signal.
+    pub(crate) fn bounds_key(&self) -> bool {
+        match self {
+            Objective::IterationTime
+            | Objective::TrainingDays { .. }
+            | Objective::TokensPerGpuSecond
+            | Objective::HbmHeadroom
+            | Objective::GpuSeconds => true,
+            Objective::ExpectedGoodput | Objective::EffectiveTrainingDays { .. } => false,
+            Objective::Weighted { terms } => terms.iter().all(|t| {
+                if t.weight > 0.0 {
+                    t.objective.bounds_key()
+                } else {
+                    t.objective.key_is_exact()
+                }
+            }),
+            Objective::Lexicographic { stages } => {
+                stages.first().is_none_or(|s| s.objective.bounds_key())
             }
         }
     }

@@ -61,10 +61,15 @@ pub struct SearchSpace {
     /// [`Algorithm::Auto`].
     pub comm_algo: Algorithm,
     /// Branch-and-bound pruning in the single-optimum path
-    /// ([`crate::Planner::best_evaluation`]). Exact; default `true`.
+    /// ([`crate::Planner::best_evaluation`], against the atomic
+    /// incumbent) and — together with [`SearchSpace::prune_dominated`] —
+    /// in the ranked path ([`crate::Planner::execute`], against the
+    /// concurrent k-th-best threshold). Exact; default `true`.
     pub branch_and_bound: bool,
-    /// Dominated-candidate elimination in the single-optimum path.
-    /// Exact; default `true`.
+    /// Dominated-candidate elimination in the single-optimum path and —
+    /// together with [`SearchSpace::branch_and_bound`] — the Pareto-safe
+    /// lower-bound domination prune in the ranked path. Exact; default
+    /// `true`.
     pub prune_dominated: bool,
 }
 
@@ -191,14 +196,16 @@ impl SearchSpace {
         self
     }
 
-    /// Enables or disables branch-and-bound pruning (exact; default on).
+    /// Enables or disables branch-and-bound pruning — single-optimum and
+    /// ranked paths alike (exact; default on).
     pub fn branch_and_bound(mut self, yes: bool) -> Self {
         self.branch_and_bound = yes;
         self
     }
 
-    /// Enables or disables dominated-candidate elimination (exact;
-    /// default on).
+    /// Enables or disables dominated-candidate elimination — single-
+    /// optimum twin/seed elimination and the ranked path's Pareto-safe
+    /// prune (exact; default on).
     pub fn prune_dominated(mut self, yes: bool) -> Self {
         self.prune_dominated = yes;
         self

@@ -83,17 +83,21 @@ pub struct SearchOptions {
     /// [`Planner::best_evaluation`]: skip a candidate's placement loop
     /// when its admissible lower bound
     /// (`evaluate::iteration_time_lower_bound`) already exceeds
-    /// the incumbent best time. Exact — the optimum is bit-identical with
-    /// the flag off — so it defaults on; turn it off to benchmark the raw
-    /// sweep.
+    /// the incumbent best time. The same flag (with
+    /// [`SearchOptions::prune_dominated`]) gates the ranked path's
+    /// k-th-incumbent prune in [`Planner::execute`]. Exact — the results
+    /// are bit-identical with the flag off — so it defaults on; turn it
+    /// off to benchmark the raw sweep.
     pub branch_and_bound: bool,
     /// Dominated-candidate elimination in [`optimize`] /
     /// [`Planner::best_evaluation`]: drop candidates a provably
     /// no-worse candidate renders redundant (e.g. `np = 1` with
     /// `interleave > 1`, whose timing is identical and memory no better
     /// than its `interleave = 1` twin) and candidates whose lower bound
-    /// cannot beat a fully-evaluated seed. Exact for the returned
-    /// optimum; defaults on.
+    /// cannot beat a fully-evaluated seed. The same flag (with
+    /// [`SearchOptions::branch_and_bound`]) gates the ranked path's
+    /// Pareto-safe domination prune in [`Planner::execute`]. Exact for
+    /// the returned results; defaults on.
     pub prune_dominated: bool,
 }
 
