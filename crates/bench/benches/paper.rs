@@ -19,6 +19,10 @@
 //! * `netsim-algorithms` — ring vs tree vs hierarchical vs auto AllReduce
 //!   schedules in the DES (the algorithm-selection validation path)
 //! * `trainsim`       — 1F1B schedule simulation (§IV validation path)
+//! * `serving-search` — the serving-objective planner sweep (every
+//!   candidate pays the analytic prefill/decode assessment across the
+//!   placement grid) and one discrete-event serving replay, so the
+//!   inference workload class's search cost stays visible
 //!
 //! Every measurement is additionally written to `out/bench.json`
 //! (schema `fmperf-bench-v1`) so the per-PR perf trajectory is
@@ -411,6 +415,60 @@ fn bench_reliability(c: &mut Criterion) {
     g.finish();
 }
 
+/// The serving layer: an SLO-objective planner sweep (every candidate
+/// pays the full placement-grid assessment — occupancy fixed point and
+/// queueing included) and one seeded discrete-event serving replay
+/// (Poisson trace + admission + prefill pool + decode loop).
+fn bench_serving(c: &mut Criterion) {
+    use perfmodel::serving::{assess_slo, SloSpec};
+    use perfmodel::{Objective, Planner};
+    use servesim::{simulate_serving, SimParams, SimSpec};
+    use txmodel::gpt3_175b_chat;
+    let preset = gpt3_175b_chat();
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let slo = SloSpec {
+        ttft_p50: 0.12,
+        ttft_p99: 0.16,
+        tpot_p50: 0.03,
+        tpot_p99: 0.05,
+    };
+    let mut g = c.benchmark_group("serving-search");
+    g.sample_size(10);
+    g.bench_function("gpt175b_chat_n64_slo", |b| {
+        b.iter(|| {
+            Planner::new(&preset.model, &sys)
+                .gpus(64)
+                .global_batch(1024)
+                .strategy(TpStrategy::OneD)
+                .serving(preset.traffic)
+                .objective(Objective::ServingSlo { slo })
+                .execute()
+        })
+    });
+    let planner = Planner::new(&preset.model, &sys)
+        .gpus(64)
+        .global_batch(1024)
+        .strategy(TpStrategy::OneD)
+        .serving(preset.traffic);
+    let ctx = planner.objective_ctx();
+    let sctx = ctx.serving.as_ref().expect("serving configured");
+    let best = planner
+        .objective(Objective::ServingSlo { slo })
+        .top_k(1)
+        .execute();
+    let best = best.best().expect("the 64-GPU space is non-empty");
+    let r = assess_slo(&best.eval, sctx, &slo);
+    let spec = SimSpec::from_plan(&best.eval, sctx, r.mode).expect("winner is simulatable");
+    let params = SimParams {
+        seed: 42,
+        requests: 3000,
+    };
+    g.bench_function("gpt175b_chat_replay_3000req", |b| {
+        b.iter(|| simulate_serving(&spec, &params))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_profile,
@@ -423,7 +481,8 @@ criterion_group!(
     bench_netsim,
     bench_netsim_algorithms,
     bench_trainsim,
-    bench_reliability
+    bench_reliability,
+    bench_serving
 );
 
 fn main() {
@@ -462,6 +521,7 @@ fn main() {
     bench_netsim_algorithms(&mut c);
     bench_trainsim(&mut c);
     bench_reliability(&mut c);
+    bench_serving(&mut c);
     c.final_summary();
     emit_bench_json(&out);
 }

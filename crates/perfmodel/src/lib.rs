@@ -70,6 +70,7 @@ pub mod planner;
 pub mod reliability;
 pub mod search;
 pub mod sensitivity;
+pub mod serving;
 pub mod timing;
 pub mod training;
 
@@ -93,6 +94,7 @@ pub use search::{
     sweep_partitions, SearchOptions,
 };
 pub use sensitivity::{elasticities, Elasticity, HardwareAxis};
+pub use serving::{PdPlacement, ServingCtx, ServingReport, SloSpec};
 pub use training::training_days;
 
 #[cfg(test)]

@@ -10,11 +10,21 @@
 //!   layer, times the number of in-flight microbatches — `min(m, np)`
 //!   under the non-interleaved 1F1B schedule (the schedule's memory
 //!   saving over GPipe, which would hold all `m`).
+//!
+//! Under *inference* the ledger changes shape: gradients, optimizer
+//! states and the backward-pass activation store all vanish, and the
+//! binding term becomes the **KV cache** — every resident decode
+//! sequence pins `2·bytes·e/(n1·n2)` per token per layer of key/value
+//! state ([`kv_bytes_per_token_layer`]). [`inference_memory_usage`]
+//! prices that ledger through the same [`MemoryUsage`] categories
+//! (training-only fields pinned to zero), and [`max_kv_batch`] inverts
+//! it into the capacity-feasible batch ceiling the serving planner and
+//! `servesim` both enforce.
 
 use crate::config::ParallelConfig;
 use crate::plan::LayerProfile;
 use serde::{Deserialize, Serialize};
-use txmodel::TransformerConfig;
+use txmodel::{TransformerConfig, BYTES_PER_ELEM};
 
 /// Fixed per-GPU reserve for CUDA context, NCCL channel buffers and
 /// framework scaffolding — the overhead the paper ran into during its
@@ -93,6 +103,88 @@ pub fn memory_usage(
         optimizer: profile.weight_params * layers * 12.0 / cfg.nd as f64
             + profile.expert_weight_params * layers * 12.0 / expert_replicas,
         activations: profile.stored_activation_bytes * layers * in_flight + boundary_buffers,
+        framework: FRAMEWORK_RESERVE_BYTES,
+    }
+}
+
+/// KV-cache bytes per token per transformer layer *per GPU*: the K and V
+/// projections (2 tensors × `embed` elements × [`BYTES_PER_ELEM`]),
+/// sharded over the tensor-parallel group — attention heads split over
+/// `n1`, sequence over `n2`, so each TP rank holds `1/(n1·n2)` of every
+/// token's KV entry. Pipeline sharding enters through the layer count,
+/// not here.
+pub fn kv_bytes_per_token_layer(model: &TransformerConfig, cfg: &ParallelConfig) -> f64 {
+    2.0 * BYTES_PER_ELEM * model.embed as f64 / cfg.tensor_parallel() as f64
+}
+
+/// Per-GPU KV-cache bytes for `batch` resident sequences at `context`
+/// tokens each: `layers-per-stage · batch · context` KV entries at
+/// [`kv_bytes_per_token_layer`].
+pub fn kv_cache_bytes(
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    batch: u64,
+    context: u64,
+) -> f64 {
+    let layers = (model.depth / cfg.np) as f64;
+    layers * (batch * context) as f64 * kv_bytes_per_token_layer(model, cfg)
+}
+
+/// The largest decode batch whose KV cache fits HBM next to the resident
+/// weights: `floor((capacity − non-KV) / KV-per-sequence)` at `context`
+/// tokens per sequence, where the non-KV floor is everything
+/// [`inference_memory_usage`] charges at batch 0. Returns 0 when even
+/// the weights don't fit (the capacity-infeasible signal).
+pub fn max_kv_batch(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    context: u64,
+    capacity: f64,
+) -> u64 {
+    let floor = inference_memory_usage(profile, model, cfg, 0, context).total();
+    let per_seq = kv_cache_bytes(model, cfg, 1, context);
+    if floor >= capacity || per_seq <= 0.0 {
+        return 0;
+    }
+    ((capacity - floor) / per_seq) as u64
+}
+
+/// Per-GPU memory under *inference*: the training-only categories are
+/// structurally zero — no gradients, no optimizer states, no ZeRO-3
+/// re-gather (weights stay resident in full on every TP/PP shard) — and
+/// the backward-pass activation store is replaced by the KV cache plus a
+/// one-layer transient working set (inference frees each layer's
+/// activations as soon as the next layer consumes them, so only the
+/// widest layer's working set is ever live, approximated by one layer's
+/// stored-activation census). Pipelined stages additionally pin one
+/// boundary buffer per direction, as in training.
+///
+/// `batch` is the number of resident decode sequences and `context`
+/// their per-sequence KV length; `batch = 0` gives the non-KV floor that
+/// [`max_kv_batch`] divides into.
+pub fn inference_memory_usage(
+    profile: &LayerProfile,
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    batch: u64,
+    context: u64,
+) -> MemoryUsage {
+    let layers = (model.depth / cfg.np) as f64;
+    // Full FP16 shard, dense + local expert set: expert parallelism
+    // already divided the expert weights by ep inside the profile.
+    let weights = (profile.weight_bytes + profile.expert_weight_bytes) * layers;
+    let boundary = if cfg.np > 1 {
+        2.0 * profile.boundary_bytes
+    } else {
+        0.0
+    };
+    let working_set = profile.stored_activation_bytes + boundary;
+    MemoryUsage {
+        weights,
+        gradients: 0.0,
+        optimizer: 0.0,
+        activations: kv_cache_bytes(model, cfg, batch, context) + working_set,
         framework: FRAMEWORK_RESERVE_BYTES,
     }
 }
@@ -192,6 +284,110 @@ mod tests {
         let profile = build_profile(&model, TpStrategy::TwoD, 4, 4, 1, 1, 1, &gpu);
         let u = memory_usage(&profile, &model, &cfg, 4096);
         assert!(u.fits(192e9), "got {} GB", u.total_gb());
+    }
+
+    #[test]
+    fn inference_drops_every_training_only_term() {
+        // The training-vs-inference audit pin: on the *same* profile and
+        // configuration, inference memory must zero the gradient and
+        // optimizer categories entirely (they are training-only) and
+        // must not inherit the 1F1B in-flight activation store — its
+        // activation term is KV + a one-layer working set, which at a
+        // small batch sits far below training's stored activations.
+        let model = gpt3_1t().config;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+        cfg.validate(&model, 4096).unwrap();
+        let profile = build_profile(
+            &model,
+            cfg.strategy,
+            cfg.n1,
+            cfg.n2,
+            cfg.microbatch,
+            cfg.summa_panels,
+            cfg.ep,
+            &GpuGeneration::B200.gpu(),
+        );
+        let train = memory_usage(&profile, &model, &cfg, 4096);
+        let infer = inference_memory_usage(&profile, &model, &cfg, 1, 4096);
+        assert_eq!(infer.gradients, 0.0, "gradients are training-only");
+        assert_eq!(infer.optimizer, 0.0, "optimizer states are training-only");
+        assert!(train.gradients > 0.0 && train.optimizer > 0.0);
+        // Without ZeRO-3 the weight shard is identical either way.
+        assert_eq!(infer.weights, train.weights);
+        assert!(infer.activations < train.activations);
+        assert!(infer.total() < train.total());
+        // And the KV term is exactly the closed form.
+        let kv = kv_cache_bytes(&model, &cfg, 1, 4096);
+        let floor = inference_memory_usage(&profile, &model, &cfg, 0, 4096);
+        assert!((infer.activations - floor.activations - kv).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero3_training_shards_but_inference_does_not() {
+        // ZeRO-3 shrinks *training* weights by nd; inference keeps the
+        // full TP/PP shard resident (no per-microbatch re-gather exists
+        // to amortize), so its weight term must ignore the flag.
+        let model = gpt3_1t().config;
+        let mut cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+        let profile = build_profile(
+            &model,
+            cfg.strategy,
+            cfg.n1,
+            cfg.n2,
+            cfg.microbatch,
+            cfg.summa_panels,
+            cfg.ep,
+            &GpuGeneration::B200.gpu(),
+        );
+        let dense = inference_memory_usage(&profile, &model, &cfg, 1, 2048);
+        cfg.zero3 = true;
+        let sharded_train = memory_usage(&profile, &model, &cfg, 4096);
+        let sharded_infer = inference_memory_usage(&profile, &model, &cfg, 1, 2048);
+        assert_eq!(sharded_infer.weights, dense.weights);
+        assert!(sharded_train.weights < dense.weights);
+    }
+
+    #[test]
+    fn kv_bytes_shard_over_tp_and_scale_with_batch_and_context() {
+        let model = gpt3_1t().config;
+        let tp2 = ParallelConfig::new(TpStrategy::OneD, 2, 1, 8, 32, 1);
+        let tp8 = ParallelConfig::new(TpStrategy::OneD, 8, 1, 8, 32, 1);
+        assert!(
+            (kv_bytes_per_token_layer(&model, &tp2) / kv_bytes_per_token_layer(&model, &tp8) - 4.0)
+                .abs()
+                < 1e-12
+        );
+        // Linear in batch and context; layers shard over np.
+        let b = kv_cache_bytes(&model, &tp8, 4, 1024);
+        assert!((kv_cache_bytes(&model, &tp8, 8, 1024) / b - 2.0).abs() < 1e-12);
+        assert!((kv_cache_bytes(&model, &tp8, 4, 2048) / b - 2.0).abs() < 1e-12);
+        let deep = ParallelConfig::new(TpStrategy::OneD, 8, 1, 16, 16, 1);
+        assert!((b / kv_cache_bytes(&model, &deep, 4, 1024) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_kv_batch_inverts_the_capacity_ledger() {
+        let model = gpt3_1t().config;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, 8, 1, 64, 32, 1);
+        let profile = build_profile(
+            &model,
+            cfg.strategy,
+            cfg.n1,
+            cfg.n2,
+            cfg.microbatch,
+            cfg.summa_panels,
+            cfg.ep,
+            &GpuGeneration::B200.gpu(),
+        );
+        let context = 4096;
+        let cap = 192e9;
+        let b = max_kv_batch(&profile, &model, &cfg, context, cap);
+        assert!(b > 0, "a B200 must hold at least one 4k sequence here");
+        // Exactness: b fits, b+1 does not.
+        assert!(inference_memory_usage(&profile, &model, &cfg, b, context).fits(cap));
+        assert!(!inference_memory_usage(&profile, &model, &cfg, b + 1, context).fits(cap));
+        // A capacity below the weight floor serves nothing.
+        assert_eq!(max_kv_batch(&profile, &model, &cfg, context, 1e9), 0);
     }
 
     #[test]

@@ -81,7 +81,7 @@ use crate::evaluate::{
     evaluate_placement, iteration_time_lower_bound, placement_breakdown, CandidateBounds,
     Evaluation,
 };
-use crate::memory::{memory_usage, MemoryUsage};
+use crate::memory::{inference_memory_usage, memory_usage, MemoryUsage};
 use crate::ord;
 use crate::partition::cache::{
     note_bound_pruned, note_dominated_pruned, note_topk_pruned, system_fingerprint,
@@ -94,7 +94,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use systems::SystemSpec;
-use txmodel::TransformerConfig;
+use txmodel::{InferenceConfig, TransformerConfig};
 
 /// Relative slack on every lower-bound-vs-incumbent comparison: a
 /// candidate is pruned only when `lb > incumbent · (1 + PRUNE_EPS)`. The
@@ -196,6 +196,13 @@ pub struct PlannerConfig {
     /// ranked). `false` — the default — prunes them before placement
     /// enumeration, exactly like `optimize` always has.
     pub include_infeasible: bool,
+    /// Serving traffic for the inference objectives. When set, the
+    /// memory gate switches from the training ledger to the inference
+    /// ledger ([`crate::memory::inference_memory_usage`] at batch 1, p99
+    /// context) and [`ObjectiveCtx::serving`] is populated so
+    /// [`Objective::TokensPerSecPerGpu`]/[`Objective::ServingSlo`] can
+    /// score. `None` — the default — plans exactly as before.
+    pub serving: Option<InferenceConfig>,
 }
 
 impl Default for PlannerConfig {
@@ -206,6 +213,7 @@ impl Default for PlannerConfig {
             pareto: Vec::new(),
             top_k: 8,
             include_infeasible: false,
+            serving: None,
         }
     }
 }
@@ -321,6 +329,16 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Plans for *serving* the model under the given traffic: the memory
+    /// gate uses the inference ledger (weights + KV working set, no
+    /// gradients/optimizer) and the serving objectives
+    /// ([`Objective::TokensPerSecPerGpu`], [`Objective::ServingSlo`])
+    /// become scoreable.
+    pub fn serving(mut self, traffic: InferenceConfig) -> Self {
+        self.config.serving = Some(traffic);
+        self
+    }
+
     /// Shorthand for [`SearchSpace::branch_and_bound`] on the current
     /// space (gates the pruned paths of [`Planner::best_evaluation`] and
     /// [`Planner::execute`]; both exact).
@@ -367,6 +385,37 @@ impl<'a> Planner<'a> {
             nvs_size: self.system.nvs_size,
             nics_per_node: self.system.nics_per_node,
             checkpoint_bandwidth: self.system.network.effective_ib_bandwidth(1),
+            serving: self
+                .config
+                .serving
+                .map(|traffic| crate::serving::ServingCtx {
+                    model: *self.model,
+                    traffic,
+                    system: self.system.clone(),
+                }),
+        }
+    }
+
+    /// The memory ledger gating this planner's candidates: the training
+    /// ledger at the space's global batch, or — when serving traffic is
+    /// configured — the inference ledger (weights + KV working set) at
+    /// batch 1 and the traffic's p99 context. The serving gate is
+    /// deliberately the *minimum viable residency* (one worst-case
+    /// sequence): the real continuous-batching ceiling is enforced
+    /// downstream by [`crate::serving::assess`] via
+    /// [`crate::memory::max_kv_batch`], which zeroes the throughput of
+    /// plans that only fit trivial batches.
+    fn candidate_memory(
+        &self,
+        profile: &crate::plan::LayerProfile,
+        cfg: &ParallelConfig,
+        global_batch: u64,
+    ) -> MemoryUsage {
+        match &self.config.serving {
+            Some(traffic) => {
+                inference_memory_usage(profile, self.model, cfg, 1, traffic.p99_context())
+            }
+            None => memory_usage(profile, self.model, cfg, global_batch),
         }
     }
 
@@ -432,7 +481,7 @@ impl<'a> Planner<'a> {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, cfg)| {
-                    let memory = memory_usage(cache.get(cfg), self.model, cfg, global_batch);
+                    let memory = self.candidate_memory(cache.get(cfg), cfg, global_batch);
                     (!prune || memory.fits(self.system.gpu.hbm_capacity)).then_some((i, memory))
                 })
                 .collect();
@@ -448,7 +497,7 @@ impl<'a> Planner<'a> {
             .par_iter()
             .filter_map(|cfg| {
                 let profile = cache.get(cfg);
-                let memory = memory_usage(profile, self.model, cfg, global_batch);
+                let memory = self.candidate_memory(profile, cfg, global_batch);
                 if prune && !memory.fits(self.system.gpu.hbm_capacity) {
                     return None;
                 }
@@ -512,7 +561,7 @@ impl<'a> Planner<'a> {
             .par_iter()
             .map(|cfg| {
                 let (profile, fps) = cache.get_with_fps(cfg);
-                let memory = memory_usage(profile, self.model, cfg, global_batch);
+                let memory = self.candidate_memory(profile, cfg, global_batch);
                 if !memory.fits(self.system.gpu.hbm_capacity) {
                     return None;
                 }
@@ -727,7 +776,7 @@ impl<'a> Planner<'a> {
             cfg.ep,
             &self.system.gpu,
         );
-        let memory = memory_usage(&profile, self.model, cfg, self.config.space.global_batch);
+        let memory = self.candidate_memory(&profile, cfg, self.config.space.global_batch);
         best_placement_with_memory(
             &profile,
             self.model,
@@ -893,7 +942,7 @@ impl<'a> Planner<'a> {
             .par_iter()
             .map(|cfg| {
                 let (profile, fps) = cache.get_with_fps(cfg);
-                let memory = memory_usage(profile, self.model, cfg, global_batch);
+                let memory = self.candidate_memory(profile, cfg, global_batch);
                 if !memory.fits(self.system.gpu.hbm_capacity) {
                     return None;
                 }

@@ -15,6 +15,7 @@
 //!   Pareto dominance (maximizing objectives negate their value).
 
 use crate::evaluate::{CandidateBounds, Evaluation};
+use crate::serving::{ServingCtx, SloSpec};
 use serde::{Deserialize, Serialize};
 use systems::ReliabilitySpec;
 use txmodel::TrainingWorkload;
@@ -23,7 +24,7 @@ use txmodel::TrainingWorkload;
 /// needs beyond the [`Evaluation`] itself (the GPU count is *not* here —
 /// it is a per-candidate property, `eval.config.total_gpus()`, so that
 /// multi-scale spaces price cost objectives per candidate).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectiveCtx {
     /// Global batch size the space was searched at (samples).
     pub global_batch: u64,
@@ -41,6 +42,10 @@ pub struct ObjectiveCtx {
     /// Bytes/s one checkpoint writer drains its shard at (the per-NIC
     /// effective slow-tier bandwidth — the DP-sync path).
     pub checkpoint_bandwidth: f64,
+    /// The serving context (model + traffic + system) when the planner
+    /// was configured with serving traffic; `None` on training-only
+    /// sweeps, where the serving objectives score zero.
+    pub serving: Option<ServingCtx>,
 }
 
 /// One term of a weighted-sum objective.
@@ -116,6 +121,20 @@ pub enum Objective {
         /// Total optimizer iterations of the run.
         iterations: f64,
     },
+    /// Sustainable *serving* throughput per device: output tokens per
+    /// GPU-second at the best prefill/decode placement
+    /// ([`crate::serving::assess`]). Maximized. Requires serving traffic
+    /// on the planner ([`crate::Planner::serving`]); scores 0 without it.
+    TokensPerSecPerGpu,
+    /// SLO-constrained serving: capacity throughput among plans meeting
+    /// the latency targets, negated worst relative violation otherwise
+    /// ([`crate::serving::ServingReport::slo_score`]), at the best
+    /// prefill/decode placement under that score
+    /// ([`crate::serving::assess_slo`]). Maximized.
+    ServingSlo {
+        /// The p50/p99 TTFT + TPOT targets.
+        slo: SloSpec,
+    },
 }
 
 impl Objective {
@@ -174,7 +193,11 @@ impl Objective {
     pub fn maximize(&self) -> bool {
         matches!(
             self,
-            Objective::TokensPerGpuSecond | Objective::HbmHeadroom | Objective::ExpectedGoodput
+            Objective::TokensPerGpuSecond
+                | Objective::HbmHeadroom
+                | Objective::ExpectedGoodput
+                | Objective::TokensPerSecPerGpu
+                | Objective::ServingSlo { .. }
         )
     }
 
@@ -199,6 +222,8 @@ impl Objective {
             }
             Objective::ExpectedGoodput => "goodput (tokens/s/GPU)".into(),
             Objective::EffectiveTrainingDays { .. } => "effective days".into(),
+            Objective::TokensPerSecPerGpu => "serving tokens/s/GPU".into(),
+            Objective::ServingSlo { .. } => "serving SLO score".into(),
         }
     }
 
@@ -225,6 +250,14 @@ impl Objective {
             Objective::EffectiveTrainingDays { iterations } => {
                 crate::reliability::assess(e, ctx).effective_days(*iterations)
             }
+            Objective::TokensPerSecPerGpu => match &ctx.serving {
+                Some(s) => crate::serving::assess(e, s).tokens_per_gpu_second,
+                None => 0.0,
+            },
+            Objective::ServingSlo { slo } => match &ctx.serving {
+                Some(s) => crate::serving::assess_slo(e, s, slo).slo_score(slo),
+                None => 0.0,
+            },
         }
     }
 
@@ -306,11 +339,13 @@ impl Objective {
                 Some(s) => s.objective.key_lower_bound(b, ctx),
                 None => 0.0,
             },
-            // No placement-independent bound: reliability assessment
-            // depends on the evaluated breakdown. Never prunes.
-            Objective::ExpectedGoodput | Objective::EffectiveTrainingDays { .. } => {
-                f64::NEG_INFINITY
-            }
+            // No placement-independent bound: the reliability and serving
+            // assessments depend on the evaluated breakdown/placement.
+            // Never prunes.
+            Objective::ExpectedGoodput
+            | Objective::EffectiveTrainingDays { .. }
+            | Objective::TokensPerSecPerGpu
+            | Objective::ServingSlo { .. } => f64::NEG_INFINITY,
         }
     }
 
@@ -341,7 +376,10 @@ impl Objective {
             | Objective::TokensPerGpuSecond
             | Objective::HbmHeadroom
             | Objective::GpuSeconds => true,
-            Objective::ExpectedGoodput | Objective::EffectiveTrainingDays { .. } => false,
+            Objective::ExpectedGoodput
+            | Objective::EffectiveTrainingDays { .. }
+            | Objective::TokensPerSecPerGpu
+            | Objective::ServingSlo { .. } => false,
             Objective::Weighted { terms } => terms.iter().all(|t| {
                 if t.weight > 0.0 {
                     t.objective.bounds_key()

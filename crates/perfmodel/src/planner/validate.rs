@@ -155,11 +155,18 @@ fn check_objective(o: &Objective) -> Result<(), ConfigError> {
             }
             Ok(())
         }
+        Objective::ServingSlo { slo } => {
+            positive(slo.ttft_p50, "objective.ServingSlo.slo.ttft_p50")?;
+            positive(slo.ttft_p99, "objective.ServingSlo.slo.ttft_p99")?;
+            positive(slo.tpot_p50, "objective.ServingSlo.slo.tpot_p50")?;
+            positive(slo.tpot_p99, "objective.ServingSlo.slo.tpot_p99")
+        }
         Objective::IterationTime
         | Objective::TokensPerGpuSecond
         | Objective::HbmHeadroom
         | Objective::GpuSeconds
-        | Objective::ExpectedGoodput => Ok(()),
+        | Objective::ExpectedGoodput
+        | Objective::TokensPerSecPerGpu => Ok(()),
     }
 }
 

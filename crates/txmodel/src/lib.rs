@@ -14,17 +14,25 @@
 //! tokens are sharded across GPUs (tensor/pipeline/data/**expert**
 //! parallelism) lives in the `perfmodel` crate — this crate stays
 //! strategy agnostic. [`TrainingWorkload`] converts per-iteration times
-//! into full-run wall-clock days (paper Fig. 5).
+//! into full-run wall-clock days (paper Fig. 5); [`InferenceConfig`]
+//! describes the *serving* side of the same models — prompt/output
+//! length mixes, offered request rates and the continuous-batching
+//! ceiling (priced by `perfmodel::serving`, replayed by `servesim`).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod config;
+mod inference;
 mod ops;
 mod presets;
 mod workload;
 
 pub use config::{MoeConfig, TransformerConfig};
+pub use inference::{
+    gpt3_175b_chat, moe_1t_chat, vit_multimodal_serving, InferenceConfig, LengthMix, ServingPreset,
+    LONG_PCT,
+};
 pub use ops::{gemm, vector_op, MatmulShape, OpCost, VectorOpKind, BYTES_PER_ELEM};
 pub use presets::{
     gpt3_175b, gpt3_175b_moe, gpt3_1t, moe_1t, vit_32k, vit_64k, vit_64k_linear_attention,
@@ -48,6 +56,20 @@ mod serde_roundtrip {
         let json = serde_json::to_string(&workload).unwrap();
         let back: TrainingWorkload = serde_json::from_str(&json).unwrap();
         assert_eq!(back, workload);
+    }
+
+    #[test]
+    fn inference_config_survives_json() {
+        for preset in [gpt3_175b_chat(), moe_1t_chat(), vit_multimodal_serving()] {
+            let json = serde_json::to_string(&preset.traffic).unwrap();
+            let back: InferenceConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, preset.traffic);
+            assert_eq!(back.request_rate(), preset.traffic.request_rate());
+            assert_eq!(back.p99_context(), preset.traffic.p99_context());
+        }
+        let mix: LengthMix =
+            serde_json::from_str(&serde_json::to_string(&LengthMix::new(3, 9)).unwrap()).unwrap();
+        assert_eq!(mix, LengthMix::new(3, 9));
     }
 
     #[test]

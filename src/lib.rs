@@ -22,6 +22,12 @@
 //! * [`trainsim`] — 1F1B schedule simulator for model validation, plus
 //!   fault-injected multi-iteration replay with checkpoint/restart
 //!   semantics ([`trainsim::simulate_training`]).
+//! * [`servesim`] — deterministic discrete-event *inference-serving*
+//!   simulator (Poisson arrivals, continuous-batching admission,
+//!   colocated and disaggregated prefill/decode pools) cross-validating
+//!   the analytic serving model behind
+//!   [`Objective::TokensPerSecPerGpu`](perfmodel::Objective) and
+//!   [`Objective::ServingSlo`](perfmodel::Objective).
 //! * [`report`] — tables, ASCII charts, JSON/CSV artifacts.
 //!
 //! ```
@@ -58,6 +64,7 @@ pub use collectives;
 pub use netsim;
 pub use perfmodel;
 pub use report;
+pub use servesim;
 pub use systems;
 pub use trainsim;
 pub use txmodel;
@@ -67,15 +74,18 @@ pub mod prelude {
     pub use collectives::{allreduce_time, collective_time, Algorithm, Collective, CommGroup};
     pub use perfmodel::{
         best_placement_eval, evaluate, optimize, reset_search_stats, search_stats, training_days,
-        ConfigError, Evaluation, GoodputReport, Objective, ParallelConfig, Placement, Plan,
-        PlanSet, Planner, SearchOptions, SearchSpace, SearchStats, TpStrategy,
+        ConfigError, Evaluation, GoodputReport, Objective, ParallelConfig, PdPlacement, Placement,
+        Plan, PlanSet, Planner, SearchOptions, SearchSpace, SearchStats, ServingCtx, ServingReport,
+        SloSpec, TpStrategy,
     };
+    pub use servesim::{simulate_serving, SimParams as ServeSimParams, SimReport, SimSpec};
     pub use systems::{
         perlmutter, system, GpuGeneration, NvsSize, ReliabilitySpec, SystemBuilder, SystemSpec,
     };
     pub use trainsim::{simulate_training, FaultPlan, TrainingParams, TrainingReport};
     pub use txmodel::{
-        gpt3_175b, gpt3_175b_moe, gpt3_1t, moe_1t, vit_32k, vit_64k, vit_multimodal, MoeConfig,
-        TrainingWorkload, TransformerConfig,
+        gpt3_175b, gpt3_175b_chat, gpt3_175b_moe, gpt3_1t, moe_1t, moe_1t_chat, vit_32k, vit_64k,
+        vit_multimodal, vit_multimodal_serving, InferenceConfig, LengthMix, MoeConfig,
+        ServingPreset, TrainingWorkload, TransformerConfig,
     };
 }

@@ -275,3 +275,51 @@ fn reliability_planner_path() {
     assert!(rep.goodput_fraction > 0.85 && rep.goodput_fraction < 1.0);
     assert_eq!(rep.restarts as usize, plan.kills());
 }
+
+/// `examples/serving_planner.rs`: the serving objective flip, the
+/// placement ledger, and the simulator replay, at smoke scale.
+#[test]
+fn serving_planner_path() {
+    use perfmodel::serving::{assess, assess_slo};
+    let preset = gpt3_175b_chat();
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    let slo = SloSpec {
+        ttft_p50: 0.12,
+        ttft_p99: 0.16,
+        tpot_p50: 0.03,
+        tpot_p99: 0.05,
+    };
+    let planner = || {
+        Planner::new(&preset.model, &sys)
+            .gpus(64)
+            .global_batch(1024)
+            .strategy(TpStrategy::OneD)
+            .serving(preset.traffic)
+    };
+    let ctx = planner().objective_ctx();
+    let sctx = ctx.serving.as_ref().expect("serving configured");
+    let thr = planner()
+        .objective(Objective::TokensPerSecPerGpu)
+        .top_k(1)
+        .execute();
+    let slo_plans = planner()
+        .objective(Objective::ServingSlo { slo })
+        .top_k(1)
+        .execute();
+    let (thr, best) = (thr.best().unwrap(), slo_plans.best().unwrap());
+    assert_ne!(thr.eval.config, best.eval.config, "the objective must flip");
+    let (r_thr, r_slo) = (assess(&thr.eval, sctx), assess_slo(&best.eval, sctx, &slo));
+    assert!(!r_thr.meets(&slo) && r_slo.meets(&slo));
+    assert!(r_thr.tokens_per_gpu_second > r_slo.tokens_per_gpu_second);
+    // The replay leg the example prints, at reduced trace length.
+    let params = ServeSimParams {
+        seed: 42,
+        requests: 500,
+    };
+    let m = simulate_serving(
+        &SimSpec::from_plan(&best.eval, sctx, r_slo.mode).expect("simulatable"),
+        &params,
+    );
+    assert_eq!(m.completed, 500);
+    assert!(m.tpot_p99 <= slo.tpot_p99 && m.ttft_p99 <= slo.ttft_p99);
+}

@@ -342,3 +342,116 @@ fn placement_search_improves_on_trivial_placement() {
     );
     assert!(best.iteration_time < trivial.iteration_time);
 }
+
+/// The serving acceptance experiment (the serving analogue of the
+/// goodput-vs-iteration-time split): on the pinned GPT3-175B chat
+/// workload at 64 B200s, the `ServingSlo` optimum provably differs from
+/// the `TokensPerSecPerGpu` optimum — different tensor-parallel degree
+/// *and* different prefill/decode placement — and disaggregation beats
+/// colocation on the SLO config; the discrete-event simulator confirms
+/// both verdicts; everything is bit-identical at 1, 2 and 8 worker
+/// threads.
+#[test]
+fn serving_slo_optimum_differs_from_throughput_optimum() {
+    use perfmodel::serving::{assess, assess_mode, assess_slo};
+    use rayon::ThreadPoolBuilder;
+    use servesim::{simulate_serving, SimSpec};
+
+    let preset = gpt3_175b_chat();
+    let sys = system(GpuGeneration::B200, NvsSize::Nvs8);
+    // Interactive-streaming budget: first token inside 120/160 ms,
+    // steady 30/50 ms per token. Tight enough that the raw-throughput
+    // winner (slow prefill, prefill-stalled decode tail) cannot meet it.
+    let slo = SloSpec {
+        ttft_p50: 0.12,
+        ttft_p99: 0.16,
+        tpot_p50: 0.03,
+        tpot_p99: 0.05,
+    };
+    let planner = || {
+        Planner::new(&preset.model, &sys)
+            .gpus(64)
+            .global_batch(1024)
+            .strategy(TpStrategy::OneD)
+            .serving(preset.traffic)
+    };
+    let run = |obj: Objective| planner().objective(obj).top_k(1).execute();
+
+    let thr = run(Objective::TokensPerSecPerGpu);
+    let slo_plans = run(Objective::ServingSlo { slo });
+    let best_thr = thr.best().expect("throughput sweep finds a plan");
+    let best_slo = slo_plans.best().expect("SLO sweep finds a plan");
+
+    // The optima differ at the parallelization level: raw throughput
+    // packs replicas (tp=4, nd=16); the SLO needs faster prefill and
+    // decode steps (tp=8, nd=8) at a 41% capacity sacrifice.
+    assert_eq!(best_thr.eval.config.tensor_parallel(), 4);
+    assert_eq!(best_thr.eval.config.nd, 16);
+    assert_eq!(best_slo.eval.config.tensor_parallel(), 8);
+    assert_eq!(best_slo.eval.config.nd, 8);
+
+    let ctx = planner().objective_ctx();
+    let sctx = ctx.serving.as_ref().expect("serving ctx populated");
+    let r_thr = assess(&best_thr.eval, sctx);
+    let r_slo = assess_slo(&best_slo.eval, sctx, &slo);
+
+    // ...and at the placement level: throughput keeps one colocated
+    // pool, the SLO optimum dedicates prefill replicas.
+    assert_eq!(r_thr.mode, PdPlacement::Colocated);
+    assert!(matches!(r_slo.mode, PdPlacement::Disaggregated { .. }));
+    assert!(!r_thr.meets(&slo), "tpot99 {} must violate", r_thr.tpot_p99);
+    assert!(r_slo.meets(&slo));
+    assert!(r_thr.tokens_per_gpu_second > r_slo.tokens_per_gpu_second);
+
+    // Disaggregated beats colocated on the pinned SLO config: same
+    // parallelization, opposite verdict.
+    let colo = assess_mode(&best_slo.eval, sctx, PdPlacement::Colocated);
+    assert!(!colo.meets(&slo));
+    assert!(r_slo.slo_score(&slo) > colo.slo_score(&slo));
+
+    // The discrete-event replay confirms both verdicts on measured
+    // percentiles: the throughput winner's decode tail really violates
+    // the target, the SLO winner's trace really meets every target.
+    let params = servesim::SimParams {
+        seed: 42,
+        requests: 3000,
+    };
+    let m_thr = simulate_serving(
+        &SimSpec::from_plan(&best_thr.eval, sctx, r_thr.mode).expect("simulatable"),
+        &params,
+    );
+    let m_slo = simulate_serving(
+        &SimSpec::from_plan(&best_slo.eval, sctx, r_slo.mode).expect("simulatable"),
+        &params,
+    );
+    assert!(m_thr.tpot_p99 > slo.tpot_p99, "measured {}", m_thr.tpot_p99);
+    assert!(m_slo.tpot_p99 <= slo.tpot_p99 && m_slo.tpot_p50 <= slo.tpot_p50);
+    assert!(m_slo.ttft_p99 <= slo.ttft_p99 && m_slo.ttft_p50 <= slo.ttft_p50);
+
+    // Thread invariance: the serving sweep and the simulator replay are
+    // bit-identical at 1, 2 and 8 worker threads.
+    let pool = |n: usize| ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+    for threads in [1usize, 2, 8] {
+        let (t, s, m) = pool(threads).install(|| {
+            (
+                run(Objective::TokensPerSecPerGpu),
+                run(Objective::ServingSlo { slo }),
+                simulate_serving(
+                    &SimSpec::from_plan(&best_slo.eval, sctx, r_slo.mode).expect("simulatable"),
+                    &params,
+                ),
+            )
+        });
+        assert_eq!(
+            t.best().expect("plan").eval,
+            best_thr.eval,
+            "{threads} threads"
+        );
+        assert_eq!(
+            s.best().expect("plan").eval,
+            best_slo.eval,
+            "{threads} threads"
+        );
+        assert_eq!(m, m_slo, "{threads} threads");
+    }
+}

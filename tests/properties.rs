@@ -552,3 +552,96 @@ fn hostile_planner_json_is_rejected_not_panicked() {
         }
     }
 }
+
+fn synthetic_spec(
+    rate_milli: u64,
+    ceiling: u64,
+    base_step_ms: u64,
+    slope_ms: u64,
+    prefill_ms: u64,
+    colocated: bool,
+) -> servesim::SimSpec {
+    let traffic = InferenceConfig::new(
+        LengthMix::new(512, 2048),
+        LengthMix::new(16, 64),
+        rate_milli as f64 / 1000.0,
+        ceiling,
+    );
+    servesim::SimSpec {
+        traffic,
+        replicas: 4,
+        gpus: 32,
+        mode: if colocated {
+            PdPlacement::Colocated
+        } else {
+            PdPlacement::Disaggregated {
+                prefill_replicas: 1,
+            }
+        },
+        batch_ceiling: ceiling,
+        decode_steps: (0..ceiling)
+            .map(|b| (base_step_ms + slope_ms * b) as f64 * 1e-3)
+            .collect(),
+        prefill_typical: prefill_ms as f64 * 1e-3,
+        prefill_long: 2.0 * prefill_ms as f64 * 1e-3,
+        kv_transfer_typical: if colocated { 0.0 } else { 1e-3 },
+        kv_transfer_long: if colocated { 0.0 } else { 4e-3 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// KV-cache bytes are strictly monotone in batch and context, exactly
+    /// linear in their product, and shard inversely with the TP degree.
+    #[test]
+    fn kv_cache_bytes_monotone_in_batch_and_context(
+        batch in 1u64..256,
+        context in 1u64..8192,
+        tp_log in 0u32..4,
+        np_log in 0u32..3,
+    ) {
+        use perfmodel::memory::{kv_bytes_per_token_layer, kv_cache_bytes};
+        let model = gpt3_175b().config;
+        let tp = 1u64 << tp_log;
+        let np = 1u64 << np_log;
+        let cfg = ParallelConfig::new(TpStrategy::OneD, tp, 1, np, 4, 1);
+        let base = kv_cache_bytes(&model, &cfg, batch, context);
+        prop_assert!(base > 0.0);
+        prop_assert!(kv_cache_bytes(&model, &cfg, batch + 1, context) > base);
+        prop_assert!(kv_cache_bytes(&model, &cfg, batch, context + 1) > base);
+        // Exactly linear in batch·context tokens.
+        let per_token = (model.depth / np) as f64 * kv_bytes_per_token_layer(&model, &cfg);
+        prop_assert!((base - (batch * context) as f64 * per_token).abs() <= 1e-6 * base);
+        // Doubling TP halves the per-GPU shard.
+        let cfg2 = ParallelConfig::new(TpStrategy::OneD, 2 * tp, 1, np, 4, 1);
+        let halved = kv_cache_bytes(&model, &cfg2, batch, context);
+        prop_assert!((2.0 * halved - base).abs() <= 1e-6 * base);
+    }
+
+    /// Simulator invariant over arbitrary synthetic specs: measured
+    /// p99 ≥ p50 ≥ the analytic lower bound (no inter-token gap can beat
+    /// one clean decode step at the smallest batch; no TTFT can beat the
+    /// typical prompt's prefill), and every trace drains.
+    #[test]
+    fn simulated_percentiles_respect_analytic_lower_bounds(
+        seed in 0u64..1000,
+        rate_milli in 100u64..20_000,
+        ceiling in 1u64..32,
+        base_step_ms in 1u64..50,
+        slope_ms in 0u64..5,
+        prefill_ms in 1u64..500,
+        colocated_bit in 0u64..2,
+    ) {
+        let spec = synthetic_spec(rate_milli, ceiling, base_step_ms, slope_ms, prefill_ms, colocated_bit == 1);
+        let m = servesim::simulate_serving(&spec, &servesim::SimParams { seed, requests: 200 });
+        prop_assert_eq!(m.completed, 200);
+        prop_assert!(m.tpot_p99 >= m.tpot_p50);
+        prop_assert!(m.tpot_p50 >= spec.decode_steps[0] - 1e-12,
+            "{} < clean step {}", m.tpot_p50, spec.decode_steps[0]);
+        prop_assert!(m.ttft_p99 >= m.ttft_p50);
+        prop_assert!(m.ttft_p50 >= spec.prefill_typical - 1e-12);
+        prop_assert!(m.delivered_tokens_per_gpu_second > 0.0);
+        prop_assert!(m.mean_occupancy >= 1.0 && m.mean_occupancy <= ceiling as f64);
+    }
+}
